@@ -1,0 +1,61 @@
+// Related-work comparison: the parallel classifier vs the sequential
+// baselines on generated EL corpora —
+//   * brute force              (all-pairs floor)
+//   * enhanced traversal       (Glimm et al. [15]-style insertion)
+//   * parallel w=1 / w=16      (this paper's architecture)
+// Reports reasoner test counts (the machine-independent cost metric) and
+// virtual elapsed times.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/sequential.hpp"
+
+int main() {
+  using namespace owlcl;
+  using namespace owlcl::bench;
+
+  printHeader("Baselines — reasoner test counts and virtual elapsed");
+  std::printf("%-10s %12s %12s %12s %12s %14s %14s\n", "concepts", "brute",
+              "enh-trav", "par(w=1)", "par(w=16)", "elapsed w=1", "elapsed w=16");
+
+  for (std::size_t n : {200u, 400u, 800u, 1600u}) {
+    GenConfig cfg;
+    cfg.name = "base" + std::to_string(n);
+    cfg.concepts = n;
+    cfg.subClassEdges = n * 3 / 2;
+    cfg.existentialAxioms = n / 2;
+    cfg.equivalentAxioms = n / 50;
+    cfg.seed = 7 + n;
+    GeneratedOntology g = generateOntology(cfg);
+
+    MockReasoner mock1(g.truth);
+    BruteForceClassifier brute(*g.tbox, mock1);
+    const SequentialResult rb = brute.classify();
+
+    MockReasoner mock2(g.truth);
+    EnhancedTraversalClassifier et(*g.tbox, mock2);
+    const SequentialResult re = et.classify();
+
+    auto par = [&](std::size_t w) {
+      MockReasoner mock(g.truth);
+      VirtualExecutor exec(w);
+      ParallelClassifier classifier(*g.tbox, mock);
+      return classifier.classify(exec);
+    };
+    const ClassificationResult p1 = par(1);
+    const ClassificationResult p16 = par(16);
+
+    std::printf("%-10zu %12llu %12llu %12llu %12llu %12.1fms %12.1fms\n", n,
+                static_cast<unsigned long long>(rb.subsumptionTests),
+                static_cast<unsigned long long>(re.subsumptionTests),
+                static_cast<unsigned long long>(p1.subsumptionTests),
+                static_cast<unsigned long long>(p16.subsumptionTests),
+                static_cast<double>(p1.elapsedNs) / 1e6,
+                static_cast<double>(p16.elapsedNs) / 1e6);
+  }
+  std::printf(
+      "\nnote: enhanced traversal minimises *test count*; the paper's\n"
+      "architecture wins on *elapsed time* by spending the same tests in\n"
+      "parallel (and prunes some of them via Algorithm 5).\n");
+  return 0;
+}

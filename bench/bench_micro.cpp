@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrates: the shared atomic bit-matrix, the thread pool, the EL
+// saturation and the tableau engine.
+#include <benchmark/benchmark.h>
+
+#include "core/pk_store.hpp"
+#include "elcore/el_reasoner.hpp"
+#include "gen/generator.hpp"
+#include "parallel/atomic_bitmatrix.hpp"
+#include "parallel/thread_pool.hpp"
+#include "reasoner/tableau_reasoner.hpp"
+#include "util/rng.hpp"
+
+namespace owlcl {
+namespace {
+
+void BM_AtomicBitMatrixTestAndSet(benchmark::State& state) {
+  AtomicBitMatrix m(1024, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.testAndSet(i % 1024, (i * 37) % 1024));
+    ++i;
+  }
+}
+BENCHMARK(BM_AtomicBitMatrixTestAndSet);
+
+void BM_AtomicBitMatrixRowCount(benchmark::State& state) {
+  const std::size_t cols = static_cast<std::size_t>(state.range(0));
+  AtomicBitMatrix m(4, cols);
+  for (std::size_t c = 0; c < cols; c += 3) m.testAndSet(1, c);
+  for (auto _ : state) benchmark::DoNotOptimize(m.countRow(1));
+}
+BENCHMARK(BM_AtomicBitMatrixRowCount)->Arg(1024)->Arg(16384);
+
+void BM_PkStoreClaimAndRecord(benchmark::State& state) {
+  PkStore store(2048);
+  store.initPossibleAll();
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const ConceptId x = static_cast<ConceptId>(rng.below(2048));
+    const ConceptId y = static_cast<ConceptId>(rng.below(2048));
+    if (store.claimTest(x, y)) store.recordNonSubsumption(x, y);
+  }
+}
+BENCHMARK(BM_PkStoreClaimAndRecord);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) pool.submit([] {});
+    pool.waitIdle();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
+
+void BM_ElSaturation(benchmark::State& state) {
+  GenConfig cfg;
+  cfg.concepts = static_cast<std::size_t>(state.range(0));
+  cfg.subClassEdges = cfg.concepts * 3 / 2;
+  cfg.existentialAxioms = cfg.concepts / 2;
+  cfg.roleHierarchy = true;
+  cfg.transitiveRoles = true;
+  cfg.seed = 3;
+  GeneratedOntology g = generateOntology(cfg);
+  for (auto _ : state) {
+    ElReasoner el(*g.tbox);
+    el.classify();
+    benchmark::DoNotOptimize(el.ruleApplications());
+  }
+}
+BENCHMARK(BM_ElSaturation)->Arg(200)->Arg(1000);
+
+void BM_TableauSubsumptionTest(benchmark::State& state) {
+  GenConfig cfg;
+  cfg.concepts = 200;
+  cfg.subClassEdges = 300;
+  cfg.existentialAxioms = 80;
+  cfg.universalAxioms = 20;
+  cfg.qcrAxioms = 20;
+  cfg.disjointAxioms = 10;
+  cfg.seed = 5;
+  GeneratedOntology g = generateOntology(cfg);
+  TableauReasoner reasoner(*g.tbox);
+  Xoshiro256 rng(9);
+  const std::size_t n = g.tbox->conceptCount();
+  for (auto _ : state) {
+    const ConceptId x = static_cast<ConceptId>(rng.below(n));
+    const ConceptId y = static_cast<ConceptId>(rng.below(n));
+    benchmark::DoNotOptimize(reasoner.isSubsumedBy(x, y));
+  }
+}
+BENCHMARK(BM_TableauSubsumptionTest);
+
+void BM_TableauSatCold(benchmark::State& state) {
+  // Fresh reasoner per iteration batch: measures uncached tableau work.
+  GenConfig cfg;
+  cfg.concepts = 100;
+  cfg.subClassEdges = 150;
+  cfg.existentialAxioms = 40;
+  cfg.qcrAxioms = 10;
+  cfg.seed = 6;
+  GeneratedOntology g = generateOntology(cfg);
+  for (auto _ : state) {
+    TableauReasoner reasoner(*g.tbox);
+    for (ConceptId c = 0; c < 100; ++c)
+      benchmark::DoNotOptimize(reasoner.isSatisfiable(c));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_TableauSatCold);
+
+}  // namespace
+}  // namespace owlcl
+
+BENCHMARK_MAIN();

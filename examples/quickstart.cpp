@@ -1,0 +1,70 @@
+// Quickstart: build a small ontology programmatically, classify it in
+// parallel with the tableau reasoner, and print the taxonomy.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "owlcl.hpp"
+
+int main() {
+  using namespace owlcl;
+
+  // 1. Build a TBox. Concepts and roles are declared by name; class
+  //    expressions are created through the expression factory.
+  TBox tbox;
+  ExprFactory& f = tbox.exprs();
+
+  const ConceptId animal = tbox.declareConcept("Animal");
+  const ConceptId mammal = tbox.declareConcept("Mammal");
+  const ConceptId cat = tbox.declareConcept("Cat");
+  const ConceptId dog = tbox.declareConcept("Dog");
+  const ConceptId canine = tbox.declareConcept("Canine");
+  const ConceptId petOwner = tbox.declareConcept("PetOwner");
+  const ConceptId catAndDog = tbox.declareConcept("CatAndDog");
+  const RoleId owns = tbox.declareRole("owns");
+
+  tbox.addSubClassOf(f.atom(mammal), f.atom(animal));
+  tbox.addSubClassOf(f.atom(cat), f.atom(mammal));
+  tbox.addSubClassOf(f.atom(dog), f.atom(mammal));
+  tbox.addEquivalentClasses({f.atom(canine), f.atom(dog)});
+  tbox.addDisjointClasses({f.atom(cat), f.atom(dog)});
+  // PetOwner ≡ ∃owns.Animal — a defined concept.
+  tbox.addEquivalentClasses(
+      {f.atom(petOwner), f.exists(owns, f.atom(animal))});
+  // CatAndDog ⊑ Cat ⊓ Dog — unsatisfiable because of the disjointness.
+  tbox.addSubClassOf(f.atom(catAndDog), f.conj(f.atom(cat), f.atom(dog)));
+
+  // 2. Create the reasoner plug-in (this preprocesses and freezes the
+  //    TBox) and the parallel classifier.
+  TableauReasoner reasoner(tbox);
+  ParallelClassifier classifier(tbox, reasoner);
+
+  // 3. Classify on a real thread pool.
+  ThreadPool pool(2);
+  RealExecutor exec(pool);
+  const ClassificationResult result = classifier.classify(exec);
+
+  // 4. Inspect the taxonomy.
+  std::printf("taxonomy (%zu nodes, %zu direct edges):\n\n",
+              result.taxonomy.nodeCount(), result.taxonomy.edgeCount());
+  result.taxonomy.print(std::cout, tbox);
+
+  std::printf("\nqueries:\n");
+  std::printf("  Dog ⊑ Animal?     %s\n",
+              result.taxonomy.subsumes(animal, dog) ? "yes" : "no");
+  std::printf("  Canine ≡ Dog?     %s\n",
+              result.taxonomy.equivalent(canine, dog) ? "yes" : "no");
+  std::printf("  CatAndDog ⊑ ⊥?    %s\n",
+              result.taxonomy.nodeOf(catAndDog) == Taxonomy::kBottomNode
+                  ? "yes (unsatisfiable)"
+                  : "no");
+
+  std::printf("\nstatistics: %llu sat tests, %llu subsumption tests, "
+              "%llu pairs pruned without testing, speedup %.2f\n",
+              static_cast<unsigned long long>(result.satTests),
+              static_cast<unsigned long long>(result.subsumptionTests),
+              static_cast<unsigned long long>(result.prunedWithoutTest),
+              result.speedup());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Scalability demo: generate a synthetic ontology, sweep the worker count
+// on the virtual-time executor, and print the resulting speedup curve —
+// a miniature of the paper's Figure 9 experiment you can play with.
+//
+//   $ ./scalability_demo [concepts] [max-workers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "owlcl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace owlcl;
+
+  const std::size_t concepts =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 2000;
+  const std::size_t maxWorkers =
+      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 64;
+
+  GenConfig cfg;
+  cfg.name = "demo";
+  cfg.concepts = concepts;
+  cfg.subClassEdges = concepts * 3 / 2;
+  cfg.existentialAxioms = concepts / 3;
+  cfg.equivalentAxioms = concepts / 100;
+  cfg.seed = 2017;
+  GeneratedOntology g = generateOntology(cfg);
+  std::printf("generated ontology: %zu concepts, %zu told axioms\n\n",
+              g.tbox->conceptCount(), g.tbox->toldAxioms().size());
+
+  CostModel cost;
+  cost.baseNs = 50'000;  // 50 µs per simulated reasoner test
+  MockReasoner mock(g.truth, cost);
+
+  const SweepResult sweep = runSpeedupSweep(
+      "scalability demo", *g.tbox, mock, figureWorkerCounts(maxWorkers));
+  std::printf("%s", renderSweepTable(sweep).c_str());
+
+  // A crude ASCII rendition of the speedup curve.
+  std::printf("\nspeedup curve:\n");
+  double maxSpeedup = 1;
+  for (const SweepPoint& p : sweep.points) maxSpeedup = std::max(maxSpeedup, p.speedup);
+  for (const SweepPoint& p : sweep.points) {
+    const int bars = static_cast<int>(p.speedup / maxSpeedup * 60.0);
+    std::printf("%4zu | ", p.workers);
+    for (int i = 0; i < bars; ++i) std::printf("#");
+    std::printf(" %.1f\n", p.speedup);
+  }
+  return 0;
+}

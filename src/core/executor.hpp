@@ -1,0 +1,55 @@
+// Executor — how the classifier's tasks reach "cores".
+//
+// The paper ran on a 60-core SMP server; this build box may have a single
+// core. The classifier is written against this small interface so the same
+// phase logic runs either on real std::threads (RealExecutor, below) or on
+// the deterministic virtual-time SMP simulator (simsched::VirtualExecutor),
+// which is what regenerates the paper's speedup figures (DESIGN.md §2,
+// hardware substitution).
+//
+// Contract: dispatch() hands one task to a worker slot; the task returns
+// its own cost in (virtual or measured) nanoseconds. barrier() waits for
+// all dispatched tasks — the synchronisation point between classification
+// cycles. busyNs() is the paper's "runtime" (sum of runtimes of all
+// threads); elapsedNs() is the paper's "elapsed time"; speedup is their
+// ratio (Section V-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace owlcl {
+
+/// Scheduling disciplines for picking the worker of the next group task.
+enum class SchedulingPolicy : std::uint8_t {
+  kRoundRobin,   // the paper's round-robin scheduling (Section III-A2)
+  kLeastLoaded,  // "getAvailableThread": worker with the least queued work
+  kSharedQueue,  // single shared queue; any idle worker takes the task
+};
+
+class Executor {
+ public:
+  using Task = std::function<std::uint64_t()>;  // returns cost in ns
+
+  virtual ~Executor() = default;
+
+  virtual std::size_t workers() const = 0;
+
+  /// Picks the worker slot for the next task under `policy`.
+  virtual std::size_t pickWorker(SchedulingPolicy policy) = 0;
+
+  /// `worker` == kAnyWorker puts the task on the shared queue.
+  static constexpr std::size_t kAnyWorker = static_cast<std::size_t>(-1);
+  virtual void dispatch(std::size_t worker, Task task) = 0;
+
+  /// Waits until every dispatched task has completed.
+  virtual void barrier() = 0;
+
+  /// Total elapsed time since construction (wall or virtual).
+  virtual std::uint64_t elapsedNs() const = 0;
+
+  /// Σ task costs across all workers ("runtime" in the paper's metric).
+  virtual std::uint64_t busyNs() const = 0;
+};
+
+}  // namespace owlcl

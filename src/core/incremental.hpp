@@ -1,0 +1,75 @@
+// IncrementalClassifier — maintains a taxonomy under concept-by-concept
+// insertion (top-search / bottom-search placement against the taxonomy
+// built so far). This is the incremental-classification extension the
+// insertion-based sequential methods (Glimm et al. [15]) naturally
+// support and the paper leaves as future work: new concepts can be
+// classified without re-running the all-pairs phases.
+//
+// Usage:
+//   IncrementalClassifier inc(tbox, reasoner);
+//   inc.insert(tbox.findConcept("NewConcept"));
+//   ...
+//   Taxonomy tax = inc.snapshot();   // placed concepts only
+//
+// The reasoner plug-in answers over the FULL TBox, so insertion order
+// never changes the final taxonomy — only the number of tests performed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plugin.hpp"
+#include "owl/tbox.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace owlcl {
+
+class IncrementalClassifier {
+ public:
+  /// `tbox` must be frozen; `plugin` must answer w.r.t. the same TBox.
+  IncrementalClassifier(const TBox& tbox, ReasonerPlugin& plugin);
+
+  /// Places one concept. Inserting an already-placed concept is a no-op.
+  void insert(ConceptId c);
+
+  /// Places every concept not yet inserted (ascending id order).
+  void insertAll();
+
+  bool isInserted(ConceptId c) const { return placed_[c]; }
+  std::size_t insertedCount() const { return insertedCount_; }
+
+  /// Immutable taxonomy over the inserted concepts. Concepts not yet
+  /// inserted are left unplaced (queries on them abort).
+  Taxonomy snapshot() const;
+
+  std::uint64_t satTests() const { return satTests_; }
+  std::uint64_t subsumptionTests() const { return subsTests_; }
+
+ private:
+  struct DynNode {
+    ConceptId repConcept = kInvalidConcept;
+    std::vector<ConceptId> members;
+    std::vector<std::size_t> parents, children;
+  };
+  static constexpr std::size_t kTop = 0;
+  static constexpr std::size_t kBot = 1;
+
+  bool nodeSubsumesC(std::size_t v, ConceptId c);   // c ⊑ rep(v)?
+  bool nodeSubsumedByC(std::size_t v, ConceptId c); // rep(v) ⊑ c?
+  std::vector<std::size_t> topSearch(ConceptId c);
+  std::vector<std::size_t> bottomSearch(ConceptId c,
+                                        const std::vector<std::size_t>& parents);
+  void splice(ConceptId c, const std::vector<std::size_t>& parents,
+              const std::vector<std::size_t>& children);
+
+  const TBox& tbox_;
+  ReasonerPlugin& plugin_;
+  std::vector<DynNode> nodes_;
+  std::vector<bool> placed_;
+  std::vector<bool> atBottom_;
+  std::size_t insertedCount_ = 0;
+  std::uint64_t satTests_ = 0;
+  std::uint64_t subsTests_ = 0;
+};
+
+}  // namespace owlcl

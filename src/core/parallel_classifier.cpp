@@ -1,0 +1,416 @@
+#include "core/parallel_classifier.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace owlcl {
+
+ParallelClassifier::ParallelClassifier(const TBox& tbox, ReasonerPlugin& plugin,
+                                       ClassifierConfig config)
+    : tbox_(tbox),
+      plugin_(plugin),
+      config_(config),
+      store_(tbox.conceptCount()) {
+  OWLCL_ASSERT_MSG(tbox.frozen(), "freeze the TBox before classification");
+}
+
+bool ParallelClassifier::ensureSat(ConceptId c, std::uint64_t& cost) {
+  SatStatus st = store_.satStatus(c);
+  if (st == SatStatus::kUnknown) {
+    std::uint64_t ns = 0;
+    const bool sat = plugin_.isSatisfiable(c, &ns);
+    cost += ns;
+    satTests_.fetch_add(1, std::memory_order_relaxed);
+    store_.setSatStatus(c, sat);
+    if (!sat) store_.eraseUnsatConcept(c);
+    st = sat ? SatStatus::kSat : SatStatus::kUnsat;
+  }
+  return st == SatStatus::kSat;
+}
+
+void ParallelClassifier::pruneAfterStrict(ConceptId super, ConceptId sub) {
+  // Algorithm 5, Situations 2.3.1 + 2.3.2, for O ⊨ sub ⊑ super with
+  // super ⋢ sub. Snapshot K_sub; concurrent growth of K_sub is handled by
+  // whichever worker records those later subsumptions (it reruns pruning).
+  for (ConceptId y : store_.knownRow(sub)) {
+    if (y == super || y == sub) continue;
+    // 2.3.1: y ⊑ sub ⊑ super, so y is an *indirect* subsumee of super —
+    // drop it from P_super (and K_super) without a reasoner call.
+    //
+    // Equivalence guard: if y ≡ sub (sub ∈ K_y), y sits at sub's own level
+    // and is a *direct* subsumee — skip. This also closes a concurrency
+    // hole: two workers strict-testing (super, sub) and (super, y) with
+    // sub ≡ y could otherwise prune each other's K_super records (mutual
+    // destruction). The guard is race-free: each worker's prune candidate
+    // comes from a K snapshot taken after the equivalence's first
+    // direction was recorded, so at least one worker observes the second
+    // direction and skips (the acq_rel bit operations order the reads).
+    if (!store_.known(y, sub)) {
+      const bool clearedForward = store_.claimTest(super, y);
+      store_.pruneIndirect(super, y);
+      if (clearedForward) pruned_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // 2.3.2: super ⊑ y would force super ≡ sub ≡ y, contradicting
+    // strictness — record the non-subsumption without a reasoner call.
+    // (Sound even when y ≡ sub.)
+    const bool clearedBackward = store_.claimTest(y, super);
+    store_.recordNonSubsumption(y, super);
+    if (clearedBackward) pruned_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ParallelClassifier::testPairSymmetric(ConceptId a, ConceptId b,
+                                           std::uint64_t& cost) {
+  // Quick reject: both directions already resolved.
+  if (!store_.possible(a, b) && !store_.possible(b, a)) return;
+  if (!ensureSat(a, cost)) return;  // eraseUnsatConcept cleared the pair
+  if (!ensureSat(b, cost)) return;
+
+  // Claim each direction; a lost claim is being handled by another worker.
+  const bool claimAb = store_.claimTest(a, b);  // subs?(a,b): b ⊑ a?
+  const bool claimBa = store_.claimTest(b, a);  // subs?(b,a): a ⊑ b?
+  if (!claimAb && !claimBa) return;
+
+  std::uint64_t ns = 0;
+  bool bUnderA = false, aUnderB = false;
+  bool knowBUnderA = false, knowAUnderB = false;
+  if (claimAb) {
+    bUnderA = plugin_.isSubsumedBy(b, a, &ns);
+    knowBUnderA = true;
+    cost += ns;
+    subsTests_.fetch_add(1, std::memory_order_relaxed);
+    if (bUnderA)
+      store_.recordSubsumption(a, b);
+    else
+      store_.recordNonSubsumption(a, b);
+  }
+  if (claimBa) {
+    aUnderB = plugin_.isSubsumedBy(a, b, &ns);
+    knowAUnderB = true;
+    cost += ns;
+    subsTests_.fetch_add(1, std::memory_order_relaxed);
+    if (aUnderB)
+      store_.recordSubsumption(b, a);
+    else
+      store_.recordNonSubsumption(b, a);
+  }
+
+  // Algorithm 5 pruning needs a *strict* outcome, i.e. both directions
+  // known from this claim (Situation 2.3; 2.2 equivalence and 2.4 mutual
+  // non-subsumption leave P/K as recorded above).
+  if (!config_.enablePruning || !knowBUnderA || !knowAUnderB) return;
+  if (bUnderA && !aUnderB)
+    pruneAfterStrict(/*super=*/a, /*sub=*/b);
+  else if (aUnderB && !bUnderA)
+    pruneAfterStrict(/*super=*/b, /*sub=*/a);
+}
+
+void ParallelClassifier::testOrdered(ConceptId x, ConceptId y,
+                                     std::uint64_t& cost) {
+  // Algorithm 2/3 verbatim: test subs?(x, y) — is y ⊑ x — only.
+  if (!store_.possible(x, y)) return;
+  if (!ensureSat(x, cost)) return;
+  if (!ensureSat(y, cost)) return;
+  if (!store_.claimTest(x, y)) return;
+  std::uint64_t ns = 0;
+  const bool yUnderX = plugin_.isSubsumedBy(y, x, &ns);
+  cost += ns;
+  subsTests_.fetch_add(1, std::memory_order_relaxed);
+  if (yUnderX)
+    store_.recordSubsumption(x, y);
+  else
+    store_.recordNonSubsumption(x, y);
+}
+
+void ParallelClassifier::seedTold() {
+  // Extension: a told axiom A ⊑ B with both sides atomic is a known
+  // subsumption — record it and mark the ordered pair tested.
+  const ExprFactory& f = tbox_.exprs();
+  for (const SubClassAxiom& ax : tbox_.inclusions()) {
+    if (f.kind(ax.lhs) != ExprKind::kAtom || f.kind(ax.rhs) != ExprKind::kAtom)
+      continue;
+    const ConceptId sub = f.node(ax.lhs).atom;
+    const ConceptId sup = f.node(ax.rhs).atom;
+    if (sub == sup) continue;
+    if (store_.claimTest(sup, sub)) store_.recordSubsumption(sup, sub);
+  }
+}
+
+void ParallelClassifier::runRandomCycle(Executor& exec, std::size_t cycleIndex,
+                                        std::vector<ConceptId>& order,
+                                        ClassificationResult& result) {
+  const std::size_t n = order.size();
+  const std::size_t w = exec.workers();
+  const std::size_t possibleBefore = store_.remainingPossible();
+  const std::uint64_t testsBefore = satTests_.load(std::memory_order_relaxed) +
+                                    subsTests_.load(std::memory_order_relaxed);
+  const std::uint64_t t0 = exec.elapsedNs();
+
+  // randomDivision: w contiguous slices of the shuffled order, one per
+  // worker (group count == worker count, Section III-A1).
+  const std::size_t base = n / w;
+  const std::size_t extra = n % w;
+  std::size_t begin = 0;
+  for (std::size_t g = 0; g < w && begin < n; ++g) {
+    const std::size_t size = base + (g < extra ? 1 : 0);
+    if (size < 2) {
+      begin += size;
+      continue;  // a group needs at least one pair
+    }
+    std::vector<ConceptId> slice(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 order.begin() +
+                                     static_cast<std::ptrdiff_t>(begin + size));
+    begin += size;
+    exec.dispatch(g % w, [this, slice = std::move(slice)]() -> std::uint64_t {
+      std::uint64_t cost = 0;
+      for (std::size_t i = 0; i < slice.size(); ++i) {
+        for (std::size_t j = i + 1; j < slice.size(); ++j) {
+          if (config_.symmetricTests)
+            testPairSymmetric(slice[i], slice[j], cost);
+          else
+            testOrdered(slice[i], slice[j], cost);
+        }
+      }
+      return cost;
+    });
+  }
+  exec.barrier();
+
+  result.cycles.push_back(
+      {CycleStats::Phase::kRandomDivision, cycleIndex, possibleBefore,
+       store_.remainingPossible(), exec.elapsedNs() - t0,
+       satTests_.load(std::memory_order_relaxed) +
+           subsTests_.load(std::memory_order_relaxed) - testsBefore});
+}
+
+void ParallelClassifier::runGroupRound(Executor& exec, std::size_t roundIndex,
+                                       ClassificationResult& result) {
+  const std::size_t n = store_.conceptCount();
+  const std::size_t possibleBefore = store_.remainingPossible();
+  const std::uint64_t testsBefore = satTests_.load(std::memory_order_relaxed) +
+                                    subsTests_.load(std::memory_order_relaxed);
+  const std::uint64_t t0 = exec.elapsedNs();
+
+  // groupDivision: one group G_X per concept with P_X ≠ ∅, dispatched with
+  // the configured discipline. The group content (P_X) is snapshotted when
+  // the task starts, so pruning performed by earlier groups already
+  // shrinks later ones — the paper's "changes performed to P and K before
+  // new divisions are created for an idle thread".
+  for (ConceptId x = 0; x < n; ++x) {
+    if (store_.possibleEmpty(x)) continue;
+    const std::size_t worker = exec.pickWorker(config_.scheduling);
+    exec.dispatch(worker, [this, x]() -> std::uint64_t {
+      std::uint64_t cost = 0;
+      if (!ensureSat(x, cost)) return cost;
+      for (ConceptId y : store_.possibleRow(x)) {
+        if (config_.symmetricTests)
+          testPairSymmetric(x, y, cost);
+        else
+          testOrdered(x, y, cost);
+      }
+      return cost;
+    });
+  }
+  exec.barrier();
+
+  result.cycles.push_back(
+      {CycleStats::Phase::kGroupDivision, roundIndex, possibleBefore,
+       store_.remainingPossible(), exec.elapsedNs() - t0,
+       satTests_.load(std::memory_order_relaxed) +
+           subsTests_.load(std::memory_order_relaxed) - testsBefore});
+}
+
+void ParallelClassifier::buildHierarchy(Executor& exec,
+                                        ClassificationResult& result) {
+  const std::size_t n = store_.conceptCount();
+  const std::uint64_t t0 = exec.elapsedNs();
+
+  // Divide (Algorithm 4, parallel): snapshot K rows and detect
+  // equivalences; compute each concept's direct subsumees by removing
+  // everything reachable through another known subsumee.
+  std::vector<DynamicBitset> kbits(n);
+  for (ConceptId x = 0; x < n; ++x) {
+    const std::size_t worker = exec.pickWorker(config_.scheduling);
+    exec.dispatch(worker, [this, x, &kbits]() -> std::uint64_t {
+      kbits[x] = store_.knownRowBits(x);
+      return 1000;  // bookkeeping tick; real cost is negligible per row
+    });
+  }
+  exec.barrier();
+
+  // Union-find over mutual known-subsumption (setEquivalentConcept).
+  std::vector<ConceptId> rep(n);
+  for (ConceptId x = 0; x < n; ++x) rep[x] = x;
+  auto find = [&rep](ConceptId x) {
+    while (rep[x] != x) {
+      rep[x] = rep[rep[x]];
+      x = rep[x];
+    }
+    return x;
+  };
+  for (ConceptId x = 0; x < n; ++x) {
+    for (std::size_t y : kbits[x].setBits()) {
+      if (y <= x) continue;
+      if (kbits[y].test(x)) {
+        const ConceptId rx = find(x);
+        const ConceptId ry = find(static_cast<ConceptId>(y));
+        if (rx != ry) rep[std::max(rx, ry)] = std::min(rx, ry);
+      }
+    }
+  }
+  // Flatten before the parallel phase: tasks below read rep[] lock-free.
+  for (ConceptId x = 0; x < n; ++x) rep[x] = find(x);
+
+  // Per-class union of member K rows, minus the members themselves.
+  std::vector<std::vector<ConceptId>> members(n);
+  for (ConceptId x = 0; x < n; ++x)
+    if (store_.satStatus(x) != SatStatus::kUnsat) members[rep[x]].push_back(x);
+
+  // Class-level K adjacency: adj[r] = representatives of classes with at
+  // least one member in some member-row of class r. Algorithm 5 pruning
+  // may have dropped *single-step* K entries whose indirectness is only
+  // witnessed through an intermediate class, so direct children must be
+  // computed by *reachability* over this adjacency, not by one-step row
+  // subtraction (the pruning invariant guarantees every true subsumee
+  // stays reachable through a chain of witnesses).
+  std::vector<std::vector<ConceptId>> adj(n);
+  for (ConceptId r = 0; r < n; ++r) {
+    if (members[r].empty() || members[r][0] != r) continue;
+    const std::size_t worker = exec.pickWorker(config_.scheduling);
+    exec.dispatch(worker, [r, &members, &kbits, &adj, &rep, n]() -> std::uint64_t {
+      DynamicBitset k(n);
+      for (ConceptId m : members[r]) k |= kbits[m];
+      for (ConceptId m : members[r]) k.reset(m);
+      std::vector<ConceptId>& out = adj[r];
+      for (std::size_t y : k.setBits()) {
+        const ConceptId ry = rep[y];
+        if (ry == r) continue;
+        if (std::find(out.begin(), out.end(), ry) == out.end()) out.push_back(ry);
+      }
+      return 1000;  // bookkeeping tick; real cost is negligible per row
+    });
+  }
+  exec.barrier();
+
+  // buildPartialHierarchy (divide): H_r = candidate child classes minus
+  // those reachable from another candidate (transitive reduction by DFS).
+  std::vector<DynamicBitset> classK(n);
+  for (ConceptId r = 0; r < n; ++r) {
+    if (members[r].empty() || members[r][0] != r) continue;
+    const std::size_t worker = exec.pickWorker(config_.scheduling);
+    exec.dispatch(worker, [r, &adj, &classK, n]() -> std::uint64_t {
+      const std::vector<ConceptId>& cand = adj[r];
+      DynamicBitset reachable(n);
+      if (cand.size() > 1) {
+        // DFS from every candidate's children; anything reached is an
+        // indirect subsumee of r.
+        std::vector<ConceptId> stack;
+        for (ConceptId c : cand)
+          for (ConceptId cc : adj[c])
+            if (!reachable.test(cc)) {
+              reachable.set(cc);
+              stack.push_back(cc);
+            }
+        while (!stack.empty()) {
+          const ConceptId cur = stack.back();
+          stack.pop_back();
+          for (ConceptId cc : adj[cur]) {
+            if (!reachable.test(cc)) {
+              reachable.set(cc);
+              stack.push_back(cc);
+            }
+          }
+        }
+      }
+      DynamicBitset direct(n);
+      for (ConceptId c : cand)
+        if (!reachable.test(c)) direct.set(c);
+      classK[r] = std::move(direct);
+      return 1000;
+    });
+  }
+  exec.barrier();
+
+  // Conquer (sequential): merge the partial hierarchies into the taxonomy.
+  Taxonomy tax(n);
+  std::vector<Taxonomy::NodeId> nodeOfRep(n, Taxonomy::kNoNode);
+  for (ConceptId r = 0; r < n; ++r) {
+    if (!members[r].empty() && members[r][0] == r)
+      nodeOfRep[r] = tax.addNode(members[r]);
+  }
+  for (ConceptId x = 0; x < n; ++x)
+    if (store_.satStatus(x) == SatStatus::kUnsat) tax.assignToBottom(x);
+  for (ConceptId r = 0; r < n; ++r) {
+    if (nodeOfRep[r] == Taxonomy::kNoNode) continue;
+    for (std::size_t childRep : classK[r].setBits()) {
+      const Taxonomy::NodeId child = nodeOfRep[childRep];
+      if (child != Taxonomy::kNoNode && child != nodeOfRep[r])
+        tax.addEdge(nodeOfRep[r], child);
+    }
+  }
+  tax.finalize();
+  result.taxonomy = std::move(tax);
+
+  result.cycles.push_back({CycleStats::Phase::kHierarchy, 0, 0, 0,
+                           exec.elapsedNs() - t0, 0});
+}
+
+ClassificationResult ParallelClassifier::classify(Executor& exec) {
+  ClassificationResult result;
+  const std::size_t n = store_.conceptCount();
+  result.initialPossible = n * (n - 1);
+
+  store_.initPossibleAll();
+  if (config_.toldSeeding) seedTold();
+
+  // Phase 1: random division cycles.
+  std::vector<ConceptId> order(n);
+  for (ConceptId c = 0; c < n; ++c) order[c] = c;
+  Xoshiro256 rng(config_.seed);
+  for (std::size_t cycle = 0; cycle < config_.randomCycles; ++cycle) {
+    shuffle(order, rng);
+    runRandomCycle(exec, cycle, order, result);
+  }
+
+  // Phase 2: group division until R_O = ∅. One round resolves every
+  // remaining bit (each P_X is exhaustively attempted); the loop guards
+  // against claim races leaving stragglers.
+  std::size_t round = 0;
+  while (store_.remainingPossible() > 0) {
+    runGroupRound(exec, round, result);
+    OWLCL_ASSERT_MSG(++round <= n + 1, "group division failed to converge");
+  }
+
+  // Satisfiability completion: unsat-erasure and Algorithm 5 pruning can
+  // resolve every pair involving a concept without ever running sat?() on
+  // it (e.g. a two-concept ontology where the partner is found
+  // unsatisfiable first). The taxonomy needs a definite status for every
+  // concept, so test the stragglers in parallel.
+  {
+    bool anyUnknown = false;
+    for (ConceptId x = 0; x < n; ++x) {
+      if (store_.satStatus(x) != SatStatus::kUnknown) continue;
+      anyUnknown = true;
+      exec.dispatch(exec.pickWorker(config_.scheduling),
+                    [this, x]() -> std::uint64_t {
+                      std::uint64_t cost = 0;
+                      ensureSat(x, cost);
+                      return cost;
+                    });
+    }
+    if (anyUnknown) exec.barrier();
+  }
+
+  // Phase 3: taxonomy construction.
+  buildHierarchy(exec, result);
+
+  result.elapsedNs = exec.elapsedNs();
+  result.busyNs = exec.busyNs();
+  result.satTests = satTests_.load(std::memory_order_relaxed);
+  result.subsumptionTests = subsTests_.load(std::memory_order_relaxed);
+  result.prunedWithoutTest = pruned_.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace owlcl

@@ -1,0 +1,41 @@
+#include "core/pk_store.hpp"
+
+namespace owlcl {
+
+PkStore::PkStore(std::size_t conceptCount)
+    : n_(conceptCount),
+      p_(conceptCount, conceptCount),
+      k_(conceptCount, conceptCount),
+      tested_(conceptCount, conceptCount),
+      sat_(conceptCount) {
+  for (auto& s : sat_)
+    s.store(static_cast<std::uint8_t>(SatStatus::kUnknown),
+            std::memory_order_relaxed);
+}
+
+void PkStore::initPossibleAll() {
+  for (std::size_t x = 0; x < n_; ++x) {
+    p_.fillRow(x, /*skip=*/x);
+    // X ⊑ X is trivially known; mark the diagonal tested so no worker
+    // wastes a reasoner call on it.
+    tested_.testAndSet(x, x);
+  }
+}
+
+void PkStore::eraseUnsatConcept(ConceptId x) {
+  p_.clearRow(x);
+  k_.clearRow(x);
+  for (std::size_t other = 0; other < n_; ++other) {
+    if (other == x) continue;
+    p_.testAndClear(other, x);
+    // A test subs?(other, x) may already have recorded the trivial
+    // subsumption before x was discovered unsatisfiable; drop it — the
+    // taxonomy places unsatisfiable concepts at ⊥, not under subsumers.
+    k_.testAndClear(other, x);
+    // Claim both directions: no pair test involving x is useful any more.
+    tested_.testAndSet(other, x);
+    tested_.testAndSet(x, other);
+  }
+}
+
+}  // namespace owlcl

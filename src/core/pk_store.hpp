@@ -1,0 +1,96 @@
+// PkStore — the paper's shared-memory global data structure (Section III):
+// for every named concept X the set P_X of *possible* subsumees, the set
+// K_X of *known* subsumees, the tested-pair matrix behind tested(), and
+// the per-concept satisfiability status. All state is updated with
+// single-word atomic RMWs so classification workers never lock.
+//
+// Encoding: row X of P/K is indexed by candidate subsumee Y.
+//   P.test(X, Y)  — "Y might be subsumed by X, not yet resolved"
+//   K.test(X, Y)  — "O ⊨ Y ⊑ X was derived"
+//   tested(X, Y)  — "the ordered test subs?(X, Y) has been claimed"
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "owl/ids.hpp"
+#include "parallel/atomic_bitmatrix.hpp"
+
+namespace owlcl {
+
+enum class SatStatus : std::uint8_t { kUnknown = 0, kSat = 1, kUnsat = 2 };
+
+class PkStore {
+ public:
+  explicit PkStore(std::size_t conceptCount);
+
+  std::size_t conceptCount() const { return n_; }
+
+  // --- initialisation ------------------------------------------------------
+  /// P_X := N_O \ {X} for every X; K := ∅ (paper Section III).
+  void initPossibleAll();
+
+  // --- satisfiability cache --------------------------------------------------
+  SatStatus satStatus(ConceptId c) const {
+    return static_cast<SatStatus>(sat_[c].load(std::memory_order_acquire));
+  }
+  /// Publishes a sat?() result (idempotent; concurrent double-set benign —
+  /// both writers publish the same truth).
+  void setSatStatus(ConceptId c, bool satisfiable) {
+    sat_[c].store(static_cast<std::uint8_t>(satisfiable ? SatStatus::kSat
+                                                        : SatStatus::kUnsat),
+                  std::memory_order_release);
+  }
+
+  /// Situation 1 / Algorithm 2 unsat handling: P_X := ∅, K_X := ∅ and X is
+  /// removed from every other P row (X subsumes nothing and is a *known*,
+  /// not possible, subsumee of everything).
+  void eraseUnsatConcept(ConceptId x);
+
+  // --- tested() ------------------------------------------------------------
+  /// Claims the ordered test subs?(X, Y). True iff this caller won the
+  /// claim (the paper's ¬tested(X,Y) guard, made atomic).
+  bool claimTest(ConceptId x, ConceptId y) { return tested_.testAndSet(x, y); }
+  bool tested(ConceptId x, ConceptId y) const { return tested_.test(x, y); }
+
+  // --- recording test outcomes ----------------------------------------------
+  /// O ⊨ y ⊑ x: insert y into K_x, delete y from P_x.
+  void recordSubsumption(ConceptId x, ConceptId y) {
+    k_.testAndSet(x, y);
+    p_.testAndClear(x, y);
+  }
+  /// O ⊭ y ⊑ x: delete y from P_x.
+  void recordNonSubsumption(ConceptId x, ConceptId y) { p_.testAndClear(x, y); }
+
+  /// Removes y from P_x *and* K_x (Situation 2.3.1 indirect-subsumee
+  /// pruning: y stays reachable through the intermediate concept's K).
+  void pruneIndirect(ConceptId x, ConceptId y) {
+    p_.testAndClear(x, y);
+    k_.testAndClear(x, y);
+  }
+
+  // --- queries ---------------------------------------------------------------
+  bool possible(ConceptId x, ConceptId y) const { return p_.test(x, y); }
+  bool known(ConceptId x, ConceptId y) const { return k_.test(x, y); }
+
+  std::size_t possibleCount(ConceptId x) const { return p_.countRow(x); }
+  bool possibleEmpty(ConceptId x) const { return p_.rowEmpty(x); }
+
+  /// |R_O| = Σ_X |P_X| (Definition 1; snapshot).
+  std::size_t remainingPossible() const { return p_.countAll(); }
+
+  /// Snapshot of P_X / K_X as index lists.
+  std::vector<ConceptId> possibleRow(ConceptId x) const { return p_.rowIndices(x); }
+  std::vector<ConceptId> knownRow(ConceptId x) const { return k_.rowIndices(x); }
+  DynamicBitset knownRowBits(ConceptId x) const { return k_.rowSnapshot(x); }
+
+ private:
+  std::size_t n_;
+  AtomicBitMatrix p_;
+  AtomicBitMatrix k_;
+  AtomicBitMatrix tested_;
+  std::vector<std::atomic<std::uint8_t>> sat_;
+};
+
+}  // namespace owlcl

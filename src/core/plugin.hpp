@@ -1,0 +1,35 @@
+// ReasonerPlugin — the paper's plug-in boundary (Section I: "we use OWL
+// reasoners as plug-ins for deciding satisfiability and subsumption.
+// Currently we use HermiT but it could be replaced by any other OWL
+// reasoner").
+//
+// The parallel classifier calls only these two predicates (sat?() and
+// subs?() of Algorithms 2/3/5). Implementations must be thread-safe:
+// workers invoke them concurrently. The optional costNs out-parameter
+// reports the cost of the individual test — wall time for real reasoners,
+// model cost for the mock reasoner driving the virtual-time scheduler.
+#pragma once
+
+#include <cstdint>
+
+#include "owl/ids.hpp"
+
+namespace owlcl {
+
+class ReasonerPlugin {
+ public:
+  virtual ~ReasonerPlugin() = default;
+
+  /// sat?(c): is the named concept satisfiable w.r.t. the TBox?
+  virtual bool isSatisfiable(ConceptId c, std::uint64_t* costNs = nullptr) = 0;
+
+  /// subs?(sup, sub): does the TBox entail sub ⊑ sup?
+  virtual bool isSubsumedBy(ConceptId sub, ConceptId sup,
+                            std::uint64_t* costNs = nullptr) = 0;
+
+  /// Total number of sat + subsumption tests served (approximate under
+  /// concurrency; used for statistics only).
+  virtual std::uint64_t testCount() const = 0;
+};
+
+}  // namespace owlcl

@@ -1,0 +1,61 @@
+// RealExecutor — Executor over an owlcl::ThreadPool (actual std::threads
+// on actual cores). Used by the library API and the integration tests;
+// the figure benches use the virtual-time executor instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/executor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/stopwatch.hpp"
+
+namespace owlcl {
+
+class RealExecutor : public Executor {
+ public:
+  explicit RealExecutor(ThreadPool& pool) : pool_(pool) {}
+
+  std::size_t workers() const override { return pool_.size(); }
+
+  std::size_t pickWorker(SchedulingPolicy policy) override {
+    switch (policy) {
+      case SchedulingPolicy::kSharedQueue:
+        return kAnyWorker;
+      case SchedulingPolicy::kRoundRobin:
+      case SchedulingPolicy::kLeastLoaded:
+        // With real threads, "least loaded" is what the shared queue gives
+        // us for free; for the pinned disciplines we rotate slots.
+        return rr_++ % pool_.size();
+    }
+    return kAnyWorker;
+  }
+
+  void dispatch(std::size_t worker, Task task) override {
+    auto wrapped = [this, task = std::move(task)] {
+      busy_.fetch_add(task(), std::memory_order_relaxed);
+    };
+    if (worker == kAnyWorker)
+      pool_.submit(std::move(wrapped));
+    else
+      pool_.submitTo(worker, std::move(wrapped));
+  }
+
+  void barrier() override { pool_.waitIdle(); }
+
+  std::uint64_t elapsedNs() const override {
+    return static_cast<std::uint64_t>(clock_.elapsedNs());
+  }
+
+  std::uint64_t busyNs() const override {
+    return busy_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ThreadPool& pool_;
+  Stopwatch clock_;
+  std::atomic<std::uint64_t> busy_{0};
+  std::size_t rr_ = 0;
+};
+
+}  // namespace owlcl

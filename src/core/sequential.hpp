@@ -1,0 +1,53 @@
+// Sequential classification baselines.
+//
+//  * BruteForceClassifier — tests every ordered pair once (the w=1,
+//    no-optimisation floor; also the simplest trustworthy oracle for the
+//    integration tests).
+//  * EnhancedTraversalClassifier — insertion-sort classification with
+//    top-search/bottom-search over the taxonomy built so far, in the
+//    spirit of Glimm et al. [15] ("a novel approach to ontology
+//    classification"), which the paper cites as the sequential
+//    state-of-the-art its architecture generalises. Performs far fewer
+//    subsumption tests than brute force; used by the baseline benches.
+#pragma once
+
+#include <cstdint>
+
+#include "core/plugin.hpp"
+#include "owl/tbox.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace owlcl {
+
+struct SequentialResult {
+  Taxonomy taxonomy{0};
+  std::uint64_t satTests = 0;
+  std::uint64_t subsumptionTests = 0;
+  std::uint64_t totalCostNs = 0;  // Σ reasoner-reported costs
+};
+
+class BruteForceClassifier {
+ public:
+  BruteForceClassifier(const TBox& tbox, ReasonerPlugin& plugin)
+      : tbox_(tbox), plugin_(plugin) {}
+
+  SequentialResult classify();
+
+ private:
+  const TBox& tbox_;
+  ReasonerPlugin& plugin_;
+};
+
+class EnhancedTraversalClassifier {
+ public:
+  EnhancedTraversalClassifier(const TBox& tbox, ReasonerPlugin& plugin)
+      : tbox_(tbox), plugin_(plugin) {}
+
+  SequentialResult classify();
+
+ private:
+  const TBox& tbox_;
+  ReasonerPlugin& plugin_;
+};
+
+}  // namespace owlcl

@@ -1,0 +1,205 @@
+// Concurrent EL+ saturation (ELK-style). Same completion rules as the
+// sequential engine in el_reasoner.cpp, but events are drained by a pool
+// of workers from a shared queue; the per-atom subsumer bitsets and the
+// per-role link sets are guarded by striped spinlocks.
+//
+// The saturation is confluent (rules only ever add facts), so any
+// interleaving reaches the same fixpoint as the sequential run — the
+// tests assert exactly that.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "elcore/el_reasoner.hpp"
+#include "parallel/spinlock.hpp"
+#include "util/assert.hpp"
+
+namespace owlcl {
+
+namespace {
+
+struct Event {
+  bool isLink;
+  RoleId r;       // link only
+  std::uint32_t x;
+  std::uint32_t s;  // subsumer (sub) or link target y (link)
+};
+
+/// Shared state of one concurrent saturation run.
+struct ConcRun {
+  std::mutex qmu;
+  std::condition_variable qcv;
+  std::deque<Event> queue;
+  std::size_t inflight = 0;  // queued + currently-processing events
+
+  ShardedSpinlocks<256> atomLocks;  // stripes subsumers_[x]
+  ShardedSpinlocks<64> roleLocks;   // stripes linkFwd/Bwd/Has per role
+
+  void push(Event ev) {
+    {
+      std::lock_guard<std::mutex> lock(qmu);
+      queue.push_back(ev);
+      ++inflight;
+    }
+    qcv.notify_one();
+  }
+
+  /// Pops an event; returns false when the saturation has reached its
+  /// fixpoint (queue empty and nothing in flight).
+  bool pop(Event& out) {
+    std::unique_lock<std::mutex> lock(qmu);
+    qcv.wait(lock, [this] { return !queue.empty() || inflight == 0; });
+    if (queue.empty()) return false;
+    out = queue.front();
+    queue.pop_front();
+    return true;
+  }
+
+  /// Marks one event fully processed; wakes everyone at the fixpoint.
+  void finish() {
+    std::lock_guard<std::mutex> lock(qmu);
+    if (--inflight == 0) qcv.notify_all();
+  }
+};
+
+}  // namespace
+
+void ElReasoner::concurrentWorker(void* runPtr) {
+  ConcRun& run = *static_cast<ConcRun*>(runPtr);
+
+  // Locked primitive: S(x) += s.
+  auto addSub = [&](Atom x, Atom s) {
+    bool added = false;
+    {
+      Spinlock& l = run.atomLocks.forKey(x);
+      l.lock();
+      if (!subsumers_[x].test(s)) {
+        subsumers_[x].set(s);
+        added = true;
+      }
+      l.unlock();
+    }
+    if (added) run.push({false, 0, x, s});
+  };
+
+  // Locked primitive: R(r) += (x,y), materialised to super-roles.
+  auto addLinkExactLocked = [&](RoleId r, Atom x, Atom y) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | y;
+    bool added = false;
+    {
+      Spinlock& l = run.roleLocks.forKey(r);
+      l.lock();
+      if (linkHas_[r].insert(key).second) {
+        linkFwd_[r][x].push_back(y);
+        linkBwd_[r][y].push_back(x);
+        added = true;
+      }
+      l.unlock();
+    }
+    if (added) run.push({true, r, x, y});
+  };
+  auto addLinkSupers = [&](RoleId r, Atom x, Atom y) {
+    for (std::size_t s : tbox_.roles().superRoles(r).setBits())
+      addLinkExactLocked(static_cast<RoleId>(s), x, y);
+  };
+
+  auto snapshotSubsumers = [&](Atom x) {
+    Spinlock& l = run.atomLocks.forKey(x);
+    l.lock();
+    std::vector<Atom> out;
+    for (std::size_t s : subsumers_[x].setBits())
+      out.push_back(static_cast<Atom>(s));
+    l.unlock();
+    return out;
+  };
+  auto testSubsumer = [&](Atom x, Atom s) {
+    Spinlock& l = run.atomLocks.forKey(x);
+    l.lock();
+    const bool r = subsumers_[x].test(s);
+    l.unlock();
+    return r;
+  };
+  auto snapshotFwd = [&](RoleId r, Atom x) {
+    Spinlock& l = run.roleLocks.forKey(r);
+    l.lock();
+    std::vector<Atom> out = linkFwd_[r][x];
+    l.unlock();
+    return out;
+  };
+  auto snapshotBwd = [&](RoleId r, Atom y) {
+    Spinlock& l = run.roleLocks.forKey(r);
+    l.lock();
+    std::vector<Atom> out = linkBwd_[r][y];
+    l.unlock();
+    return out;
+  };
+
+  Event ev;
+  while (run.pop(ev)) {
+    if (!ev.isLink) {
+      const Atom x = ev.x, s = ev.s;
+      // CR1.
+      for (Atom b : nf1Of_[s]) addSub(x, b);
+      // CR2.
+      for (const Nf2& a : nf2Of_[s])
+        if (testSubsumer(x, a.other)) addSub(x, a.rhs);
+      // CR3.
+      for (const Nf3& a : nf3Of_[s]) addLinkSupers(a.role, x, a.filler);
+      // CR4 (dual).
+      for (const Nf4& a : nf4Of_[s])
+        for (Atom w : snapshotBwd(a.role, x)) addSub(w, a.rhs);
+      // CR5 (dual).
+      if (s == kBotAtom) {
+        for (RoleId r = 0; r < linkBwd_.size(); ++r)
+          for (Atom w : snapshotBwd(r, x)) addSub(w, kBotAtom);
+      }
+    } else {
+      const RoleId r = ev.r;
+      const Atom x = ev.x, y = ev.s;
+      // CR4.
+      for (Atom a : snapshotSubsumers(y))
+        for (const Nf4& nf : nf4Of_[a])
+          if (nf.role == r) addSub(x, nf.rhs);
+      // CR5.
+      if (testSubsumer(y, kBotAtom)) addSub(x, kBotAtom);
+      // CR11 (+ hierarchy materialisation).
+      if (tbox_.roles().isTransitiveDeclared(r)) {
+        for (Atom z : snapshotFwd(r, y)) addLinkSupers(r, x, z);
+        for (Atom w : snapshotBwd(r, x)) addLinkSupers(r, w, y);
+      }
+    }
+    run.finish();
+  }
+}
+
+void ElReasoner::classifyConcurrent(std::size_t workers) {
+  if (classified_) return;
+  OWLCL_ASSERT(workers >= 1);
+  normalise();
+  // Same layout as initSaturation(), but the seed events go through the
+  // concurrent queue.
+  subsumers_.assign(atomCount_, DynamicBitset(atomCount_));
+  const std::size_t nr = tbox_.roles().size();
+  linkFwd_.assign(nr, std::vector<std::vector<Atom>>(atomCount_));
+  linkBwd_.assign(nr, std::vector<std::vector<Atom>>(atomCount_));
+  linkHas_.assign(nr, {});
+
+  ConcRun run;
+  for (Atom x = 0; x < atomCount_; ++x) {
+    subsumers_[x].set(x);
+    subsumers_[x].set(kTopAtom);
+    run.push({false, 0, x, x});
+    if (x != kTopAtom) run.push({false, 0, x, kTopAtom});
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads.emplace_back([this, &run] { concurrentWorker(&run); });
+  for (auto& t : threads) t.join();
+
+  ruleApplications_ += 1;  // bookkeeping: rounds not individually counted
+  classified_ = true;
+}
+
+}  // namespace owlcl

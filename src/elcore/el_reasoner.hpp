@@ -1,0 +1,134 @@
+// EL+ saturation-based classifier (Baader, Brandt & Lutz completion rules;
+// the algorithm family ELK parallelises). Polynomial-time and complete for
+// the EL+ fragment: ⊤, ⊥, named concepts, ⊓, ∃, DisjointClasses, role
+// hierarchies and transitive roles.
+//
+// Roles in this codebase (DESIGN.md §2):
+//  * cross-check oracle — integration tests compare the tableau reasoner
+//    and the parallel classifier against this saturation on EL ontologies;
+//  * ELK-style comparator for the related-work baseline bench.
+//
+// Usage: construct with a frozen TBox whose axioms are all in the EL
+// fragment (isElTBox() tells you), call classify(), then query subsumes().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "owl/tbox.hpp"
+#include "util/bitset.hpp"
+
+namespace owlcl {
+
+/// True iff every told axiom of `tbox` lies in the EL+ fragment
+/// (no ⊔, ¬, ∀, ≥, ≤; DisjointClasses is allowed — it is encoded via ⊥).
+bool isElTBox(const TBox& tbox);
+
+class ElReasoner {
+ public:
+  /// `tbox` must outlive the reasoner, be frozen, and satisfy isElTBox().
+  explicit ElReasoner(const TBox& tbox);
+
+  /// Runs saturation to a fixpoint. Idempotent.
+  void classify();
+
+  /// Concurrent saturation in the style of ELK's "concurrent
+  /// classification of EL ontologies" (Kazakov et al., the related work
+  /// the paper cites): workers drain a shared event queue, guarding the
+  /// per-atom subsumer sets and per-role link sets with striped spinlocks.
+  /// Produces exactly the same saturation as classify(). Idempotent.
+  void classifyConcurrent(std::size_t workers);
+
+  /// After classify(): does `sup` subsume `sub` (i.e. sub ⊑ sup)? O(1).
+  bool subsumes(ConceptId sup, ConceptId sub) const;
+
+  /// Is the named concept satisfiable (⊥ ∉ S(A))?
+  bool isSatisfiable(ConceptId c) const;
+
+  /// All named strict subsumers of `sub` (excluding ⊤ and sub itself).
+  std::vector<ConceptId> subsumersOf(ConceptId sub) const;
+
+  /// Number of completion-rule applications performed (for benches).
+  std::size_t ruleApplications() const { return ruleApplications_; }
+
+ private:
+  // Internal atoms: 0 = ⊤, 1 = ⊥, 2..2+n-1 = named concepts, then fresh
+  // atoms introduced by normalisation.
+  using Atom = std::uint32_t;
+  static constexpr Atom kTopAtom = 0;
+  static constexpr Atom kBotAtom = 1;
+
+  Atom namedAtom(ConceptId c) const { return static_cast<Atom>(2 + c); }
+
+  struct Nf2 {
+    Atom other;  // the second conjunct to look for in S(x)
+    Atom rhs;
+  };
+  struct Nf3 {
+    RoleId role;
+    Atom filler;
+  };
+  struct Nf4 {
+    RoleId role;
+    Atom rhs;
+  };
+
+  struct SubEvent {
+    Atom x, s;
+  };
+  struct LinkEvent {
+    RoleId r;
+    Atom x, y;
+  };
+
+  Atom freshAtom();
+  Atom atomize(ExprId e);  // maps an EL expression to a defined atom
+
+  // Concurrent-saturation worker loop; `run` points at the ConcRun shared
+  // state defined in el_concurrent.cpp (type-erased to keep it out of the
+  // public header).
+  void concurrentWorker(void* run);
+
+  void addNf1(Atom a, Atom b);
+  void addNf2(Atom a1, Atom a2, Atom b);
+  void addNf3(Atom a, RoleId r, Atom b);
+  void addNf4(RoleId r, Atom a, Atom b);
+
+  void normalise();
+  void initSaturation();
+  void saturate();
+  void processSub(const SubEvent& ev);
+  void processLink(const LinkEvent& ev);
+
+  void addSubsumer(Atom x, Atom s);
+  /// Adds (x,y) to R(r) *and all super-roles of r* (CR10 materialised).
+  void addLinkWithSupers(RoleId r, Atom x, Atom y);
+  void addLinkExact(RoleId r, Atom x, Atom y);
+
+  const TBox& tbox_;
+  bool classified_ = false;
+  std::size_t atomCount_ = 0;
+  std::size_t ruleApplications_ = 0;
+
+  // Axiom indexes, keyed by atom.
+  std::vector<std::vector<Atom>> nf1Of_;  // A  -> [B]        (A ⊑ B)
+  std::vector<std::vector<Nf2>> nf2Of_;   // A1 -> [(A2, B)]  (both orders)
+  std::vector<std::vector<Nf3>> nf3Of_;   // A  -> [(r, B)]   (A ⊑ ∃r.B)
+  std::vector<std::vector<Nf4>> nf4Of_;   // A  -> [(r, B)]   (∃r.A ⊑ B)
+
+  // Saturation state.
+  std::vector<DynamicBitset> subsumers_;                  // S(x) over atoms
+  std::vector<std::vector<std::vector<Atom>>> linkFwd_;   // [r][x] -> ys
+  std::vector<std::vector<std::vector<Atom>>> linkBwd_;   // [r][y] -> xs
+  std::vector<std::unordered_set<std::uint64_t>> linkHas_;  // [r] {x<<32|y}
+
+  std::deque<SubEvent> subQueue_;
+  std::deque<LinkEvent> linkQueue_;
+
+  std::unordered_map<ExprId, Atom> exprAtom_;  // definition cache
+};
+
+}  // namespace owlcl

@@ -1,0 +1,103 @@
+// Synthetic ontology generator calibrated to the paper's test corpora
+// (Tables IV and V). The ORE 2014/2015 files themselves are not
+// redistributable here, so each table row is reproduced by a generated
+// ontology matching its published metrics: concept count, axiom count,
+// SubClassOf count, #QCRs/#Somes/#Alls/Equivalent/Disjoint, and
+// expressivity class (DESIGN.md §2, data substitution).
+//
+// Construction guarantees an *exactly known* entailed taxonomy:
+//  * the subsumption backbone is a random rooted DAG (spanning tree +
+//    extra parent edges) asserted via SubClassOf between named concepts;
+//  * equivalences are alias pairs EquivalentClasses(A, B) of named
+//    concepts;
+//  * all other axioms are inert decorations — ∃/∀/≥/≤ expressions appear
+//    only on right-hand sides, on role pools chosen so they can neither
+//    interact (∃ vs ∀ use different roles) nor create unsatisfiability,
+//    hence they add no subsumptions between named concepts;
+//  * optional unsatisfiable concepts are injected explicitly (two disjoint
+//    asserted superclasses) and propagate to their tree descendants.
+//
+// The resulting GroundTruth backs MockReasoner (gen/mock_reasoner.hpp) and
+// the integration tests that cross-check the real tableau reasoner.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "owl/tbox.hpp"
+#include "util/bitset.hpp"
+
+namespace owlcl {
+
+struct GenConfig {
+  std::string name = "synthetic";
+  std::size_t concepts = 100;
+  std::uint64_t seed = 1;
+
+  /// Target number of SubClassOf backbone edges (≥ concepts-1 gives a
+  /// DAG; values below concepts-1 leave a forest).
+  std::size_t subClassEdges = 99;
+
+  std::size_t roles = 6;             // split into ∃ / ∀ / QCR pools
+  std::size_t existentialAxioms = 0; // A ⊑ ∃r.B decorations (#Somes)
+  std::size_t universalAxioms = 0;   // A ⊑ ∀r.B decorations (#Alls)
+  std::size_t qcrAxioms = 0;         // total ≥/≤ occurrences to emit
+  std::size_t qcrBundle = 1;         // QCRs conjoined per SubClassOf axiom
+  std::size_t equivalentAxioms = 0;  // alias pairs (chains allowed)
+  std::size_t disjointAxioms = 0;    // sibling-subtree disjointness
+  std::size_t annotationAxioms = 0;  // inert rdfs:comment annotations
+  std::size_t unsatConcepts = 0;     // explicitly injected contradictions
+  bool roleHierarchy = false;        // SubObjectPropertyOf chain on ∃ pool
+  bool transitiveRoles = false;      // Trans() on one ∃-pool role
+
+  /// Zipf-ish skew of parent choice (0 = uniform; higher = bushier top).
+  double attachmentBias = 0.5;
+};
+
+struct GroundTruth {
+  /// ancestors[c] — strict named subsumers of c (transitively closed,
+  /// including equivalence partners).
+  std::vector<DynamicBitset> ancestors;
+  std::vector<bool> unsat;
+
+  /// O ⊨ sub ⊑ sup (reflexive; unsat sub under everything).
+  bool subsumes(ConceptId sup, ConceptId sub) const {
+    if (unsat[sub]) return true;
+    if (sup == sub) return !unsat[sup];
+    return !unsat[sup] && ancestors[sub].test(sup);
+  }
+  bool satisfiable(ConceptId c) const { return !unsat[c]; }
+};
+
+struct GeneratedOntology {
+  std::string name;
+  std::unique_ptr<TBox> tbox;
+  GroundTruth truth;
+};
+
+/// Deterministic for a given config (seed included).
+GeneratedOntology generateOntology(const GenConfig& config);
+
+// --- paper corpora -----------------------------------------------------------
+
+/// One row of Table IV or V with the published metrics.
+struct PaperOntologyRow {
+  GenConfig config;
+  std::size_t paperConcepts;
+  std::size_t paperAxioms;
+  std::size_t paperSubClassOf;
+  std::size_t paperQcrs;
+  std::string paperExpressivity;
+  /// Figure group: "9a", "9b", "9c", "10a", "10b".
+  std::string figureGroup;
+};
+
+/// The 9 EL(H+) ontologies of Table IV (ORE 2015 selection).
+std::vector<PaperOntologyRow> oreEl2015Suite();
+
+/// The 5 QCR ontologies of Table V (ORE 2014 selection).
+std::vector<PaperOntologyRow> oreQcr2014Suite();
+
+}  // namespace owlcl

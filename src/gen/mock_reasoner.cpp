@@ -1,0 +1,49 @@
+#include "gen/mock_reasoner.hpp"
+
+#include "util/rng.hpp"
+
+namespace owlcl {
+
+namespace {
+double jitter01(std::uint64_t key) {
+  SplitMix64 sm(key);
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+std::uint64_t CostModel::subsCost(ConceptId sub, ConceptId sup) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(sub) << 32) | (sup ^ 0x9e3779b9u);
+  double c = static_cast<double>(baseNs) * (1.0 + jitter * jitter01(key));
+  if (!hardness.empty()) {
+    const std::uint32_t h =
+        std::max(sub < hardness.size() ? hardness[sub] : 1u,
+                 sup < hardness.size() ? hardness[sup] : 1u);
+    c *= static_cast<double>(h);
+  }
+  return static_cast<std::uint64_t>(c);
+}
+
+std::uint64_t CostModel::satCost(ConceptId c) const {
+  double v = static_cast<double>(baseNs) * satFactor *
+             (1.0 + jitter * jitter01(0xabcdef ^ c));
+  if (!hardness.empty() && c < hardness.size())
+    v *= static_cast<double>(hardness[c]);
+  return static_cast<std::uint64_t>(v);
+}
+
+void CostModel::markHardConcepts(std::size_t conceptCount, std::size_t count,
+                                 std::uint32_t multiplier, std::uint64_t seed) {
+  hardness.assign(conceptCount, 1u);
+  Xoshiro256 rng(seed);
+  std::size_t marked = 0, attempts = 0;
+  while (marked < count && attempts < count * 20 + 16) {
+    ++attempts;
+    const std::size_t c = static_cast<std::size_t>(rng.below(conceptCount));
+    if (hardness[c] != 1u) continue;
+    hardness[c] = multiplier;
+    ++marked;
+  }
+}
+
+}  // namespace owlcl

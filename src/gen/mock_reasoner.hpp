@@ -1,0 +1,76 @@
+// MockReasoner — a ReasonerPlugin answering from a generated ontology's
+// exact GroundTruth, with a deterministic virtual cost model attached.
+//
+// This is the key to regenerating the paper's figures on a small build
+// box: the classification *algorithm* (P/K bookkeeping, division
+// strategies, pruning) runs for real, while each sat?/subs? call reports a
+// model cost instead of burning minutes of tableau time on 10⁷–10⁸ pairs.
+// The real TableauReasoner drives the integration tests and the smaller
+// benches; both plug into the identical classifier (DESIGN.md §2).
+//
+// Cost model: a base cost with deterministic per-pair jitter, scaled by
+// the hardness of the concepts involved. Table V's QCR-heavy rows mark a
+// few concepts as very hard, reproducing the paper's observation that "a
+// few subsumption tests may require a significant amount of the total
+// runtime" — the cause of bridg's speedup plateau in Fig. 10(b).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/plugin.hpp"
+#include "gen/generator.hpp"
+
+namespace owlcl {
+
+struct CostModel {
+  /// Cost of an average subsumption test (ns). HermiT on small EL
+  /// ontologies is in the tens of microseconds; the absolute value only
+  /// scales the virtual clock, shapes come from the ratios.
+  std::uint64_t baseNs = 40'000;
+  /// Relative deterministic jitter in [0, jitter), hashed per pair.
+  double jitter = 0.5;
+  /// Satisfiability tests are cheaper than subsumption tests.
+  double satFactor = 0.6;
+  /// Per-concept hardness multipliers (empty = all 1).
+  std::vector<std::uint32_t> hardness;
+
+  std::uint64_t subsCost(ConceptId sub, ConceptId sup) const;
+  std::uint64_t satCost(ConceptId c) const;
+
+  /// Marks `count` deterministic concepts (spread by `seed`) with the
+  /// given multiplier — the "difficult QCRs" of Section V-B.
+  void markHardConcepts(std::size_t conceptCount, std::size_t count,
+                        std::uint32_t multiplier, std::uint64_t seed);
+};
+
+class MockReasoner : public ReasonerPlugin {
+ public:
+  MockReasoner(const GroundTruth& truth, CostModel cost = {})
+      : truth_(truth), cost_(std::move(cost)) {}
+
+  bool isSatisfiable(ConceptId c, std::uint64_t* costNs = nullptr) override {
+    tests_.fetch_add(1, std::memory_order_relaxed);
+    if (costNs != nullptr) *costNs = cost_.satCost(c);
+    return truth_.satisfiable(c);
+  }
+
+  bool isSubsumedBy(ConceptId sub, ConceptId sup,
+                    std::uint64_t* costNs = nullptr) override {
+    tests_.fetch_add(1, std::memory_order_relaxed);
+    if (costNs != nullptr) *costNs = cost_.subsCost(sub, sup);
+    return truth_.subsumes(sup, sub);
+  }
+
+  std::uint64_t testCount() const override {
+    return tests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const GroundTruth& truth_;
+  CostModel cost_;
+  std::atomic<std::uint64_t> tests_{0};
+};
+
+}  // namespace owlcl

@@ -1,0 +1,129 @@
+// Table IV / Table V row definitions. Each GenConfig is tuned so that
+// computeMetrics() on the generated ontology reproduces the published
+// columns:
+//   * SubClassOf — backbone edges + ∃/∀/QCR decorations (real OBO/ORE
+//     files count decoration axioms inside SubClassOf);
+//   * Axioms — concept/role declarations + logical axioms + inert
+//     annotation padding (real files carry label/comment/xref annotations
+//     that dominate their axiom counts);
+//   * #QCRs/#Somes/#Alls/Equivalent/Disjoint — as given in Table V.
+#include "gen/generator.hpp"
+
+#include "util/assert.hpp"
+
+namespace owlcl {
+
+namespace {
+
+PaperOntologyRow elRow(const char* name, std::size_t concepts, std::size_t axioms,
+                       std::size_t subClassOf, const char* expressivity,
+                       const char* figureGroup, std::uint64_t seed) {
+  PaperOntologyRow row;
+  GenConfig& c = row.config;
+  c.name = name;
+  c.concepts = concepts;
+  c.seed = seed;
+  c.roles = 6;
+  const std::string expr = expressivity;
+  c.roleHierarchy = expr.find('H') != std::string::npos;
+  c.transitiveRoles = expr.find('+') != std::string::npos;
+
+  // ~20% of the asserted SubClassOf axioms are ∃-decorations (OBO
+  // part-of/develops-from style relations), the rest is the is-a backbone.
+  c.existentialAxioms = subClassOf / 5;
+  c.subClassEdges = subClassOf - c.existentialAxioms;
+
+  const std::size_t roleAxioms =
+      (c.roleHierarchy ? 1 : 0) + (c.transitiveRoles ? 1 : 0);
+  const std::size_t fixed = concepts + c.roles + subClassOf + roleAxioms;
+  c.annotationAxioms = axioms > fixed ? axioms - fixed : 0;
+
+  row.paperConcepts = concepts;
+  row.paperAxioms = axioms;
+  row.paperSubClassOf = subClassOf;
+  row.paperQcrs = 0;
+  row.paperExpressivity = expressivity;
+  row.figureGroup = figureGroup;
+  return row;
+}
+
+PaperOntologyRow qcrRow(const char* name, std::size_t concepts, std::size_t axioms,
+                        std::size_t subClassOf, std::size_t qcrs,
+                        std::size_t somes, std::size_t alls, std::size_t equiv,
+                        std::size_t disjoint, const char* expressivity,
+                        const char* figureGroup, std::uint64_t seed,
+                        std::size_t qcrBundle = 1) {
+  PaperOntologyRow row;
+  GenConfig& c = row.config;
+  c.name = name;
+  c.concepts = concepts;
+  c.seed = seed;
+  c.roles = 9;
+  c.roleHierarchy = true;
+  c.transitiveRoles = true;  // SR...-style role boxes
+  c.qcrAxioms = qcrs;
+  c.qcrBundle = qcrBundle;
+  c.existentialAxioms = somes;
+  c.universalAxioms = alls;
+  c.equivalentAxioms = equiv;
+  c.disjointAxioms = disjoint;
+
+  // Decorations are SubClassOf axioms; the backbone gets the remainder.
+  const std::size_t qcrSubClassAxioms = (qcrs + qcrBundle - 1) / qcrBundle;
+  const std::size_t decorations = somes + alls + qcrSubClassAxioms;
+  OWLCL_ASSERT_MSG(subClassOf >= decorations,
+                   "row needs a larger qcrBundle to fit its SubClassOf count");
+  c.subClassEdges = subClassOf - decorations;
+
+  const std::size_t roleAxioms = 2;  // hierarchy + transitivity
+  const std::size_t logical = subClassOf + equiv + disjoint + roleAxioms;
+  const std::size_t fixed = concepts + c.roles + logical;
+  c.annotationAxioms = axioms > fixed ? axioms - fixed : 0;
+
+  row.paperConcepts = concepts;
+  row.paperAxioms = axioms;
+  row.paperSubClassOf = subClassOf;
+  row.paperQcrs = qcrs;
+  row.paperExpressivity = expressivity;
+  row.figureGroup = figureGroup;
+  return row;
+}
+
+}  // namespace
+
+std::vector<PaperOntologyRow> oreEl2015Suite() {
+  // Table IV (ORE 2015). Figure groups follow Section V-A: (a) small,
+  // (b) medium, (c) large ontologies by concept count.
+  return {
+      elRow("obo.PREVIOUS", 1663, 4099, 1377, "ELH+", "9a", 101),
+      elRow("EHDAA2", 2726, 16818, 13458, "ELH+", "9a", 102),
+      elRow("WBbt.obo", 6785, 19138, 12347, "EL", "9a", 103),
+      elRow("MIRO#MIRO", 4366, 21274, 4454, "EL+", "9b", 104),
+      elRow("CLEMAPA", 5946, 16864, 10916, "EL", "9b", 105),
+      elRow("actpathway.obo", 7911, 25314, 17402, "EL", "9b", 106),
+      elRow("EHDA#EHDA", 8341, 33367, 8339, "EL", "9c", 107),
+      elRow("lanogaster.obo", 10925, 16567, 5641, "EL", "9c", 108),
+      elRow("EMAP#EMAP", 13735, 27467, 13732, "EL", "9c", 109),
+  };
+}
+
+std::vector<PaperOntologyRow> oreQcr2014Suite() {
+  // Table V (ORE 2014). Figure groups follow Section V-B: (a) QCRs ≈ 40,
+  // (b) QCR-heavy (446 and 967). rnao/bridg pack several QCRs into each
+  // SubClassOf axiom (their published SubClassOf counts are smaller than
+  // their QCR counts).
+  return {
+      qcrRow("ncitations_functional", 2332, 7304, 2786, 47, 659, 54, 269, 115,
+             "SROIQ(D)", "10a", 201),
+      qcrRow("nskisimple_functional", 1737, 4775, 2234, 43, 533, 27, 50, 84,
+             "SRIQ(D)", "10a", 202),
+      qcrRow("ddiv2_functional", 1469, 4080, 1832, 48, 388, 27, 56, 75,
+             "SRIQ(D)", "10a", 203),
+      qcrRow("rnao_functional", 731, 2884, 1235, 446, 774, 2, 385, 61, "SRIQ",
+             "10b", 204),
+      qcrRow("bridg.biomedical_domain", 320, 6347, 295, 967, 0, 0, 5, 37,
+             "SROIN(D)", "10b", 205, /*qcrBundle=*/5),
+  };
+}
+
+}  // namespace owlcl

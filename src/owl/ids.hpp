@@ -1,0 +1,22 @@
+// Dense integer identifiers for named concepts, roles and interned
+// concept expressions.
+//
+// The parallel classifier indexes its shared atomic P/K bit-matrices by
+// ConceptId, so named-concept ids are dense 0..n-1 (assigned in
+// declaration order by the TBox).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace owlcl {
+
+using ConceptId = std::uint32_t;  ///< dense id of a *named* concept
+using RoleId = std::uint32_t;     ///< dense id of a named role
+using ExprId = std::uint32_t;     ///< id of an interned concept expression
+
+inline constexpr ConceptId kInvalidConcept = std::numeric_limits<ConceptId>::max();
+inline constexpr RoleId kInvalidRole = std::numeric_limits<RoleId>::max();
+inline constexpr ExprId kInvalidExpr = std::numeric_limits<ExprId>::max();
+
+}  // namespace owlcl

@@ -1,0 +1,105 @@
+#include "owl/metrics.hpp"
+
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace owlcl {
+
+namespace {
+
+// Walks one expression tree, counting constructor occurrences. A shared
+// sub-DAG is counted once per *axiom* (visited set is per walk), matching
+// how OWL metrics tools count occurrences in the told syntax.
+void countExpr(const ExprFactory& f, ExprId e, OntologyMetrics& m,
+               std::unordered_set<ExprId>& visited) {
+  if (!visited.insert(e).second) return;
+  const ExprNode& n = f.node(e);
+  switch (n.kind) {
+    case ExprKind::kNot:
+      ++m.complements;
+      break;
+    case ExprKind::kOr:
+      ++m.unions;
+      break;
+    case ExprKind::kExists:
+      ++m.somes;
+      break;
+    case ExprKind::kForall:
+      ++m.alls;
+      break;
+    case ExprKind::kAtLeast:
+    case ExprKind::kAtMost:
+      ++m.qcrs;
+      break;
+    default:
+      break;
+  }
+  for (ExprId c : f.children(e)) countExpr(f, c, m, visited);
+}
+
+}  // namespace
+
+OntologyMetrics computeMetrics(const TBox& tbox) {
+  OntologyMetrics m;
+  m.concepts = tbox.conceptCount();
+  m.roles = tbox.roles().size();
+  m.axioms = tbox.axiomCountOwl();
+  m.transitiveRoles = tbox.roles().transitiveCount();
+
+  const ExprFactory& f = tbox.exprs();
+  for (const ToldAxiom& ax : tbox.toldAxioms()) {
+    std::unordered_set<ExprId> visited;
+    switch (ax.kind) {
+      case AxiomKind::kSubClassOf:
+        ++m.subClassOf;
+        break;
+      case AxiomKind::kEquivalentClasses:
+        ++m.equivalent;
+        break;
+      case AxiomKind::kDisjointClasses:
+        ++m.disjoint;
+        break;
+      case AxiomKind::kSubObjectPropertyOf:
+        ++m.roleHierarchyAxioms;
+        break;
+      case AxiomKind::kTransitiveObjectProperty:
+        break;
+      case AxiomKind::kAnnotation:
+        ++m.annotations;
+        continue;  // inert: constructor occurrences are not counted
+    }
+    for (ExprId c : ax.classArgs) countExpr(f, c, m, visited);
+  }
+
+  // DL expressivity naming (Section II-A of the paper): EL supports only
+  // ⊓ and ∃; ALC adds ⊔/¬/∀ (disjointness also needs negation); S is
+  // ALC with transitive roles; H marks a role hierarchy; Q marks QCRs.
+  const bool alc =
+      m.unions > 0 || m.complements > 0 || m.alls > 0 || m.disjoint > 0;
+  const bool trans = m.transitiveRoles > 0;
+  std::string name;
+  if (!alc && m.qcrs == 0) {
+    name = "EL";
+    if (m.roleHierarchyAxioms > 0) name += "H";
+    if (trans) name += "+";
+  } else {
+    if (alc && trans)
+      name = "S";
+    else
+      name = "ALC";
+    if (m.roleHierarchyAxioms > 0) name += "H";
+    if (!alc && trans) name += "+";  // e.g. ALCQ over an EL+ role box
+    if (m.qcrs > 0) name += "Q";
+  }
+  m.expressivity = name;
+  return m;
+}
+
+std::string metricsRow(const std::string& name, const OntologyMetrics& m) {
+  return strprintf("%-24s %8zu %8zu %10zu %6zu %6zu %6zu %10zu %8zu  %s",
+                   name.c_str(), m.concepts, m.axioms, m.subClassOf, m.qcrs, m.somes,
+                   m.alls, m.equivalent, m.disjoint, m.expressivity.c_str());
+}
+
+}  // namespace owlcl

@@ -1,0 +1,37 @@
+// Ontology metrics matching the columns of the paper's Tables IV and V:
+// concept count, axiom count, SubClassOf count, #QCRs, #Somes, #Alls,
+// Equivalent, Disjoint, and a DL expressivity name.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "owl/tbox.hpp"
+
+namespace owlcl {
+
+struct OntologyMetrics {
+  std::size_t concepts = 0;
+  std::size_t roles = 0;
+  std::size_t axioms = 0;       // OWL axiom count (declarations + logical)
+  std::size_t subClassOf = 0;   // told SubClassOf axioms
+  std::size_t equivalent = 0;   // told EquivalentClasses axioms
+  std::size_t disjoint = 0;     // told DisjointClasses axioms
+  std::size_t qcrs = 0;         // ≥/≤ occurrences across all axioms
+  std::size_t somes = 0;        // ∃ occurrences
+  std::size_t alls = 0;         // ∀ occurrences
+  std::size_t unions = 0;       // ⊔ occurrences
+  std::size_t complements = 0;  // ¬ occurrences
+  std::size_t roleHierarchyAxioms = 0;
+  std::size_t transitiveRoles = 0;
+  std::size_t annotations = 0;  // logically inert annotation axioms
+  std::string expressivity;  // e.g. "EL", "ELH+", "ALC", "S", "SHQ"
+};
+
+/// Computes metrics over the told axioms of `tbox` (frozen or not).
+OntologyMetrics computeMetrics(const TBox& tbox);
+
+/// One-line table row rendering: name, concepts, axioms, subClassOf, ...
+std::string metricsRow(const std::string& name, const OntologyMetrics& m);
+
+}  // namespace owlcl

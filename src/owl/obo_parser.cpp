@@ -1,0 +1,171 @@
+#include "owl/obo_parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace owlcl {
+
+namespace {
+
+/// One tag-value line of a stanza, with the "! comment" tail removed.
+struct TagLine {
+  std::string_view tag;
+  std::string_view value;
+  std::size_t lineNo;
+};
+
+std::string_view stripBang(std::string_view v) {
+  // OBO allows a trailing " ! human-readable comment".
+  const std::size_t bang = v.find(" !");
+  if (bang != std::string_view::npos) v = v.substr(0, bang);
+  return trim(v);
+}
+
+class OboParser {
+ public:
+  OboParser(std::string_view text, TBox& tbox) : text_(text), tbox_(tbox) {}
+
+  void parse() {
+    std::vector<TagLine> stanza;
+    std::string_view stanzaKind;  // "", "Term", "Typedef", ...
+    std::size_t stanzaLine = 0;
+
+    std::size_t lineNo = 0;
+    std::size_t pos = 0;
+    auto flush = [&] {
+      if (stanzaKind == "Term")
+        handleTerm(stanza, stanzaLine);
+      else if (stanzaKind == "Typedef")
+        handleTypedef(stanza, stanzaLine);
+      // Header lines and unknown stanzas ([Instance], …) are ignored.
+      stanza.clear();
+    };
+
+    while (pos <= text_.size()) {
+      const std::size_t eol = text_.find('\n', pos);
+      const std::string_view raw =
+          text_.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                          : eol - pos);
+      pos = eol == std::string_view::npos ? text_.size() + 1 : eol + 1;
+      ++lineNo;
+
+      const std::string_view line = trim(raw);
+      if (line.empty() || line[0] == '!') continue;
+      if (line.front() == '[') {
+        if (line.back() != ']')
+          throw ParseError("malformed stanza header", lineNo, 1);
+        flush();
+        stanzaKind = line.substr(1, line.size() - 2);
+        stanzaLine = lineNo;
+        continue;
+      }
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos)
+        throw ParseError("expected 'tag: value'", lineNo, 1);
+      stanza.push_back(TagLine{trim(line.substr(0, colon)),
+                               stripBang(line.substr(colon + 1)), lineNo});
+    }
+    flush();
+  }
+
+ private:
+  std::string_view findTag(const std::vector<TagLine>& stanza,
+                           std::string_view tag) const {
+    for (const TagLine& t : stanza)
+      if (t.tag == tag) return t.value;
+    return {};
+  }
+
+  static bool isTrue(std::string_view v) { return v == "true"; }
+
+  void handleTerm(const std::vector<TagLine>& stanza, std::size_t lineNo) {
+    const std::string_view id = findTag(stanza, "id");
+    if (id.empty()) throw ParseError("[Term] without id", lineNo, 1);
+    if (isTrue(findTag(stanza, "is_obsolete"))) return;
+
+    ExprFactory& f = tbox_.exprs();
+    const ConceptId self = tbox_.declareConcept(id);
+    std::vector<ExprId> intersection;
+
+    for (const TagLine& t : stanza) {
+      if (t.tag == "is_a") {
+        tbox_.addSubClassOf(f.atom(self), f.atom(tbox_.declareConcept(t.value)));
+      } else if (t.tag == "relationship") {
+        const auto [role, filler] = splitRelationship(t);
+        tbox_.addSubClassOf(f.atom(self), f.exists(role, f.atom(filler)));
+      } else if (t.tag == "intersection_of") {
+        // Either a bare class id or "R X".
+        const std::size_t space = t.value.find(' ');
+        if (space == std::string_view::npos) {
+          intersection.push_back(f.atom(tbox_.declareConcept(t.value)));
+        } else {
+          const auto [role, filler] = splitRelationship(t);
+          intersection.push_back(f.exists(role, f.atom(filler)));
+        }
+      } else if (t.tag == "disjoint_from") {
+        tbox_.addDisjointClasses(
+            {f.atom(self), f.atom(tbox_.declareConcept(t.value))});
+      } else if (t.tag == "equivalent_to") {
+        tbox_.addEquivalentClasses(
+            {f.atom(self), f.atom(tbox_.declareConcept(t.value))});
+      } else if (t.tag == "name" || t.tag == "def" || t.tag == "comment") {
+        tbox_.addAnnotation(self, std::string(t.value));
+      }
+      // Other tags (xref, synonym, subset, namespace, …) are ignored.
+    }
+
+    if (!intersection.empty()) {
+      if (intersection.size() < 2)
+        throw ParseError("intersection_of needs at least two clauses",
+                         lineNo, 1);
+      tbox_.addEquivalentClasses({f.atom(self), f.conj(intersection)});
+    }
+  }
+
+  void handleTypedef(const std::vector<TagLine>& stanza, std::size_t lineNo) {
+    const std::string_view id = findTag(stanza, "id");
+    if (id.empty()) throw ParseError("[Typedef] without id", lineNo, 1);
+    const RoleId self = tbox_.declareRole(id);
+    for (const TagLine& t : stanza) {
+      if (t.tag == "is_a")
+        tbox_.addSubObjectPropertyOf(self, tbox_.declareRole(t.value));
+      else if (t.tag == "is_transitive" && isTrue(t.value))
+        tbox_.addTransitiveObjectProperty(self);
+    }
+  }
+
+  std::pair<RoleId, ConceptId> splitRelationship(const TagLine& t) {
+    const std::size_t space = t.value.find(' ');
+    if (space == std::string_view::npos)
+      throw ParseError("relationship needs 'ROLE TARGET'", t.lineNo, 1);
+    const std::string_view role = trim(t.value.substr(0, space));
+    const std::string_view target = trim(t.value.substr(space + 1));
+    if (role.empty() || target.empty())
+      throw ParseError("relationship needs 'ROLE TARGET'", t.lineNo, 1);
+    return {tbox_.declareRole(role), tbox_.declareConcept(target)};
+  }
+
+  std::string_view text_;
+  TBox& tbox_;
+};
+
+}  // namespace
+
+void parseObo(std::string_view text, TBox& tbox) {
+  OWLCL_ASSERT_MSG(!tbox.frozen(), "cannot parse into a frozen TBox");
+  OboParser(text, tbox).parse();
+}
+
+void parseOboFile(const std::string& path, TBox& tbox) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open OBO file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  parseObo(text, tbox);
+}
+
+}  // namespace owlcl

@@ -1,0 +1,35 @@
+// Parser for the OBO flat-file format (the format of the paper's Table IV
+// corpora: WBbt, EHDA, EMAP, actpathway, …), covering the constructs that
+// map into our fragment:
+//
+//   [Term]    id/name/is_a/relationship/intersection_of/disjoint_from/
+//             equivalent_to, def/comment (as annotations), is_obsolete
+//   [Typedef] id/name/is_a/is_transitive
+//
+//   is_a: X                 →  SubClassOf(id, X)
+//   relationship: R X       →  SubClassOf(id, ∃R.X)
+//   intersection_of: …      →  EquivalentClasses(id, C1 ⊓ … ⊓ Cn), parts
+//                               being classes or ∃R.X ("R X" syntax)
+//   disjoint_from: X        →  DisjointClasses(id, X)
+//   equivalent_to: X        →  EquivalentClasses(id, X)
+//
+// Obsolete terms are skipped. Unknown tags are ignored (OBO carries many
+// annotation-ish tags); trailing "! comment" text is stripped.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "owl/parser.hpp"  // ParseError
+#include "owl/tbox.hpp"
+
+namespace owlcl {
+
+/// Parses an OBO document into `tbox` (must be empty, not frozen).
+/// Throws ParseError on malformed stanzas. Does not freeze the TBox.
+void parseObo(std::string_view text, TBox& tbox);
+
+/// Convenience: reads the file and parses it.
+void parseOboFile(const std::string& path, TBox& tbox);
+
+}  // namespace owlcl

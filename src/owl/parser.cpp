@@ -1,0 +1,348 @@
+#include "owl/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace owlcl {
+
+namespace {
+
+enum class Tok : std::uint8_t {
+  kLParen,
+  kRParen,
+  kName,
+  kInt,
+  kIri,
+  kString,
+  kColonEq,
+  kEof
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::size_t line;
+  std::size_t col;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skipWsAndComments();
+    const std::size_t line = line_, col = col_;
+    if (pos_ >= text_.size()) return {Tok::kEof, "", line, col};
+    const char c = text_[pos_];
+    if (c == '(') {
+      advance();
+      return {Tok::kLParen, "(", line, col};
+    }
+    if (c == ')') {
+      advance();
+      return {Tok::kRParen, ")", line, col};
+    }
+    if (c == '<') {  // <IRI>
+      std::size_t start = pos_ + 1;
+      advance();
+      while (pos_ < text_.size() && text_[pos_] != '>') advance();
+      if (pos_ >= text_.size()) throw ParseError("unterminated IRI", line, col);
+      std::string iri(text_.substr(start, pos_ - start));
+      advance();  // consume '>'
+      return {Tok::kIri, std::move(iri), line, col};
+    }
+    if (c == '"') {  // string literal (no escapes; annotations only)
+      std::size_t start = pos_ + 1;
+      advance();
+      while (pos_ < text_.size() && text_[pos_] != '"') advance();
+      if (pos_ >= text_.size())
+        throw ParseError("unterminated string literal", line, col);
+      std::string lit(text_.substr(start, pos_ - start));
+      advance();  // consume closing '"'
+      return {Tok::kString, std::move(lit), line, col};
+    }
+    if (c == ':' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+      advance();
+      advance();
+      return {Tok::kColonEq, ":=", line, col};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        advance();
+      return {Tok::kInt, std::string(text_.substr(start, pos_ - start)), line, col};
+    }
+    if (isNameChar(c)) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size()) {
+        const char cc = text_[pos_];
+        if (isNameChar(cc)) {
+          advance();
+          continue;
+        }
+        // Keep ':' inside prefixed names (ex:A) but stop before ':=' so
+        // Prefix(ex:=<iri>) tokenises as "ex" ":=" "<iri>".
+        if (cc == ':' && !(pos_ + 1 < text_.size() && text_[pos_ + 1] == '=')) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      return {Tok::kName, std::string(text_.substr(start, pos_ - start)), line, col};
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line, col);
+  }
+
+ private:
+  static bool isNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+           c == '.';
+  }
+
+  void skipWsAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+      } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, TBox& tbox) : lexer_(text), tbox_(tbox) {
+    cur_ = lexer_.next();
+  }
+
+  void parseDocument() {
+    while (cur_.kind == Tok::kName && cur_.text == "Prefix") parsePrefix();
+    expectName("Ontology");
+    expect(Tok::kLParen);
+    // Optional ontology IRI and version IRI.
+    while (cur_.kind == Tok::kIri) consume();
+    while (cur_.kind != Tok::kRParen) parseAxiom();
+    expect(Tok::kRParen);
+    if (cur_.kind != Tok::kEof)
+      throw ParseError("trailing content after Ontology(...)", cur_.line, cur_.col);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError(msg, cur_.line, cur_.col);
+  }
+
+  void consume() { cur_ = lexer_.next(); }
+
+  void expect(Tok kind) {
+    if (cur_.kind != kind) fail("unexpected token '" + cur_.text + "'");
+    consume();
+  }
+
+  void expectName(std::string_view name) {
+    if (cur_.kind != Tok::kName || cur_.text != name)
+      fail("expected '" + std::string(name) + "', found '" + cur_.text + "'");
+    consume();
+  }
+
+  std::string takeEntityName() {
+    if (cur_.kind == Tok::kIri) {
+      std::string full = cur_.text;
+      consume();
+      return full;
+    }
+    if (cur_.kind != Tok::kName) fail("expected entity name");
+    std::string name = cur_.text;
+    consume();
+    // Expand a declared prefix; names with undeclared prefixes (or none)
+    // are kept verbatim, which keeps hand-written test files terse.
+    const std::size_t colon = name.find(':');
+    if (colon != std::string::npos) {
+      auto it = prefixes_.find(name.substr(0, colon));
+      if (it != prefixes_.end()) return it->second + name.substr(colon + 1);
+    }
+    return name;
+  }
+
+  void parsePrefix() {
+    expectName("Prefix");
+    expect(Tok::kLParen);
+    if (cur_.kind != Tok::kName) fail("expected prefix name");
+    std::string pname = cur_.text;
+    if (!pname.empty() && pname.back() == ':') pname.pop_back();
+    consume();
+    expect(Tok::kColonEq);
+    if (cur_.kind != Tok::kIri) fail("expected IRI in Prefix declaration");
+    prefixes_[pname] = cur_.text;
+    consume();
+    expect(Tok::kRParen);
+  }
+
+  void parseAxiom() {
+    if (cur_.kind != Tok::kName) fail("expected axiom keyword");
+    const std::string kw = cur_.text;
+    consume();
+    expect(Tok::kLParen);
+    if (kw == "Declaration") {
+      parseDeclarationBody();
+    } else if (kw == "SubClassOf") {
+      const ExprId sub = parseClassExpr();
+      const ExprId sup = parseClassExpr();
+      tbox_.addSubClassOf(sub, sup);
+    } else if (kw == "EquivalentClasses") {
+      std::vector<ExprId> cs;
+      while (cur_.kind != Tok::kRParen) cs.push_back(parseClassExpr());
+      if (cs.size() < 2) fail("EquivalentClasses needs >= 2 operands");
+      tbox_.addEquivalentClasses(std::move(cs));
+    } else if (kw == "DisjointClasses") {
+      std::vector<ExprId> cs;
+      while (cur_.kind != Tok::kRParen) cs.push_back(parseClassExpr());
+      if (cs.size() < 2) fail("DisjointClasses needs >= 2 operands");
+      tbox_.addDisjointClasses(std::move(cs));
+    } else if (kw == "SubObjectPropertyOf") {
+      const RoleId r = parseRole();
+      const RoleId s = parseRole();
+      tbox_.addSubObjectPropertyOf(r, s);
+    } else if (kw == "TransitiveObjectProperty") {
+      tbox_.addTransitiveObjectProperty(parseRole());
+    } else if (kw == "AnnotationAssertion") {
+      // AnnotationAssertion(<property> <subject> "literal") — property is
+      // kept opaque; the subject is a named class.
+      takeEntityName();  // annotation property (e.g. rdfs:comment)
+      const ConceptId subject = tbox_.declareConcept(takeEntityName());
+      if (cur_.kind != Tok::kString) fail("expected string literal");
+      tbox_.addAnnotation(subject, cur_.text);
+      consume();
+    } else {
+      fail("unsupported axiom '" + kw + "'");
+    }
+    expect(Tok::kRParen);
+  }
+
+  void parseDeclarationBody() {
+    if (cur_.kind != Tok::kName) fail("expected entity kind in Declaration");
+    const std::string kind = cur_.text;
+    consume();
+    expect(Tok::kLParen);
+    const std::string name = takeEntityName();
+    if (kind == "Class") {
+      tbox_.declareConcept(name);
+    } else if (kind == "ObjectProperty") {
+      tbox_.declareRole(name);
+    } else {
+      fail("unsupported Declaration kind '" + kind + "'");
+    }
+    expect(Tok::kRParen);
+  }
+
+  RoleId parseRole() { return tbox_.declareRole(takeEntityName()); }
+
+  std::uint32_t parseCardinality() {
+    if (cur_.kind != Tok::kInt) fail("expected non-negative integer cardinality");
+    const unsigned long v = std::stoul(cur_.text);
+    consume();
+    return static_cast<std::uint32_t>(v);
+  }
+
+  ExprId parseClassExpr() {
+    ExprFactory& f = tbox_.exprs();
+    if (cur_.kind == Tok::kIri) return f.atom(tbox_.declareConcept(takeEntityName()));
+    if (cur_.kind != Tok::kName) fail("expected class expression");
+    const std::string head = cur_.text;
+    if (head == "owl:Thing") {
+      consume();
+      return f.top();
+    }
+    if (head == "owl:Nothing") {
+      consume();
+      return f.bottom();
+    }
+    if (head == "ObjectIntersectionOf" || head == "ObjectUnionOf") {
+      consume();
+      expect(Tok::kLParen);
+      std::vector<ExprId> cs;
+      while (cur_.kind != Tok::kRParen) cs.push_back(parseClassExpr());
+      expect(Tok::kRParen);
+      if (cs.size() < 2) fail(head + " needs >= 2 operands");
+      return head == "ObjectIntersectionOf" ? f.conj(cs) : f.disj(cs);
+    }
+    if (head == "ObjectComplementOf") {
+      consume();
+      expect(Tok::kLParen);
+      const ExprId c = parseClassExpr();
+      expect(Tok::kRParen);
+      return f.negate(c);
+    }
+    if (head == "ObjectSomeValuesFrom" || head == "ObjectAllValuesFrom") {
+      consume();
+      expect(Tok::kLParen);
+      const RoleId r = parseRole();
+      const ExprId c = parseClassExpr();
+      expect(Tok::kRParen);
+      return head == "ObjectSomeValuesFrom" ? f.exists(r, c) : f.forall(r, c);
+    }
+    if (head == "ObjectMinCardinality" || head == "ObjectMaxCardinality" ||
+        head == "ObjectExactCardinality") {
+      consume();
+      expect(Tok::kLParen);
+      const std::uint32_t n = parseCardinality();
+      const RoleId r = parseRole();
+      const ExprId c = cur_.kind == Tok::kRParen ? f.top() : parseClassExpr();
+      expect(Tok::kRParen);
+      if (head == "ObjectMinCardinality") return f.atLeast(n, r, c);
+      if (head == "ObjectMaxCardinality") return f.atMost(n, r, c);
+      return f.conj(f.atLeast(n, r, c), f.atMost(n, r, c));
+    }
+    // A bare name is a named class.
+    return f.atom(tbox_.declareConcept(takeEntityName()));
+  }
+
+  Lexer lexer_;
+  TBox& tbox_;
+  Token cur_{Tok::kEof, "", 0, 0};
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+void parseFunctionalSyntax(std::string_view text, TBox& tbox) {
+  OWLCL_ASSERT_MSG(!tbox.frozen(), "cannot parse into a frozen TBox");
+  Parser p(text, tbox);
+  p.parseDocument();
+}
+
+void parseFunctionalSyntaxFile(const std::string& path, TBox& tbox) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open ontology file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  parseFunctionalSyntax(text, tbox);
+}
+
+}  // namespace owlcl

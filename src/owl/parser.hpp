@@ -1,0 +1,43 @@
+// Parser for the OWL 2 functional-style syntax fragment used by this
+// library (the ALCHQ+ constructs the reasoner supports).
+//
+// Supported axioms: Declaration(Class/ObjectProperty), SubClassOf,
+// EquivalentClasses, DisjointClasses, SubObjectPropertyOf,
+// TransitiveObjectProperty. Supported class expressions:
+// owl:Thing, owl:Nothing, named classes, ObjectIntersectionOf,
+// ObjectUnionOf, ObjectComplementOf, ObjectSomeValuesFrom,
+// ObjectAllValuesFrom, ObjectMin/Max/ExactCardinality (qualified or not).
+// Prefix declarations are honoured; unknown/unsupported axioms raise
+// ParseError. '#' starts a line comment (extension for our test corpora).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "owl/tbox.hpp"
+
+namespace owlcl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, std::size_t line, std::size_t col)
+      : std::runtime_error(msg + " at line " + std::to_string(line) + ", column " +
+                           std::to_string(col)),
+        line_(line),
+        col_(col) {}
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return col_; }
+
+ private:
+  std::size_t line_, col_;
+};
+
+/// Parses an ontology document into `tbox` (which must be empty and not
+/// frozen). Throws ParseError on malformed input. Does not freeze the TBox.
+void parseFunctionalSyntax(std::string_view text, TBox& tbox);
+
+/// Convenience: reads the file and parses it.
+void parseFunctionalSyntaxFile(const std::string& path, TBox& tbox);
+
+}  // namespace owlcl

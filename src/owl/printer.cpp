@@ -1,0 +1,186 @@
+#include "owl/printer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace owlcl {
+
+namespace {
+
+void renderFs(const TBox& tbox, ExprId e, std::string& out) {
+  const ExprFactory& f = tbox.exprs();
+  const ExprNode& n = f.node(e);
+  switch (n.kind) {
+    case ExprKind::kTop:
+      out += "owl:Thing";
+      return;
+    case ExprKind::kBottom:
+      out += "owl:Nothing";
+      return;
+    case ExprKind::kAtom:
+      out += tbox.conceptName(n.atom);
+      return;
+    case ExprKind::kNot:
+      out += "ObjectComplementOf(";
+      renderFs(tbox, f.children(e)[0], out);
+      out += ")";
+      return;
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      out += n.kind == ExprKind::kAnd ? "ObjectIntersectionOf(" : "ObjectUnionOf(";
+      bool first = true;
+      for (ExprId c : f.children(e)) {
+        if (!first) out += " ";
+        first = false;
+        renderFs(tbox, c, out);
+      }
+      out += ")";
+      return;
+    }
+    case ExprKind::kExists:
+    case ExprKind::kForall:
+      out += n.kind == ExprKind::kExists ? "ObjectSomeValuesFrom("
+                                         : "ObjectAllValuesFrom(";
+      out += tbox.roles().name(n.role);
+      out += " ";
+      renderFs(tbox, f.children(e)[0], out);
+      out += ")";
+      return;
+    case ExprKind::kAtLeast:
+    case ExprKind::kAtMost:
+      out += n.kind == ExprKind::kAtLeast ? "ObjectMinCardinality("
+                                          : "ObjectMaxCardinality(";
+      out += std::to_string(n.number);
+      out += " ";
+      out += tbox.roles().name(n.role);
+      out += " ";
+      renderFs(tbox, f.children(e)[0], out);
+      out += ")";
+      return;
+  }
+}
+
+void renderDl(const TBox& tbox, ExprId e, std::string& out) {
+  const ExprFactory& f = tbox.exprs();
+  const ExprNode& n = f.node(e);
+  switch (n.kind) {
+    case ExprKind::kTop:
+      out += "⊤";
+      return;
+    case ExprKind::kBottom:
+      out += "⊥";
+      return;
+    case ExprKind::kAtom:
+      out += tbox.conceptName(n.atom);
+      return;
+    case ExprKind::kNot:
+      out += "¬";
+      renderDl(tbox, f.children(e)[0], out);
+      return;
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      out += "(";
+      bool first = true;
+      for (ExprId c : f.children(e)) {
+        if (!first) out += n.kind == ExprKind::kAnd ? " ⊓ " : " ⊔ ";
+        first = false;
+        renderDl(tbox, c, out);
+      }
+      out += ")";
+      return;
+    }
+    case ExprKind::kExists:
+    case ExprKind::kForall:
+      out += n.kind == ExprKind::kExists ? "∃" : "∀";
+      out += tbox.roles().name(n.role);
+      out += ".";
+      renderDl(tbox, f.children(e)[0], out);
+      return;
+    case ExprKind::kAtLeast:
+    case ExprKind::kAtMost:
+      out += n.kind == ExprKind::kAtLeast ? "≥" : "≤";
+      out += std::to_string(n.number);
+      out += " ";
+      out += tbox.roles().name(n.role);
+      out += ".";
+      renderDl(tbox, f.children(e)[0], out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string toFunctionalSyntax(const TBox& tbox, ExprId e) {
+  std::string s;
+  renderFs(tbox, e, s);
+  return s;
+}
+
+std::string toDlSyntax(const TBox& tbox, ExprId e) {
+  std::string s;
+  renderDl(tbox, e, s);
+  return s;
+}
+
+void writeFunctionalSyntax(const TBox& tbox, std::ostream& out) {
+  out << "Ontology(<http://owlcl/generated>\n";
+  for (std::size_t c = 0; c < tbox.conceptCount(); ++c)
+    out << "  Declaration(Class(" << tbox.conceptName(static_cast<ConceptId>(c))
+        << "))\n";
+  for (std::size_t r = 0; r < tbox.roles().size(); ++r)
+    out << "  Declaration(ObjectProperty("
+        << tbox.roles().name(static_cast<RoleId>(r)) << "))\n";
+  for (const ToldAxiom& ax : tbox.toldAxioms()) {
+    switch (ax.kind) {
+      case AxiomKind::kSubClassOf:
+        out << "  SubClassOf(" << toFunctionalSyntax(tbox, ax.classArgs[0]) << " "
+            << toFunctionalSyntax(tbox, ax.classArgs[1]) << ")\n";
+        break;
+      case AxiomKind::kEquivalentClasses: {
+        out << "  EquivalentClasses(";
+        bool first = true;
+        for (ExprId c : ax.classArgs) {
+          if (!first) out << " ";
+          first = false;
+          out << toFunctionalSyntax(tbox, c);
+        }
+        out << ")\n";
+        break;
+      }
+      case AxiomKind::kDisjointClasses: {
+        out << "  DisjointClasses(";
+        bool first = true;
+        for (ExprId c : ax.classArgs) {
+          if (!first) out << " ";
+          first = false;
+          out << toFunctionalSyntax(tbox, c);
+        }
+        out << ")\n";
+        break;
+      }
+      case AxiomKind::kSubObjectPropertyOf:
+        out << "  SubObjectPropertyOf(" << tbox.roles().name(ax.role1) << " "
+            << tbox.roles().name(ax.role2) << ")\n";
+        break;
+      case AxiomKind::kTransitiveObjectProperty:
+        out << "  TransitiveObjectProperty(" << tbox.roles().name(ax.role1) << ")\n";
+        break;
+      case AxiomKind::kAnnotation:
+        out << "  AnnotationAssertion(rdfs:comment "
+            << toFunctionalSyntax(tbox, ax.classArgs[0]) << " \"" << ax.text
+            << "\")\n";
+        break;
+    }
+  }
+  out << ")\n";
+}
+
+std::string toFunctionalSyntaxDocument(const TBox& tbox) {
+  std::ostringstream ss;
+  writeFunctionalSyntax(tbox, ss);
+  return ss.str();
+}
+
+}  // namespace owlcl

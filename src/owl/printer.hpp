@@ -1,0 +1,23 @@
+// Serialisation of class expressions and TBoxes back to the OWL 2
+// functional-style syntax fragment accepted by owl/parser.hpp, plus a
+// compact DL-style rendering (⊓ ⊔ ¬ ∃ ∀ ≥ ≤) for logs and tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "owl/tbox.hpp"
+
+namespace owlcl {
+
+/// Functional-syntax rendering of a single class expression.
+std::string toFunctionalSyntax(const TBox& tbox, ExprId e);
+
+/// DL-style rendering, e.g. "(A ⊓ ∃r.B)".
+std::string toDlSyntax(const TBox& tbox, ExprId e);
+
+/// Writes the whole TBox as a parseable functional-syntax document.
+void writeFunctionalSyntax(const TBox& tbox, std::ostream& out);
+std::string toFunctionalSyntaxDocument(const TBox& tbox);
+
+}  // namespace owlcl

@@ -1,0 +1,156 @@
+// AtomicBitMatrix — the paper's "shared atomic global data structure".
+//
+// An n_rows × n_cols bit matrix over std::atomic<uint64_t> words. The
+// classifier keeps three of these, indexed by dense ConceptId:
+//   P[X]      — possible subsumees of X
+//   K[X]      — known subsumees of X
+//   tested[X] — pairs ⟨X,Y⟩ whose subs?(X,Y) test has been claimed
+//
+// All mutating ops are single-word lock-free RMWs, so concurrent workers
+// never block on the shared state (Section I: "atomic global data
+// structures ... avoid possible race conditions for updates").
+//
+// Memory ordering: testAndSet/clear use acq_rel so that a worker that
+// *observes* a bit (e.g. tested[X][Y]) also observes the P/K updates the
+// claiming worker published before setting it. Plain reads use acquire;
+// counting/scans are snapshots (see rowSnapshot()) and are only used in
+// single-threaded phase boundaries or for monitoring.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bitset.hpp"
+
+namespace owlcl {
+
+class AtomicBitMatrix {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  AtomicBitMatrix() = default;
+  AtomicBitMatrix(std::size_t rows, std::size_t cols) { reset(rows, cols); }
+
+  /// Re-dimensions and zeroes the matrix. Not thread-safe.
+  void reset(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    wordsPerRow_ = (cols + kWordBits - 1) / kWordBits;
+    words_ = std::vector<std::atomic<Word>>(rows * wordsPerRow_);
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool test(std::size_t r, std::size_t c) const {
+    return (word(r, c).load(std::memory_order_acquire) >> bitIndex(c)) & 1u;
+  }
+
+  /// Sets bit (r,c); returns true iff this call changed it (claim won).
+  bool testAndSet(std::size_t r, std::size_t c) {
+    const Word mask = Word{1} << bitIndex(c);
+    const Word old = word(r, c).fetch_or(mask, std::memory_order_acq_rel);
+    return (old & mask) == 0;
+  }
+
+  /// Clears bit (r,c); returns true iff this call changed it.
+  bool testAndClear(std::size_t r, std::size_t c) {
+    const Word mask = Word{1} << bitIndex(c);
+    const Word old = word(r, c).fetch_and(~mask, std::memory_order_acq_rel);
+    return (old & mask) != 0;
+  }
+
+  /// Clears the whole row (sequence of relaxed stores; callers use this at
+  /// phase boundaries or under the row's logical ownership).
+  void clearRow(std::size_t r) {
+    for (std::size_t w = 0; w < wordsPerRow_; ++w)
+      words_[r * wordsPerRow_ + w].store(0, std::memory_order_release);
+  }
+
+  /// Fills row r with 1s for columns [0, cols), optionally skipping `skip`.
+  void fillRow(std::size_t r, std::size_t skip = static_cast<std::size_t>(-1)) {
+    for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+      Word v = ~Word{0};
+      const std::size_t base = w * kWordBits;
+      if (base + kWordBits > cols_) {
+        const std::size_t valid = cols_ - base;
+        v = valid == 0 ? 0 : (~Word{0} >> (kWordBits - valid));
+      }
+      if (skip / kWordBits == w) v &= ~(Word{1} << (skip % kWordBits));
+      words_[r * wordsPerRow_ + w].store(v, std::memory_order_release);
+    }
+  }
+
+  /// Set-bit count of row r (snapshot; exact only in quiescent states).
+  std::size_t countRow(std::size_t r) const {
+    std::size_t c = 0;
+    for (std::size_t w = 0; w < wordsPerRow_; ++w)
+      c += static_cast<std::size_t>(std::popcount(
+          words_[r * wordsPerRow_ + w].load(std::memory_order_acquire)));
+    return c;
+  }
+
+  bool rowEmpty(std::size_t r) const {
+    for (std::size_t w = 0; w < wordsPerRow_; ++w)
+      if (words_[r * wordsPerRow_ + w].load(std::memory_order_acquire) != 0)
+        return false;
+    return true;
+  }
+
+  /// Total set-bit count (snapshot).
+  std::size_t countAll() const {
+    std::size_t c = 0;
+    for (const auto& w : words_)
+      c += static_cast<std::size_t>(std::popcount(w.load(std::memory_order_acquire)));
+    return c;
+  }
+
+  /// Copies row r into a sequential bitset (word-atomic snapshot).
+  DynamicBitset rowSnapshot(std::size_t r) const {
+    DynamicBitset bs(cols_);
+    std::vector<DynamicBitset::Word> raw(wordsPerRow_);
+    for (std::size_t w = 0; w < wordsPerRow_; ++w)
+      raw[w] = words_[r * wordsPerRow_ + w].load(std::memory_order_acquire);
+    for (std::size_t c = 0; c < cols_; ++c)
+      if ((raw[c / kWordBits] >> (c % kWordBits)) & 1u) bs.set(c);
+    return bs;
+  }
+
+  /// Column indices of set bits in row r (snapshot).
+  std::vector<std::uint32_t> rowIndices(std::size_t r) const {
+    std::vector<std::uint32_t> out;
+    for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+      Word v = words_[r * wordsPerRow_ + w].load(std::memory_order_acquire);
+      while (v != 0) {
+        const int b = std::countr_zero(v);
+        out.push_back(static_cast<std::uint32_t>(w * kWordBits +
+                                                 static_cast<std::size_t>(b)));
+        v &= v - 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::atomic<Word>& word(std::size_t r, std::size_t c) {
+    OWLCL_DEBUG_ASSERT(r < rows_ && c < cols_);
+    return words_[r * wordsPerRow_ + c / kWordBits];
+  }
+  const std::atomic<Word>& word(std::size_t r, std::size_t c) const {
+    OWLCL_DEBUG_ASSERT(r < rows_ && c < cols_);
+    return words_[r * wordsPerRow_ + c / kWordBits];
+  }
+  static std::size_t bitIndex(std::size_t c) { return c % kWordBits; }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t wordsPerRow_ = 0;
+  std::vector<std::atomic<Word>> words_;
+};
+
+}  // namespace owlcl

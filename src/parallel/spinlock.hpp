@@ -1,0 +1,39 @@
+// Tiny TTAS spinlock and a sharded-lock array for striped protection of
+// per-concept side structures (used where a single atomic word is not
+// enough, e.g. the equivalence union-find in the taxonomy phase).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace owlcl {
+
+class Spinlock {
+ public:
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      // Test-and-test-and-set: spin on a plain load to avoid cache-line
+      // ping-pong while the lock is held.
+      while (flag_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// N spinlocks; index by any hashable key to stripe contention.
+template <std::size_t N = 64>
+class ShardedSpinlocks {
+ public:
+  static_assert((N & (N - 1)) == 0, "N must be a power of two");
+  Spinlock& forKey(std::size_t key) { return locks_[key & (N - 1)]; }
+
+ private:
+  Spinlock locks_[N];
+};
+
+}  // namespace owlcl

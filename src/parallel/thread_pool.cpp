@@ -1,0 +1,84 @@
+#include "parallel/thread_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace owlcl {
+
+ThreadPool::ThreadPool(std::size_t workerCount) : perWorker_(workerCount) {
+  OWLCL_ASSERT(workerCount > 0);
+  workers_.reserve(workerCount);
+  for (std::size_t i = 0; i < workerCount; ++i)
+    workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  workCv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sharedQueue_.push_back(std::move(task));
+    ++pending_;
+  }
+  workCv_.notify_one();
+}
+
+void ThreadPool::submitTo(std::size_t i, Task task) {
+  OWLCL_ASSERT(i < perWorker_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorker_[i].queue.push_back(std::move(task));
+    ++pending_;
+  }
+  workCv_.notify_all();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idleCv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::tryPop(std::size_t index, Task& out) {
+  // Caller holds mu_.
+  if (!perWorker_[index].queue.empty()) {
+    out = std::move(perWorker_[index].queue.front());
+    perWorker_[index].queue.pop_front();
+    return true;
+  }
+  if (!sharedQueue_.empty()) {
+    out = std::move(sharedQueue_.front());
+    sharedQueue_.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(std::size_t index) {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      workCv_.wait(lock, [this, index] {
+        return stop_ || !perWorker_[index].queue.empty() || !sharedQueue_.empty();
+      });
+      if (!tryPop(index, task)) {
+        if (stop_) return;
+        continue;
+      }
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) idleCv_.notify_all();
+    }
+  }
+}
+
+}  // namespace owlcl

@@ -1,0 +1,63 @@
+// Fixed-size worker pool with two dispatch disciplines:
+//
+//  * submit(task)        — shared FIFO; any idle worker picks it up
+//                          ("getAvailableThread" of Algorithm 1).
+//  * submitTo(i, task)   — per-worker FIFO; used by the round-robin group
+//                          scheduling of the paper's group-division phase
+//                          (Section III-A2) and by the scheduling ablation.
+//
+// Workers drain their private queue before taking from the shared queue.
+// waitIdle() blocks until every submitted task has finished — the barrier
+// between classification phases/cycles.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace owlcl {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  explicit ThreadPool(std::size_t workerCount);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues on the shared queue.
+  void submit(Task task);
+
+  /// Enqueues on worker i's private queue (i < size()).
+  void submitTo(std::size_t i, Task task);
+
+  /// Blocks until all previously submitted tasks have completed.
+  void waitIdle();
+
+ private:
+  void workerLoop(std::size_t index);
+  bool tryPop(std::size_t index, Task& out);
+
+  struct WorkerState {
+    std::deque<Task> queue;  // guarded by ThreadPool::mu_
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable workCv_;   // task available or stopping
+  std::condition_variable idleCv_;   // pending_ reached zero
+  std::deque<Task> sharedQueue_;
+  std::vector<WorkerState> perWorker_;
+  std::size_t pending_ = 0;  // queued + running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;  // last member: joins before state dies
+};
+
+}  // namespace owlcl

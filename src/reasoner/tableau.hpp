@@ -1,0 +1,127 @@
+// Tableau satisfiability engine for ALCHQ with transitive roles (SHQ
+// without inverses; QCRs restricted to simple roles — enforced by buildKb).
+//
+// Architecture: because the logic has no inverse roles, nothing ever
+// propagates from a successor back to its predecessor, so the engine
+// decides satisfiability *per label set*, top-down:
+//
+//   sat(L):   propositional saturation of L (⊓-expansion, lazy unfolding,
+//             global constraints, ⊔-branching with semantic branching and
+//             clash detection), then for every propositionally complete
+//             assignment a successor phase builds the R-neighbourhoods
+//             (∃/≥ generators, ∀/∀⁺ propagation, QCR choose-rule and
+//             ≤-merging) and recurses into each successor label.
+//
+// Termination + caching: labels are drawn from the finite preprocessing
+// closure. Each evaluated label is memoised (sat AND unsat). A label
+// currently on the recursion stack that is re-entered is treated as
+// satisfiable — this is anywhere equality-blocking, sound for tree-model
+// logics without inverses. Results that depended on such an open
+// assumption are tainted and not cached as SAT (unsat results are always
+// cacheable: the optimistic assumption only over-approximates
+// satisfiability).
+//
+// Thread-safety: a Tableau instance is a per-thread workspace over an
+// immutable ReasonerKb; create one per worker thread.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "reasoner/kb.hpp"
+
+namespace owlcl {
+
+struct TableauStats {
+  std::uint64_t satCalls = 0;     // recursive label evaluations
+  std::uint64_t cacheHits = 0;
+  std::uint64_t blockedHits = 0;  // anywhere-blocking assumptions used
+  std::uint64_t expansions = 0;   // label additions (cost proxy)
+  std::uint64_t branches = 0;     // ⊔ / choose / merge choice points
+  std::uint64_t clashes = 0;
+};
+
+class Tableau {
+ public:
+  explicit Tableau(const ReasonerKb& kb);
+
+  /// Is the label set satisfiable w.r.t. the KB? `init` may contain any
+  /// closure expressions (typically {X} or {X, ¬Y}).
+  bool isSatisfiable(std::vector<ExprId> init);
+
+  const TableauStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+  /// Drops the memoisation tables (used by the cache ablation bench).
+  void clearCaches();
+
+ private:
+  struct VecHash {
+    std::size_t operator()(const std::vector<ExprId>& v) const {
+      std::uint64_t h = 1469598103934665603ULL;
+      for (ExprId e : v) {
+        h ^= e;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  /// Propositional search state of one recursion frame.
+  struct Frame {
+    struct Choice {
+      std::size_t labelLen;        // label size at the choice point
+      std::size_t procIdxAtChoice; // processing cursor to restore
+      ExprId disjunction;          // the ⊔ being branched
+      std::size_t nextAlt;         // next alternative index to try
+    };
+    std::vector<ExprId> label;  // insertion-ordered
+    std::unordered_set<ExprId> has;
+    std::size_t procIdx = 0;
+    std::vector<Choice> choices;
+  };
+
+  /// One successor under construction (a bag of label constraints plus the
+  /// connecting edge's role set; no graph node is materialised).
+  struct Succ {
+    std::vector<RoleId> roles;          // edge label (grows on merge)
+    std::vector<ExprId> label;          // constraints (grow on ∀/choose/merge)
+    std::vector<std::uint32_t> groups;  // ≥-rule distinctness group ids
+  };
+
+  bool satRec(std::vector<ExprId> init);
+
+  // Propositional phase. Returns true if some propositionally complete,
+  // clash-free assignment has a satisfiable successor configuration.
+  bool propositionalSearch(Frame& fr);
+  enum class AddResult : std::uint8_t { kOk, kClash };
+  AddResult add(Frame& fr, ExprId e);
+  static void truncateTo(Frame& fr, std::size_t len);
+
+  // Successor phase over the completed frame label.
+  bool successorsOk(const Frame& fr);
+  bool chooseCountRecurse(std::vector<Succ> succs,
+                          const std::vector<std::pair<RoleId, ExprId>>& foralls,
+                          const Frame& fr);
+  /// Applies ∀/∀⁺ propagation of `foralls` to s; false on clash.
+  bool propagateForalls(const std::vector<std::pair<RoleId, ExprId>>& foralls,
+                        Succ& s) const;
+  bool succContains(const Succ& s, ExprId d) const;
+  /// Adds d to s.label; false on direct clash with an existing member.
+  bool succAdd(Succ& s, ExprId d) const;
+  bool edgeApplies(const Succ& s, RoleId super) const;
+
+  const ReasonerKb& kb_;
+  const ExprFactory& f_;
+  TableauStats stats_;
+
+  // Memoisation across all queries of this workspace.
+  std::unordered_map<std::vector<ExprId>, bool, VecHash> satCache_;
+  // Labels currently on the recursion stack → their frame depth.
+  std::unordered_map<std::vector<ExprId>, std::size_t, VecHash> openDepth_;
+  std::vector<bool> taintStack_;  // parallel to recursion frames
+};
+
+}  // namespace owlcl

@@ -1,0 +1,52 @@
+#include "reasoner/tableau_reasoner.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace owlcl {
+
+Tableau& TableauReasoner::workspace() {
+  const std::thread::id id = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(wsMu_);
+  auto it = workspaces_.find(id);
+  if (it == workspaces_.end())
+    it = workspaces_.emplace(id, std::make_unique<Tableau>(kb_)).first;
+  return *it->second;
+}
+
+bool TableauReasoner::isSatisfiable(ConceptId c, std::uint64_t* costNs) {
+  tests_.fetch_add(1, std::memory_order_relaxed);
+  Tableau& t = workspace();
+  Stopwatch sw;
+  const bool result = t.isSatisfiable({kb_.atomExpr[c]});
+  if (costNs != nullptr) *costNs = static_cast<std::uint64_t>(sw.elapsedNs());
+  return result;
+}
+
+bool TableauReasoner::isSubsumedBy(ConceptId sub, ConceptId sup,
+                                   std::uint64_t* costNs) {
+  tests_.fetch_add(1, std::memory_order_relaxed);
+  Tableau& t = workspace();
+  Stopwatch sw;
+  // sub ⊑ sup  ⟺  sub ⊓ ¬sup unsatisfiable.
+  const bool result =
+      !t.isSatisfiable({kb_.atomExpr[sub], kb_.negAtomExpr[sup]});
+  if (costNs != nullptr) *costNs = static_cast<std::uint64_t>(sw.elapsedNs());
+  return result;
+}
+
+TableauStats TableauReasoner::aggregatedStats() const {
+  TableauStats agg;
+  std::lock_guard<std::mutex> lock(wsMu_);
+  for (const auto& [id, ws] : workspaces_) {
+    const TableauStats& s = ws->stats();
+    agg.satCalls += s.satCalls;
+    agg.cacheHits += s.cacheHits;
+    agg.blockedHits += s.blockedHits;
+    agg.expansions += s.expansions;
+    agg.branches += s.branches;
+    agg.clashes += s.clashes;
+  }
+  return agg;
+}
+
+}  // namespace owlcl

@@ -1,0 +1,45 @@
+// TableauReasoner — the drop-in replacement for the paper's HermiT
+// plug-in. Implements ReasonerPlugin on top of the Tableau engine with
+// one engine workspace per calling thread (each workspace keeps its own
+// sat/unsat caches, so classification workers never contend on reasoner
+// state; the shared ReasonerKb is immutable).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "core/plugin.hpp"
+#include "reasoner/tableau.hpp"
+
+namespace owlcl {
+
+class TableauReasoner : public ReasonerPlugin {
+ public:
+  /// Preprocesses (and freezes) `tbox`. The TBox must outlive the reasoner.
+  explicit TableauReasoner(TBox& tbox) : kb_(buildKb(tbox)) {}
+
+  bool isSatisfiable(ConceptId c, std::uint64_t* costNs = nullptr) override;
+  bool isSubsumedBy(ConceptId sub, ConceptId sup,
+                    std::uint64_t* costNs = nullptr) override;
+  std::uint64_t testCount() const override {
+    return tests_.load(std::memory_order_relaxed);
+  }
+
+  const ReasonerKb& kb() const { return kb_; }
+
+  /// Aggregated engine statistics across all thread workspaces.
+  TableauStats aggregatedStats() const;
+
+ private:
+  Tableau& workspace();
+
+  ReasonerKb kb_;
+  std::atomic<std::uint64_t> tests_{0};
+  mutable std::mutex wsMu_;
+  std::unordered_map<std::thread::id, std::unique_ptr<Tableau>> workspaces_;
+};
+
+}  // namespace owlcl

@@ -1,0 +1,55 @@
+#include "simsched/sweep.hpp"
+
+#include "util/strings.hpp"
+
+namespace owlcl {
+
+SweepResult runSpeedupSweep(const std::string& name, const TBox& tbox,
+                            ReasonerPlugin& plugin,
+                            const std::vector<std::size_t>& workersList,
+                            ClassifierConfig config, OverheadModel overhead) {
+  SweepResult result;
+  result.name = name;
+  for (std::size_t w : workersList) {
+    VirtualExecutor exec(w, overhead);
+    ParallelClassifier classifier(tbox, plugin, config);
+    const ClassificationResult r = classifier.classify(exec);
+    SweepPoint p;
+    p.workers = w;
+    p.speedup = r.speedup();
+    p.elapsedNs = r.elapsedNs;
+    p.busyNs = r.busyNs;
+    p.reasonerTests = r.satTests + r.subsumptionTests;
+    p.prunedWithoutTest = r.prunedWithoutTest;
+    result.points.push_back(p);
+  }
+  return result;
+}
+
+std::vector<std::size_t> figureWorkerCounts(std::size_t maxWorkers) {
+  // The figures plot 1..140 (Fig 9) / 1..80 (Fig 10); we sample the same
+  // range with the usual doubling-plus-paper-landmarks grid.
+  const std::size_t grid[] = {1, 2, 4, 8, 12, 16, 20, 24, 32,
+                              40, 48, 60, 80, 100, 120, 140};
+  std::vector<std::size_t> out;
+  for (std::size_t w : grid)
+    if (w <= maxWorkers) out.push_back(w);
+  if (out.empty() || out.back() != maxWorkers) out.push_back(maxWorkers);
+  return out;
+}
+
+std::string renderSweepTable(const SweepResult& result) {
+  std::string out = strprintf("# %s\n", result.name.c_str());
+  out += strprintf("%8s %10s %14s %14s %12s %10s\n", "workers", "speedup",
+                   "elapsed(ms)", "runtime(ms)", "tests", "pruned");
+  for (const SweepPoint& p : result.points) {
+    out += strprintf("%8zu %10.2f %14.2f %14.2f %12llu %10llu\n", p.workers,
+                     p.speedup, static_cast<double>(p.elapsedNs) / 1e6,
+                     static_cast<double>(p.busyNs) / 1e6,
+                     static_cast<unsigned long long>(p.reasonerTests),
+                     static_cast<unsigned long long>(p.prunedWithoutTest));
+  }
+  return out;
+}
+
+}  // namespace owlcl

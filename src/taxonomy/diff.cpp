@@ -1,0 +1,53 @@
+#include "taxonomy/diff.hpp"
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace owlcl {
+
+TaxonomyDiff diffTaxonomies(const Taxonomy& a, const Taxonomy& b) {
+  OWLCL_ASSERT_MSG(a.conceptCount() == b.conceptCount(),
+                   "taxonomies cover different concept spaces");
+  TaxonomyDiff diff;
+  const std::size_t n = a.conceptCount();
+  for (ConceptId c = 0; c < n; ++c) {
+    const bool botA = a.nodeOf(c) == Taxonomy::kBottomNode;
+    const bool botB = b.nodeOf(c) == Taxonomy::kBottomNode;
+    if (botA != botB) diff.satDiffers.push_back(c);
+  }
+  for (ConceptId sup = 0; sup < n; ++sup) {
+    for (ConceptId sub = 0; sub < n; ++sub) {
+      const bool inA = a.subsumes(sup, sub);
+      const bool inB = b.subsumes(sup, sub);
+      if (inA && !inB) diff.onlyInA.emplace_back(sup, sub);
+      if (inB && !inA) diff.onlyInB.emplace_back(sup, sub);
+    }
+  }
+  return diff;
+}
+
+std::string TaxonomyDiff::report(const TBox& tbox, std::size_t maxEntries) const {
+  if (identical()) return "taxonomies identical";
+  std::string out = strprintf("%zu difference(s)", totalDifferences());
+  std::size_t shown = 0;
+  auto show = [&](const std::vector<std::pair<ConceptId, ConceptId>>& pairs,
+                  const char* label) {
+    for (const auto& [sup, sub] : pairs) {
+      if (shown++ >= maxEntries) return;
+      out += strprintf("\n  %s: %s ⊑ %s", label,
+                       tbox.conceptName(sub).c_str(),
+                       tbox.conceptName(sup).c_str());
+    }
+  };
+  show(onlyInA, "only in A");
+  show(onlyInB, "only in B");
+  for (ConceptId c : satDiffers) {
+    if (shown++ >= maxEntries) break;
+    out += strprintf("\n  satisfiability differs: %s",
+                     tbox.conceptName(c).c_str());
+  }
+  if (shown > maxEntries) out += "\n  ... (truncated)";
+  return out;
+}
+
+}  // namespace owlcl

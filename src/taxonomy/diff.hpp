@@ -1,0 +1,36 @@
+// Taxonomy diff: compares two classification results over the same
+// concept space and reports the differences in entailed subsumption,
+// equivalence classes and satisfiability. Useful when validating a new
+// reasoner plug-in or configuration against a reference run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "owl/tbox.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace owlcl {
+
+struct TaxonomyDiff {
+  /// Ordered pairs (sup, sub) entailed by `a` but not `b`.
+  std::vector<std::pair<ConceptId, ConceptId>> onlyInA;
+  /// Ordered pairs entailed by `b` but not `a`.
+  std::vector<std::pair<ConceptId, ConceptId>> onlyInB;
+  /// Concepts whose satisfiability status (placement at ⊥) differs.
+  std::vector<ConceptId> satDiffers;
+
+  bool identical() const {
+    return onlyInA.empty() && onlyInB.empty() && satDiffers.empty();
+  }
+  std::size_t totalDifferences() const {
+    return onlyInA.size() + onlyInB.size() + satDiffers.size();
+  }
+  /// Human-readable report (concept names resolved through `tbox`).
+  std::string report(const TBox& tbox, std::size_t maxEntries = 20) const;
+};
+
+/// Both taxonomies must cover the same conceptCount().
+TaxonomyDiff diffTaxonomies(const Taxonomy& a, const Taxonomy& b);
+
+}  // namespace owlcl

@@ -1,0 +1,141 @@
+#include "taxonomy/verify.hpp"
+
+#include <algorithm>
+
+#include "util/bitset.hpp"
+#include "util/strings.hpp"
+
+namespace owlcl {
+
+std::string TaxonomyIssues::summary() const {
+  if (problems.empty()) return "ok";
+  std::string s = strprintf("%zu problem(s):", problems.size());
+  for (const std::string& p : problems) {
+    s += "\n  - ";
+    s += p;
+  }
+  return s;
+}
+
+namespace {
+
+using NodeId = Taxonomy::NodeId;
+
+/// All nodes reachable strictly below `from` (children edges).
+DynamicBitset reachableBelow(const Taxonomy& tax, NodeId from) {
+  DynamicBitset seen(tax.nodeCount());
+  std::vector<NodeId> stack{from};
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    for (NodeId ch : tax.node(cur).children) {
+      if (!seen.test(ch)) {
+        seen.set(ch);
+        stack.push_back(ch);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+TaxonomyIssues verifyStructure(const Taxonomy& tax) {
+  TaxonomyIssues issues;
+  const std::size_t nn = tax.nodeCount();
+
+  // Adjacency mirroring + duplicates.
+  for (NodeId id = 0; id < nn; ++id) {
+    const auto& node = tax.node(id);
+    for (NodeId ch : node.children) {
+      const auto& parents = tax.node(ch).parents;
+      if (std::count(parents.begin(), parents.end(), id) != 1)
+        issues.problems.push_back(
+            strprintf("edge %u->%u not mirrored exactly once", id, ch));
+    }
+    auto sortedUnique = [&issues, id](const std::vector<NodeId>& v,
+                                      const char* what) {
+      for (std::size_t i = 1; i < v.size(); ++i)
+        if (v[i - 1] >= v[i]) {
+          issues.problems.push_back(
+              strprintf("node %u: %s not sorted/unique", id, what));
+          return;
+        }
+    };
+    sortedUnique(node.children, "children");
+    sortedUnique(node.parents, "parents");
+  }
+
+  // Membership partition.
+  std::vector<int> owner(tax.conceptCount(), -1);
+  for (NodeId id = 0; id < nn; ++id) {
+    if (id != Taxonomy::kTopNode && id != Taxonomy::kBottomNode &&
+        tax.node(id).members.empty())
+      issues.problems.push_back(strprintf("node %u has no members", id));
+    for (ConceptId c : tax.node(id).members) {
+      if (owner[c] != -1)
+        issues.problems.push_back(
+            strprintf("concept %u in several nodes", c));
+      owner[c] = static_cast<int>(id);
+      if (tax.nodeOf(c) != id)
+        issues.problems.push_back(
+            strprintf("nodeOf(%u) disagrees with membership", c));
+    }
+  }
+  for (ConceptId c = 0; c < tax.conceptCount(); ++c)
+    if (owner[c] == -1)
+      issues.problems.push_back(strprintf("concept %u unplaced", c));
+
+  // Acyclicity + ⊤-reachability + ⊥-reachability.
+  const DynamicBitset belowTop = reachableBelow(tax, Taxonomy::kTopNode);
+  for (NodeId id = 0; id < nn; ++id) {
+    if (reachableBelow(tax, id).test(id))
+      issues.problems.push_back(strprintf("cycle through node %u", id));
+    if (id != Taxonomy::kTopNode && !belowTop.test(id))
+      issues.problems.push_back(strprintf("node %u unreachable from top", id));
+    if (id != Taxonomy::kBottomNode &&
+        !reachableBelow(tax, id).test(Taxonomy::kBottomNode))
+      issues.problems.push_back(
+          strprintf("node %u does not reach bottom", id));
+  }
+
+  // Transitive reduction: no edge that another child-path already implies.
+  for (NodeId id = 0; id < nn; ++id) {
+    const auto& children = tax.node(id).children;
+    for (NodeId ch : children) {
+      for (NodeId other : children) {
+        if (other == ch) continue;
+        if (reachableBelow(tax, other).test(ch)) {
+          issues.problems.push_back(strprintf(
+              "edge %u->%u redundant (also reachable via %u)", id, ch, other));
+          break;
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+TaxonomyIssues verifyAgainstOracle(
+    const Taxonomy& tax,
+    const std::function<bool(ConceptId sup, ConceptId sub)>& oracle) {
+  TaxonomyIssues issues;
+  const std::size_t n = tax.conceptCount();
+  for (ConceptId sup = 0; sup < n; ++sup) {
+    for (ConceptId sub = 0; sub < n; ++sub) {
+      const bool got = tax.subsumes(sup, sub);
+      const bool want = oracle(sup, sub);
+      if (got != want)
+        issues.problems.push_back(
+            strprintf("pair (sup=%u, sub=%u): taxonomy=%d oracle=%d", sup, sub,
+                      got, want));
+      if (issues.problems.size() > 20) {
+        issues.problems.push_back("... (truncated)");
+        return issues;
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace owlcl

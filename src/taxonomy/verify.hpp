@@ -1,0 +1,37 @@
+// Taxonomy verification: structural invariants (what any classification
+// output must satisfy) and semantic equivalence against an oracle.
+// Used by the test suite and exposed publicly so downstream users can
+// sanity-check results when integrating new reasoner plug-ins.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "taxonomy/taxonomy.hpp"
+
+namespace owlcl {
+
+struct TaxonomyIssues {
+  std::vector<std::string> problems;
+  bool ok() const { return problems.empty(); }
+  std::string summary() const;
+};
+
+/// Structural invariants:
+///  * parent/child adjacency is mirrored and duplicate-free;
+///  * every concept is assigned to exactly one node, every non-⊤/⊥ node
+///    has at least one member, members are disjoint across nodes;
+///  * the DAG is acyclic, ⊤ reaches every node, every node reaches ⊥;
+///  * edges form a transitive reduction (no edge parallel to a longer
+///    path).
+TaxonomyIssues verifyStructure(const Taxonomy& tax);
+
+/// Semantic check: the taxonomy's entailed subsumption relation equals
+/// the oracle's on every ordered concept pair. `oracle(sup, sub)` must
+/// answer "O ⊨ sub ⊑ sup". O(n²) oracle calls — intended for tests.
+TaxonomyIssues verifyAgainstOracle(
+    const Taxonomy& tax,
+    const std::function<bool(ConceptId sup, ConceptId sub)>& oracle);
+
+}  // namespace owlcl

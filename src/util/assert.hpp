@@ -1,0 +1,36 @@
+// Lightweight contract-checking macros (C++ Core Guidelines I.6/I.8 style).
+//
+// OWLCL_ASSERT is compiled in all build types: classification correctness
+// bugs are far more expensive than the branch. OWLCL_DEBUG_ASSERT is for
+// hot paths and compiles out in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace owlcl {
+
+[[noreturn]] inline void assertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "owlcl assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace owlcl
+
+#define OWLCL_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::owlcl::assertFail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define OWLCL_ASSERT_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr)) ::owlcl::assertFail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define OWLCL_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define OWLCL_DEBUG_ASSERT(expr) OWLCL_ASSERT(expr)
+#endif

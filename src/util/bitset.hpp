@@ -1,0 +1,131 @@
+// Dynamic bitset tuned for dense concept-id sets.
+//
+// This is the *sequential* building block; the concurrent variant used for
+// the shared P/K sets lives in parallel/atomic_bitmatrix.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace owlcl {
+
+/// Fixed-capacity dynamic bitset with word-level iteration helpers.
+class DynamicBitset {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t nbits, bool value = false)
+      : nbits_(nbits), words_(wordCount(nbits), value ? ~Word{0} : Word{0}) {
+    trimTail();
+  }
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  void resize(std::size_t nbits, bool value = false);
+
+  bool test(std::size_t i) const {
+    OWLCL_DEBUG_ASSERT(i < nbits_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    OWLCL_DEBUG_ASSERT(i < nbits_);
+    words_[i / kWordBits] |= Word{1} << (i % kWordBits);
+  }
+
+  void reset(std::size_t i) {
+    OWLCL_DEBUG_ASSERT(i < nbits_);
+    words_[i / kWordBits] &= ~(Word{1} << (i % kWordBits));
+  }
+
+  void setAll();
+  void resetAll();
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  bool none() const;
+  bool any() const { return !none(); }
+
+  /// Index of the first set bit, or size() when none.
+  std::size_t findFirst() const;
+  /// Index of the first set bit strictly after `i`, or size() when none.
+  std::size_t findNext(std::size_t i) const;
+
+  /// In-place set operations. All operands must have equal size.
+  DynamicBitset& operator|=(const DynamicBitset& o);
+  DynamicBitset& operator&=(const DynamicBitset& o);
+  DynamicBitset& operator-=(const DynamicBitset& o);  ///< set difference
+
+  bool operator==(const DynamicBitset& o) const {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+
+  /// True when this set is a subset of `o` (sizes must match).
+  bool isSubsetOf(const DynamicBitset& o) const;
+
+  /// True when this set intersects `o` (sizes must match).
+  bool intersects(const DynamicBitset& o) const;
+
+  /// Append all set indices to `out`.
+  void toVector(std::vector<std::uint32_t>& out) const;
+  std::vector<std::uint32_t> toVector() const {
+    std::vector<std::uint32_t> v;
+    toVector(v);
+    return v;
+  }
+
+  const Word* words() const { return words_.data(); }
+  std::size_t wordCountUsed() const { return words_.size(); }
+
+  static std::size_t wordCount(std::size_t nbits) {
+    return (nbits + kWordBits - 1) / kWordBits;
+  }
+
+  /// Iterate set bits: `for (auto i : bs.setBits()) ...`
+  class SetBitRange;
+  SetBitRange setBits() const;
+
+ private:
+  // Keep bits past nbits_ zero so count()/compare stay exact.
+  void trimTail();
+
+  std::size_t nbits_ = 0;
+  std::vector<Word> words_;
+};
+
+class DynamicBitset::SetBitRange {
+ public:
+  explicit SetBitRange(const DynamicBitset& bs) : bs_(&bs) {}
+  class Iterator {
+   public:
+    Iterator(const DynamicBitset* bs, std::size_t pos) : bs_(bs), pos_(pos) {}
+    std::size_t operator*() const { return pos_; }
+    Iterator& operator++() {
+      pos_ = bs_->findNext(pos_);
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    const DynamicBitset* bs_;
+    std::size_t pos_;
+  };
+  Iterator begin() const { return Iterator(bs_, bs_->findFirst()); }
+  Iterator end() const { return Iterator(bs_, bs_->size()); }
+
+ private:
+  const DynamicBitset* bs_;
+};
+
+inline DynamicBitset::SetBitRange DynamicBitset::setBits() const {
+  return SetBitRange(*this);
+}
+
+}  // namespace owlcl

@@ -1,0 +1,24 @@
+#include "util/rng.hpp"
+
+#include "util/assert.hpp"
+
+namespace owlcl {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  OWLCL_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace owlcl

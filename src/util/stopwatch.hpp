@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the real-thread benches and the
+// per-phase runtime accounting in the classifier statistics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace owlcl {
+
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction / last restart().
+  std::int64_t elapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+
+  double elapsedMs() const { return static_cast<double>(elapsedNs()) / 1e6; }
+  double elapsedSec() const { return static_cast<double>(elapsedNs()) / 1e9; }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace owlcl

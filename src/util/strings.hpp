@@ -1,0 +1,22 @@
+// Small string helpers shared by the parser, printers and CLIs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace owlcl {
+
+/// Returns `s` with leading and trailing ASCII whitespace removed.
+std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string (GCC 12 lacks full std::format).
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace owlcl

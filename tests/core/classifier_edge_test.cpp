@@ -1,0 +1,142 @@
+// Edge cases of the parallel classifier: degenerate sizes, more workers
+// than concepts, empty/duplicate structures.
+#include <gtest/gtest.h>
+
+#include "core/parallel_classifier.hpp"
+#include "core/real_executor.hpp"
+#include "gen/generator.hpp"
+#include "gen/mock_reasoner.hpp"
+#include "owl/parser.hpp"
+#include "reasoner/tableau_reasoner.hpp"
+#include "simsched/virtual_executor.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(ClassifierEdge, MoreWorkersThanConcepts) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(C B)
+      Declaration(Class(D))
+    ))",
+                        t);
+  TableauReasoner reasoner(t);
+  ParallelClassifier classifier(t, reasoner);
+  ThreadPool pool(16);  // 16 workers, 4 concepts
+  RealExecutor exec(pool);
+  const ClassificationResult r = classifier.classify(exec);
+  EXPECT_TRUE(r.taxonomy.subsumes(t.findConcept("B"), t.findConcept("A")));
+  EXPECT_FALSE(r.taxonomy.subsumes(t.findConcept("A"), t.findConcept("C")));
+  EXPECT_EQ(r.taxonomy.nodeCount(), 2u + 4u);
+}
+
+TEST(ClassifierEdge, TwoConcepts) {
+  TBox t;
+  parseFunctionalSyntax("Ontology(SubClassOf(A B))", t);
+  TableauReasoner reasoner(t);
+  ParallelClassifier classifier(t, reasoner);
+  VirtualExecutor exec(4);
+  const ClassificationResult r = classifier.classify(exec);
+  EXPECT_TRUE(r.taxonomy.subsumes(t.findConcept("B"), t.findConcept("A")));
+  EXPECT_EQ(r.initialPossible, 2u);
+}
+
+TEST(ClassifierEdge, AllConceptsEquivalent) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      EquivalentClasses(A B)
+      EquivalentClasses(B C)
+      EquivalentClasses(C D)
+    ))",
+                        t);
+  TableauReasoner reasoner(t);
+  ParallelClassifier classifier(t, reasoner);
+  VirtualExecutor exec(3);
+  const ClassificationResult r = classifier.classify(exec);
+  EXPECT_EQ(r.taxonomy.nodeCount(), 3u);  // ⊤, ⊥, {A,B,C,D}
+  EXPECT_TRUE(r.taxonomy.equivalent(t.findConcept("A"), t.findConcept("D")));
+}
+
+TEST(ClassifierEdge, EverythingUnsatisfiable) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      DisjointClasses(P Q)
+      SubClassOf(P Q)
+      SubClassOf(Q P)
+    ))",
+                        t);
+  // P ⊑ Q, Q ⊑ P, Disjoint(P,Q): both unsatisfiable.
+  TableauReasoner reasoner(t);
+  ParallelClassifier classifier(t, reasoner);
+  VirtualExecutor exec(2);
+  const ClassificationResult r = classifier.classify(exec);
+  EXPECT_EQ(r.taxonomy.nodeOf(t.findConcept("P")), Taxonomy::kBottomNode);
+  EXPECT_EQ(r.taxonomy.nodeOf(t.findConcept("Q")), Taxonomy::kBottomNode);
+  // ⊤ still connects to ⊥ and structure holds.
+  EXPECT_EQ(r.taxonomy.nodeCount(), 2u);
+}
+
+TEST(ClassifierEdge, ZeroRandomCyclesGoesStraightToGroupPhase) {
+  GenConfig cfg;
+  cfg.name = "zero";
+  cfg.concepts = 40;
+  cfg.subClassEdges = 60;
+  cfg.seed = 77;
+  auto g = generateOntology(cfg);
+  MockReasoner mock(g.truth);
+  ClassifierConfig config;
+  config.randomCycles = 0;
+  VirtualExecutor exec(4);
+  ParallelClassifier classifier(*g.tbox, mock, config);
+  const ClassificationResult r = classifier.classify(exec);
+  for (const CycleStats& cs : r.cycles)
+    EXPECT_NE(cs.phase, CycleStats::Phase::kRandomDivision);
+  for (ConceptId x = 0; x < g.tbox->conceptCount(); ++x)
+    for (ConceptId y = 0; y < g.tbox->conceptCount(); ++y)
+      ASSERT_EQ(r.taxonomy.subsumes(x, y), g.truth.subsumes(x, y));
+}
+
+TEST(ClassifierEdge, ManyRandomCyclesConverge) {
+  GenConfig cfg;
+  cfg.name = "many";
+  cfg.concepts = 30;
+  cfg.subClassEdges = 45;
+  cfg.seed = 88;
+  auto g = generateOntology(cfg);
+  MockReasoner mock(g.truth);
+  ClassifierConfig config;
+  config.randomCycles = 50;  // far more than needed
+  VirtualExecutor exec(4);
+  ParallelClassifier classifier(*g.tbox, mock, config);
+  const ClassificationResult r = classifier.classify(exec);
+  // Later random cycles find nothing new but must stay harmless.
+  for (ConceptId x = 0; x < g.tbox->conceptCount(); ++x)
+    for (ConceptId y = 0; y < g.tbox->conceptCount(); ++y)
+      ASSERT_EQ(r.taxonomy.subsumes(x, y), g.truth.subsumes(x, y));
+}
+
+TEST(TableauCaches, ClearCachesKeepsAnswersStable) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubClassOf(A ObjectUnionOf(B C))
+      SubClassOf(B D)
+      SubClassOf(C D)
+    ))",
+                        t);
+  ReasonerKb kb = buildKb(t);
+  Tableau tableau(kb);
+  const std::vector<ExprId> q = {kb.atomExpr[t.findConcept("A")],
+                                 kb.negAtomExpr[t.findConcept("D")]};
+  EXPECT_FALSE(tableau.isSatisfiable(q));  // A ⊑ D holds
+  tableau.clearCaches();
+  EXPECT_FALSE(tableau.isSatisfiable(q));
+  EXPECT_GT(tableau.stats().cacheHits + tableau.stats().satCalls, 0u);
+}
+
+}  // namespace
+}  // namespace owlcl

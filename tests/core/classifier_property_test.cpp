@@ -1,0 +1,107 @@
+// Property sweep: the classifier must produce the exact ground-truth
+// taxonomy under EVERY configuration combination — worker counts, cycle
+// counts, pruning, symmetric vs ordered testing, told seeding and all
+// scheduling disciplines, on both executors.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/parallel_classifier.hpp"
+#include "core/real_executor.hpp"
+#include "gen/generator.hpp"
+#include "gen/mock_reasoner.hpp"
+#include "simsched/virtual_executor.hpp"
+
+namespace owlcl {
+namespace {
+
+struct Param {
+  std::size_t workers;
+  std::size_t randomCycles;
+  bool pruning;
+  bool symmetric;
+  bool seeding;
+  SchedulingPolicy scheduling;
+  bool realThreads;
+};
+
+class ClassifierMatrix : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ClassifierMatrix, MatchesGroundTruth) {
+  const Param p = GetParam();
+
+  GenConfig cfg;
+  cfg.name = "matrix";
+  cfg.concepts = 70;
+  cfg.subClassEdges = 110;
+  cfg.existentialAxioms = 20;
+  cfg.equivalentAxioms = 6;
+  cfg.disjointAxioms = 6;
+  cfg.unsatConcepts = 2;
+  cfg.seed = 1234;
+  auto g = generateOntology(cfg);
+  MockReasoner mock(g.truth);
+
+  ClassifierConfig config;
+  config.randomCycles = p.randomCycles;
+  config.enablePruning = p.pruning;
+  config.symmetricTests = p.symmetric;
+  config.toldSeeding = p.seeding;
+  config.scheduling = p.scheduling;
+
+  ParallelClassifier classifier(*g.tbox, mock, config);
+  ClassificationResult r{};
+  if (p.realThreads) {
+    ThreadPool pool(p.workers);
+    RealExecutor exec(pool);
+    r = classifier.classify(exec);
+  } else {
+    VirtualExecutor exec(p.workers);
+    r = classifier.classify(exec);
+  }
+
+  const std::size_t n = g.tbox->conceptCount();
+  for (ConceptId x = 0; x < n; ++x)
+    for (ConceptId y = 0; y < n; ++y)
+      ASSERT_EQ(r.taxonomy.subsumes(x, y), g.truth.subsumes(x, y))
+          << g.tbox->conceptName(y) << " ⊑ " << g.tbox->conceptName(x)
+          << " [w=" << p.workers << " cycles=" << p.randomCycles
+          << " prune=" << p.pruning << " sym=" << p.symmetric
+          << " seed=" << p.seeding << " real=" << p.realThreads << "]";
+}
+
+std::vector<Param> buildMatrix() {
+  std::vector<Param> params;
+  // Virtual executor: deterministic, so cover the full cross product of
+  // the interesting booleans at two worker counts.
+  for (std::size_t w : {1u, 5u}) {
+    for (std::size_t cycles : {0u, 3u}) {
+      for (bool pruning : {false, true}) {
+        for (bool symmetric : {false, true}) {
+          for (bool seeding : {false, true}) {
+            params.push_back({w, cycles, pruning, symmetric, seeding,
+                              SchedulingPolicy::kRoundRobin, false});
+          }
+        }
+      }
+    }
+  }
+  // Scheduling disciplines (virtual).
+  for (SchedulingPolicy s : {SchedulingPolicy::kLeastLoaded,
+                             SchedulingPolicy::kSharedQueue})
+    params.push_back({4, 2, true, true, false, s, false});
+  // Real threads: the racy cases (pruning × symmetric), several workers.
+  for (std::size_t w : {2u, 4u, 8u}) {
+    params.push_back({w, 2, true, true, false, SchedulingPolicy::kRoundRobin,
+                      true});
+    params.push_back({w, 2, true, true, true, SchedulingPolicy::kSharedQueue,
+                      true});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ClassifierMatrix,
+                         ::testing::ValuesIn(buildMatrix()));
+
+}  // namespace
+}  // namespace owlcl

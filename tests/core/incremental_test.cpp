@@ -1,0 +1,130 @@
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sequential.hpp"
+#include "gen/generator.hpp"
+#include "gen/mock_reasoner.hpp"
+#include "owl/parser.hpp"
+#include "reasoner/tableau_reasoner.hpp"
+#include "taxonomy/verify.hpp"
+#include "util/rng.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(Incremental, StepwiseInsertion) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubClassOf(B A)
+      SubClassOf(C B)
+      SubClassOf(D A)
+    ))",
+                        t);
+  TableauReasoner reasoner(t);
+  IncrementalClassifier inc(t, reasoner);
+
+  inc.insert(t.findConcept("C"));
+  EXPECT_EQ(inc.insertedCount(), 1u);
+  {
+    const Taxonomy tax = inc.snapshot();
+    // Only C placed: a single node under ⊤.
+    EXPECT_EQ(tax.nodeCount(), 3u);
+  }
+  inc.insert(t.findConcept("A"));
+  inc.insert(t.findConcept("B"));  // splices between A and C
+  inc.insert(t.findConcept("D"));
+  const Taxonomy tax = inc.snapshot();
+  EXPECT_TRUE(tax.subsumes(t.findConcept("A"), t.findConcept("C")));
+  EXPECT_TRUE(tax.subsumes(t.findConcept("B"), t.findConcept("C")));
+  EXPECT_FALSE(tax.subsumes(t.findConcept("B"), t.findConcept("D")));
+  const TaxonomyIssues issues = verifyStructure(tax);
+  EXPECT_TRUE(issues.ok()) << issues.summary();
+}
+
+TEST(Incremental, InsertIsIdempotent) {
+  TBox t;
+  parseFunctionalSyntax("Ontology(SubClassOf(A B))", t);
+  TableauReasoner reasoner(t);
+  IncrementalClassifier inc(t, reasoner);
+  inc.insert(0);
+  const std::uint64_t before = inc.subsumptionTests();
+  inc.insert(0);
+  EXPECT_EQ(inc.subsumptionTests(), before);
+  EXPECT_EQ(inc.insertedCount(), 1u);
+}
+
+TEST(Incremental, UnsatGoesToBottom) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      DisjointClasses(P Q)
+      SubClassOf(X P)
+      SubClassOf(X Q)
+    ))",
+                        t);
+  TableauReasoner reasoner(t);
+  IncrementalClassifier inc(t, reasoner);
+  inc.insertAll();
+  const Taxonomy tax = inc.snapshot();
+  EXPECT_EQ(tax.nodeOf(t.findConcept("X")), Taxonomy::kBottomNode);
+  EXPECT_NE(tax.nodeOf(t.findConcept("P")), Taxonomy::kBottomNode);
+}
+
+TEST(Incremental, EquivalencesJoinClasses) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      EquivalentClasses(A B)
+      SubClassOf(C A)
+    ))",
+                        t);
+  TableauReasoner reasoner(t);
+  IncrementalClassifier inc(t, reasoner);
+  inc.insertAll();
+  const Taxonomy tax = inc.snapshot();
+  EXPECT_TRUE(tax.equivalent(t.findConcept("A"), t.findConcept("B")));
+  EXPECT_TRUE(tax.subsumes(t.findConcept("B"), t.findConcept("C")));
+}
+
+// Order independence: any insertion order yields the same taxonomy as the
+// brute-force oracle.
+class IncrementalOrder : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalOrder, MatchesOracleForAnyOrder) {
+  GenConfig cfg;
+  cfg.name = "inc";
+  cfg.concepts = 40;
+  cfg.subClassEdges = 60;
+  cfg.equivalentAxioms = 4;
+  cfg.disjointAxioms = 4;
+  cfg.unsatConcepts = 1;
+  cfg.seed = 31337;
+  auto g = generateOntology(cfg);
+  MockReasoner mock(g.truth);
+
+  std::vector<ConceptId> order(g.tbox->conceptCount());
+  for (ConceptId c = 0; c < order.size(); ++c) order[c] = c;
+  Xoshiro256 rng(GetParam());
+  shuffle(order, rng);
+
+  IncrementalClassifier inc(*g.tbox, mock);
+  for (ConceptId c : order) inc.insert(c);
+  const Taxonomy tax = inc.snapshot();
+
+  const TaxonomyIssues semantic =
+      verifyAgainstOracle(tax, [&g](ConceptId sup, ConceptId sub) {
+        return g.truth.subsumes(sup, sub);
+      });
+  EXPECT_TRUE(semantic.ok()) << "order seed " << GetParam() << "\n"
+                             << semantic.summary();
+  const TaxonomyIssues structure = verifyStructure(tax);
+  EXPECT_TRUE(structure.ok()) << structure.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, IncrementalOrder,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace owlcl

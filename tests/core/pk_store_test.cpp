@@ -1,0 +1,100 @@
+#include "core/pk_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace owlcl {
+namespace {
+
+TEST(PkStore, InitPossibleAllFillsOffDiagonal) {
+  PkStore s(4);
+  s.initPossibleAll();
+  EXPECT_EQ(s.remainingPossible(), 4u * 3u);
+  for (ConceptId x = 0; x < 4; ++x) {
+    EXPECT_FALSE(s.possible(x, x));
+    EXPECT_TRUE(s.tested(x, x)) << "diagonal pre-claimed";
+  }
+}
+
+TEST(PkStore, RecordSubsumptionMovesPossibleToKnown) {
+  PkStore s(3);
+  s.initPossibleAll();
+  s.recordSubsumption(0, 1);  // 1 ⊑ 0
+  EXPECT_TRUE(s.known(0, 1));
+  EXPECT_FALSE(s.possible(0, 1));
+  EXPECT_TRUE(s.possible(1, 0)) << "reverse direction unaffected";
+  EXPECT_EQ(s.remainingPossible(), 5u);
+}
+
+TEST(PkStore, RecordNonSubsumptionOnlyClearsPossible) {
+  PkStore s(3);
+  s.initPossibleAll();
+  s.recordNonSubsumption(0, 1);
+  EXPECT_FALSE(s.known(0, 1));
+  EXPECT_FALSE(s.possible(0, 1));
+}
+
+TEST(PkStore, ClaimTestIsExclusive) {
+  PkStore s(3);
+  s.initPossibleAll();
+  EXPECT_TRUE(s.claimTest(0, 1));
+  EXPECT_FALSE(s.claimTest(0, 1));
+  EXPECT_TRUE(s.claimTest(1, 0)) << "directions are independent claims";
+}
+
+TEST(PkStore, SatStatusRoundTrips) {
+  PkStore s(2);
+  EXPECT_EQ(s.satStatus(0), SatStatus::kUnknown);
+  s.setSatStatus(0, true);
+  EXPECT_EQ(s.satStatus(0), SatStatus::kSat);
+  s.setSatStatus(1, false);
+  EXPECT_EQ(s.satStatus(1), SatStatus::kUnsat);
+}
+
+TEST(PkStore, EraseUnsatConceptClearsEverything) {
+  PkStore s(4);
+  s.initPossibleAll();
+  s.recordSubsumption(1, 2);  // some prior state
+  s.recordSubsumption(0, 2);  // 2 ⊑ 0 recorded before 2 found unsat
+  s.eraseUnsatConcept(2);
+  EXPECT_TRUE(s.possibleEmpty(2));
+  EXPECT_TRUE(s.knownRow(2).empty());
+  for (ConceptId x = 0; x < 4; ++x) {
+    if (x == 2) continue;
+    EXPECT_FALSE(s.possible(x, 2));
+    EXPECT_FALSE(s.known(x, 2)) << "stale subsumption into unsat dropped";
+    EXPECT_TRUE(s.tested(x, 2));
+    EXPECT_TRUE(s.tested(2, x));
+  }
+  // Unrelated pair untouched.
+  EXPECT_TRUE(s.possible(0, 1));
+}
+
+TEST(PkStore, PruneIndirectClearsBothSets) {
+  PkStore s(3);
+  s.initPossibleAll();
+  s.recordSubsumption(0, 2);
+  s.pruneIndirect(0, 2);
+  EXPECT_FALSE(s.possible(0, 2));
+  EXPECT_FALSE(s.known(0, 2));
+}
+
+TEST(PkStore, RowSnapshotsMatchState) {
+  PkStore s(5);
+  s.initPossibleAll();
+  s.recordSubsumption(0, 1);
+  s.recordSubsumption(0, 3);
+  s.recordNonSubsumption(0, 2);
+  const auto possible = s.possibleRow(0);
+  const auto known = s.knownRow(0);
+  EXPECT_EQ(known, (std::vector<ConceptId>{1, 3}));
+  EXPECT_EQ(possible, (std::vector<ConceptId>{4}));
+  EXPECT_EQ(s.possibleCount(0), 1u);
+  EXPECT_FALSE(s.possibleEmpty(0));
+  const DynamicBitset kb = s.knownRowBits(0);
+  EXPECT_TRUE(kb.test(1));
+  EXPECT_TRUE(kb.test(3));
+  EXPECT_FALSE(kb.test(2));
+}
+
+}  // namespace
+}  // namespace owlcl

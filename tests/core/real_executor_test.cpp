@@ -1,0 +1,69 @@
+#include "core/real_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace owlcl {
+namespace {
+
+TEST(RealExecutor, RunsTasksAndAccumulatesBusy) {
+  ThreadPool pool(2);
+  RealExecutor exec(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    exec.dispatch(exec.pickWorker(SchedulingPolicy::kRoundRobin), [&ran] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return std::uint64_t{1000};
+    });
+  }
+  exec.barrier();
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(exec.busyNs(), 10'000u);
+  EXPECT_GT(exec.elapsedNs(), 0u);
+}
+
+TEST(RealExecutor, SharedQueuePolicyUsesAnyWorker) {
+  ThreadPool pool(3);
+  RealExecutor exec(pool);
+  EXPECT_EQ(exec.pickWorker(SchedulingPolicy::kSharedQueue),
+            Executor::kAnyWorker);
+  std::atomic<int> ran{0};
+  exec.dispatch(Executor::kAnyWorker, [&ran] {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    return std::uint64_t{5};
+  });
+  exec.barrier();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(RealExecutor, RoundRobinCyclesThroughWorkers) {
+  ThreadPool pool(3);
+  RealExecutor exec(pool);
+  const std::size_t a = exec.pickWorker(SchedulingPolicy::kRoundRobin);
+  const std::size_t b = exec.pickWorker(SchedulingPolicy::kRoundRobin);
+  const std::size_t c = exec.pickWorker(SchedulingPolicy::kRoundRobin);
+  const std::size_t a2 = exec.pickWorker(SchedulingPolicy::kRoundRobin);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(exec.workers(), 3u);
+}
+
+TEST(RealExecutor, BarrierIsReusable) {
+  ThreadPool pool(2);
+  RealExecutor exec(pool);
+  std::atomic<int> ran{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 5; ++i)
+      exec.dispatch(Executor::kAnyWorker, [&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return std::uint64_t{1};
+      });
+    exec.barrier();
+    EXPECT_EQ(ran.load(), (wave + 1) * 5);
+  }
+}
+
+}  // namespace
+}  // namespace owlcl

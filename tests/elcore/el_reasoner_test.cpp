@@ -1,0 +1,209 @@
+#include "elcore/el_reasoner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "owl/parser.hpp"
+
+namespace owlcl {
+namespace {
+
+struct Fixture {
+  TBox tbox;
+  std::unique_ptr<ElReasoner> el;
+
+  explicit Fixture(const char* doc) {
+    parseFunctionalSyntax(doc, tbox);
+    tbox.freeze();
+    el = std::make_unique<ElReasoner>(tbox);
+    el->classify();
+  }
+
+  bool subs(const char* sup, const char* sub) const {
+    return el->subsumes(tbox.findConcept(sup), tbox.findConcept(sub));
+  }
+  bool sat(const char* c) const { return el->isSatisfiable(tbox.findConcept(c)); }
+};
+
+TEST(ElReasoner, ToldChain) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(B C)
+    ))");
+  EXPECT_TRUE(f.subs("B", "A"));
+  EXPECT_TRUE(f.subs("C", "A"));
+  EXPECT_TRUE(f.subs("C", "B"));
+  EXPECT_FALSE(f.subs("A", "B"));
+  EXPECT_FALSE(f.subs("A", "C"));
+}
+
+TEST(ElReasoner, ReflexiveSubsumption) {
+  Fixture f("Ontology(SubClassOf(A B))");
+  EXPECT_TRUE(f.subs("A", "A"));
+  EXPECT_TRUE(f.subs("B", "B"));
+}
+
+TEST(ElReasoner, ConjunctionIntroductionAndDecomposition) {
+  // A ⊑ B ⊓ C entails A ⊑ B and A ⊑ C; D ≡ B ⊓ C entails A ⊑ D.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectIntersectionOf(B C))
+      EquivalentClasses(D ObjectIntersectionOf(B C))
+    ))");
+  EXPECT_TRUE(f.subs("B", "A"));
+  EXPECT_TRUE(f.subs("C", "A"));
+  EXPECT_TRUE(f.subs("D", "A"));
+  EXPECT_TRUE(f.subs("B", "D"));
+  EXPECT_FALSE(f.subs("D", "B"));
+}
+
+TEST(ElReasoner, ExistentialPropagation) {
+  // A ⊑ ∃r.B, B ⊑ C, ∃r.C ⊑ D  ⟹  A ⊑ D.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+      SubClassOf(B C)
+      SubClassOf(ObjectSomeValuesFrom(r C) D)
+    ))");
+  EXPECT_TRUE(f.subs("D", "A"));
+  EXPECT_FALSE(f.subs("D", "B"));
+}
+
+TEST(ElReasoner, RoleHierarchyPropagation) {
+  // A ⊑ ∃r.B, r ⊑ s, ∃s.B ⊑ C  ⟹  A ⊑ C.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+      SubObjectPropertyOf(r s)
+      SubClassOf(ObjectSomeValuesFrom(s B) C)
+    ))");
+  EXPECT_TRUE(f.subs("C", "A"));
+}
+
+TEST(ElReasoner, TransitiveRoleComposition) {
+  // A ⊑ ∃r.B, B ⊑ ∃r.C, Trans(r), ∃r.C ⊑ D  ⟹  A ⊑ D.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+      SubClassOf(B ObjectSomeValuesFrom(r C))
+      TransitiveObjectProperty(r)
+      SubClassOf(ObjectSomeValuesFrom(r C) D)
+    ))");
+  EXPECT_TRUE(f.subs("D", "A"));
+}
+
+TEST(ElReasoner, TransitivityThroughHierarchy) {
+  // p ⊑ t, Trans(t), t ⊑ s: A -p-> B -p-> C composes in t, flows to s.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(p B))
+      SubClassOf(B ObjectSomeValuesFrom(p C))
+      SubObjectPropertyOf(p t)
+      TransitiveObjectProperty(t)
+      SubObjectPropertyOf(t s)
+      SubClassOf(ObjectSomeValuesFrom(s C) D)
+    ))");
+  EXPECT_TRUE(f.subs("D", "A"));
+}
+
+TEST(ElReasoner, DisjointnessMakesUnsat) {
+  Fixture f(R"(
+    Ontology(
+      DisjointClasses(B C)
+      SubClassOf(A B)
+      SubClassOf(A C)
+    ))");
+  EXPECT_FALSE(f.sat("A"));
+  EXPECT_TRUE(f.sat("B"));
+  EXPECT_TRUE(f.sat("C"));
+  // Unsat concepts are subsumed by everything.
+  EXPECT_TRUE(f.subs("B", "A"));
+  EXPECT_TRUE(f.subs("C", "A"));
+}
+
+TEST(ElReasoner, UnsatPropagatesThroughExistentials) {
+  // A ⊑ ∃r.X with X unsatisfiable ⟹ A unsatisfiable.
+  Fixture f(R"(
+    Ontology(
+      DisjointClasses(P Q)
+      SubClassOf(X P)
+      SubClassOf(X Q)
+      SubClassOf(A ObjectSomeValuesFrom(r X))
+    ))");
+  EXPECT_FALSE(f.sat("X"));
+  EXPECT_FALSE(f.sat("A"));
+}
+
+TEST(ElReasoner, EquivalenceCycleDetected) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(B C)
+      SubClassOf(C A)
+    ))");
+  EXPECT_TRUE(f.subs("A", "C"));
+  EXPECT_TRUE(f.subs("C", "A"));
+  EXPECT_TRUE(f.subs("B", "A"));
+  EXPECT_TRUE(f.subs("A", "B"));
+}
+
+TEST(ElReasoner, SubsumersOfListsStrictSubsumers) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(B C)
+      SubClassOf(D C)
+    ))");
+  const auto subsumers = f.el->subsumersOf(f.tbox.findConcept("A"));
+  EXPECT_EQ(subsumers.size(), 2u);  // B and C, not A itself, not D
+}
+
+TEST(ElReasoner, NoSpuriousSubsumptions) {
+  // ∃r.B and ∃s.B must not be conflated; nor B and C.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+      SubClassOf(ObjectSomeValuesFrom(s B) D)
+      SubClassOf(ObjectSomeValuesFrom(r C) E)
+    ))");
+  EXPECT_FALSE(f.subs("D", "A"));
+  EXPECT_FALSE(f.subs("E", "A"));
+}
+
+TEST(ElReasoner, SharedStructureNormalisesOnce) {
+  // The same complex filler appears twice; hash-consing + the definition
+  // cache must give the same fresh atom, so both axioms interact.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(r ObjectIntersectionOf(B C)))
+      SubClassOf(ObjectSomeValuesFrom(r ObjectIntersectionOf(B C)) D)
+    ))");
+  EXPECT_TRUE(f.subs("D", "A"));
+}
+
+TEST(ElReasoner, IsElTBoxRejectsNonEl) {
+  TBox t;
+  parseFunctionalSyntax("Ontology(SubClassOf(A ObjectUnionOf(B C)))", t);
+  EXPECT_FALSE(isElTBox(t));
+  TBox t2;
+  parseFunctionalSyntax("Ontology(SubClassOf(A ObjectSomeValuesFrom(r B)))", t2);
+  EXPECT_TRUE(isElTBox(t2));
+  TBox t3;
+  parseFunctionalSyntax("Ontology(DisjointClasses(A B))", t3);
+  EXPECT_TRUE(isElTBox(t3)) << "disjointness stays in EL via bottom";
+}
+
+TEST(ElReasoner, DeepChainScales) {
+  // 200-deep told chain; everything subsumes the leaf.
+  std::string doc = "Ontology(";
+  for (int i = 0; i < 200; ++i)
+    doc += "SubClassOf(C" + std::to_string(i) + " C" + std::to_string(i + 1) + ")";
+  doc += ")";
+  Fixture f(doc.c_str());
+  EXPECT_TRUE(f.subs("C200", "C0"));
+  EXPECT_TRUE(f.subs("C100", "C0"));
+  EXPECT_FALSE(f.subs("C0", "C200"));
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,73 @@
+// The shipped example ontologies must stay parseable and classify to the
+// expected shapes (guards the examples/ directory against rot).
+#include <gtest/gtest.h>
+
+#include "core/parallel_classifier.hpp"
+#include "core/real_executor.hpp"
+#include "elcore/el_reasoner.hpp"
+#include "owl/metrics.hpp"
+#include "owl/obo_parser.hpp"
+#include "owl/parser.hpp"
+#include "reasoner/tableau_reasoner.hpp"
+#include "taxonomy/verify.hpp"
+
+namespace owlcl {
+namespace {
+
+ClassificationResult classify(TBox& tbox) {
+  TableauReasoner reasoner(tbox);
+  ParallelClassifier classifier(tbox, reasoner);
+  ThreadPool pool(2);
+  RealExecutor exec(pool);
+  return classifier.classify(exec);
+}
+
+TEST(ExampleData, UniversityOfn) {
+  TBox tbox;
+  parseFunctionalSyntaxFile(std::string(OWLCL_EXAMPLE_DATA_DIR) +
+                                "/university.ofn",
+                            tbox);
+  const OntologyMetrics m = computeMetrics(tbox);
+  EXPECT_EQ(m.expressivity, "SHQ");
+  EXPECT_GT(m.qcrs, 0u);
+
+  const ClassificationResult r = classify(tbox);
+  const auto id = [&](const char* n) { return tbox.findConcept(n); };
+  const std::string p = "http://owlcl.example/university#";
+  // Professor is a Teacher by definition (teaches some Course).
+  EXPECT_TRUE(r.taxonomy.subsumes(id((p + "Teacher").c_str()),
+                                  id((p + "Professor").c_str())));
+  // LabMember reaches DepartmentStaff through transitive partOf.
+  EXPECT_TRUE(r.taxonomy.subsumes(id((p + "DepartmentStaff").c_str()),
+                                  id((p + "LabMember").c_str())));
+  // The contradictory student is unsatisfiable.
+  EXPECT_EQ(r.taxonomy.nodeOf(id((p + "ImpossibleStudent").c_str())),
+            Taxonomy::kBottomNode);
+  // BusyStudent (3..5 courses) and OverloadedStudent (≥6) are disjoint in
+  // effect: neither subsumes the other.
+  EXPECT_FALSE(r.taxonomy.subsumes(id((p + "BusyStudent").c_str()),
+                                   id((p + "OverloadedStudent").c_str())));
+  const TaxonomyIssues issues = verifyStructure(r.taxonomy);
+  EXPECT_TRUE(issues.ok()) << issues.summary();
+}
+
+TEST(ExampleData, AnatomyObo) {
+  TBox tbox;
+  parseOboFile(std::string(OWLCL_EXAMPLE_DATA_DIR) + "/anatomy.obo", tbox);
+  EXPECT_TRUE(isElTBox(tbox));
+  EXPECT_EQ(tbox.findConcept("OBSOLETE:1"), kInvalidConcept);
+
+  const ClassificationResult r = classify(tbox);
+  const auto id = [&](const char* n) { return tbox.findConcept(n); };
+  // Myocardium is part_of heart ⟹ a HeartComponent (definition).
+  EXPECT_TRUE(r.taxonomy.subsumes(id("HeartComponent"), id("UBERON:0002349")));
+  // Septum is part_of myocardium, part_of transitive ⟹ HeartComponent too.
+  EXPECT_TRUE(r.taxonomy.subsumes(id("HeartComponent"), id("UBERON:0002094")));
+  // The heart tube (part of the embryo) is not a heart component.
+  EXPECT_FALSE(r.taxonomy.subsumes(id("HeartComponent"), id("UBERON:0004141")));
+  const TaxonomyIssues issues = verifyStructure(r.taxonomy);
+  EXPECT_TRUE(issues.ok()) << issues.summary();
+}
+
+}  // namespace
+}  // namespace owlcl

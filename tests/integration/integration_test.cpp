@@ -1,0 +1,210 @@
+// Cross-module integration tests: the parallel classifier against every
+// reasoner backend and oracle the repository has, on generated corpora.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/parallel_classifier.hpp"
+#include "core/real_executor.hpp"
+#include "core/sequential.hpp"
+#include "elcore/el_reasoner.hpp"
+#include "gen/generator.hpp"
+#include "gen/mock_reasoner.hpp"
+#include "reasoner/tableau_reasoner.hpp"
+#include "simsched/virtual_executor.hpp"
+
+namespace owlcl {
+namespace {
+
+void expectTaxonomyMatchesTruth(const Taxonomy& tax, const GroundTruth& truth,
+                                const TBox& tbox) {
+  const std::size_t n = tbox.conceptCount();
+  for (ConceptId x = 0; x < n; ++x) {
+    for (ConceptId y = 0; y < n; ++y) {
+      ASSERT_EQ(tax.subsumes(x, y), truth.subsumes(x, y))
+          << tbox.conceptName(y) << " ⊑ " << tbox.conceptName(x);
+    }
+  }
+}
+
+GenConfig mediumConfig(std::uint64_t seed) {
+  GenConfig cfg;
+  cfg.name = "itest";
+  cfg.concepts = 80;
+  cfg.subClassEdges = 120;
+  cfg.existentialAxioms = 30;
+  cfg.equivalentAxioms = 5;
+  cfg.disjointAxioms = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Parallel classifier + MockReasoner on real threads ⇒ exact ground truth.
+class MockEndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MockEndToEnd, TaxonomyMatchesGroundTruth) {
+  auto g = generateOntology(mediumConfig(GetParam()));
+  MockReasoner mock(g.truth);
+  ThreadPool pool(4);
+  RealExecutor exec(pool);
+  ParallelClassifier classifier(*g.tbox, mock);
+  const auto r = classifier.classify(exec);
+  expectTaxonomyMatchesTruth(r.taxonomy, g.truth, *g.tbox);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MockEndToEnd, ::testing::Values(1, 7, 19, 42));
+
+// Parallel classifier + real tableau ⇒ same taxonomy as the EL oracle.
+TEST(Integration, TableauParallelMatchesElSaturation) {
+  GenConfig cfg = mediumConfig(5);
+  cfg.concepts = 50;
+  cfg.subClassEdges = 75;
+  cfg.disjointAxioms = 0;  // keep it EL
+  cfg.roleHierarchy = true;
+  cfg.transitiveRoles = true;
+  auto g = generateOntology(cfg);
+  ASSERT_TRUE(isElTBox(*g.tbox));
+
+  ElReasoner el(*g.tbox);
+  el.classify();
+
+  TableauReasoner tableau(*g.tbox);
+  ThreadPool pool(3);
+  RealExecutor exec(pool);
+  ParallelClassifier classifier(*g.tbox, tableau);
+  const auto r = classifier.classify(exec);
+
+  const std::size_t n = g.tbox->conceptCount();
+  for (ConceptId x = 0; x < n; ++x)
+    for (ConceptId y = 0; y < n; ++y)
+      ASSERT_EQ(r.taxonomy.subsumes(x, y), el.subsumes(x, y))
+          << g.tbox->conceptName(y) << " ⊑ " << g.tbox->conceptName(x);
+}
+
+// Virtual-time execution computes the same taxonomy as real threads.
+TEST(Integration, VirtualAndRealExecutorsAgree) {
+  auto g = generateOntology(mediumConfig(23));
+  MockReasoner mock(g.truth);
+
+  VirtualExecutor vexec(6);
+  ParallelClassifier c1(*g.tbox, mock);
+  const auto rv = c1.classify(vexec);
+
+  ThreadPool pool(6);
+  RealExecutor rexec(pool);
+  ParallelClassifier c2(*g.tbox, mock);
+  const auto rr = c2.classify(rexec);
+
+  const std::size_t n = g.tbox->conceptCount();
+  for (ConceptId x = 0; x < n; ++x)
+    for (ConceptId y = 0; y < n; ++y)
+      ASSERT_EQ(rv.taxonomy.subsumes(x, y), rr.taxonomy.subsumes(x, y));
+}
+
+// Virtual-time classification is bit-for-bit deterministic.
+TEST(Integration, VirtualClassificationDeterministic) {
+  auto g = generateOntology(mediumConfig(31));
+  MockReasoner mock(g.truth);
+  auto run = [&] {
+    VirtualExecutor exec(8);
+    ParallelClassifier c(*g.tbox, mock);
+    const auto r = c.classify(exec);
+    return std::make_pair(r.elapsedNs, r.busyNs);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+// Speedup grows with virtual workers on a uniform-cost workload. The
+// default OverheadModel is calibrated for figure-scale runtimes, so this
+// small workload uses a light model (scaling is the classifier's doing).
+TEST(Integration, VirtualSpeedupScales) {
+  GenConfig cfg = mediumConfig(77);
+  cfg.concepts = 150;
+  cfg.subClassEdges = 250;
+  auto g = generateOntology(cfg);
+  MockReasoner mock(g.truth);
+  OverheadModel light;
+  light.dispatchNs = 100;
+  light.perTaskNs = 100;
+  light.barrierNs = 1000;
+  light.barrierPerWorkerNs = 0;
+  light.barrierQuadNs = 0;
+  auto speedupAt = [&](std::size_t w) {
+    VirtualExecutor exec(w, light);
+    ParallelClassifier c(*g.tbox, mock);
+    return c.classify(exec).speedup();
+  };
+  const double s1 = speedupAt(1);
+  const double s4 = speedupAt(4);
+  const double s16 = speedupAt(16);
+  EXPECT_LT(s1, 1.2);
+  EXPECT_GT(s4, s1 * 1.8);
+  EXPECT_GT(s16, s4 * 1.5);
+}
+
+// Parallel classifier with the tableau backend matches brute force on a
+// mixed (non-EL) generated ontology with unsatisfiable concepts.
+TEST(Integration, TableauParallelMatchesBruteForceNonEl) {
+  GenConfig cfg;
+  cfg.name = "mixed";
+  cfg.concepts = 35;
+  cfg.subClassEdges = 50;
+  cfg.existentialAxioms = 12;
+  cfg.universalAxioms = 5;
+  cfg.qcrAxioms = 6;
+  cfg.equivalentAxioms = 3;
+  cfg.disjointAxioms = 4;
+  cfg.unsatConcepts = 2;
+  cfg.seed = 9;
+  auto g = generateOntology(cfg);
+
+  TableauReasoner tableau(*g.tbox);
+  BruteForceClassifier brute(*g.tbox, tableau);
+  const auto oracle = brute.classify();
+
+  ThreadPool pool(4);
+  RealExecutor exec(pool);
+  ParallelClassifier classifier(*g.tbox, tableau);
+  const auto r = classifier.classify(exec);
+
+  const std::size_t n = g.tbox->conceptCount();
+  for (ConceptId x = 0; x < n; ++x)
+    for (ConceptId y = 0; y < n; ++y)
+      ASSERT_EQ(r.taxonomy.subsumes(x, y), oracle.taxonomy.subsumes(x, y))
+          << g.tbox->conceptName(y) << " ⊑ " << g.tbox->conceptName(x);
+}
+
+// Fig. 11 inputs: cycle stats must track the shrinking possible set.
+TEST(Integration, CycleStatsMonotone) {
+  auto g = generateOntology(mediumConfig(55));
+  MockReasoner mock(g.truth);
+  ClassifierConfig cfg;
+  cfg.randomCycles = 5;
+  VirtualExecutor exec(10);
+  ParallelClassifier c(*g.tbox, mock, cfg);
+  const auto r = c.classify(exec);
+
+  std::size_t randomCycles = 0;
+  std::size_t prevAfter = r.initialPossible;
+  for (const CycleStats& cs : r.cycles) {
+    if (cs.phase == CycleStats::Phase::kRandomDivision) {
+      ++randomCycles;
+      EXPECT_LE(cs.possibleAfter, cs.possibleBefore);
+      EXPECT_LE(cs.possibleBefore, prevAfter);
+      prevAfter = cs.possibleAfter;
+    }
+  }
+  EXPECT_EQ(randomCycles, 5u);
+  // Final division cycle empties R_O.
+  const CycleStats* lastDivision = nullptr;
+  for (const CycleStats& cs : r.cycles)
+    if (cs.phase != CycleStats::Phase::kHierarchy) lastDivision = &cs;
+  ASSERT_NE(lastDivision, nullptr);
+  EXPECT_EQ(lastDivision->possibleAfter, 0u);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "owl/metrics.hpp"
+#include "owl/parser.hpp"
+#include "owl/printer.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(Annotations, ParseAndCount) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubClassOf(A B)
+      AnnotationAssertion(rdfs:comment A "the class A")
+      AnnotationAssertion(rdfs:label B "B label")
+    ))",
+                        t);
+  const OntologyMetrics m = computeMetrics(t);
+  EXPECT_EQ(m.annotations, 2u);
+  EXPECT_EQ(m.subClassOf, 1u);
+  // Annotations count toward the axiom total like in OWL tooling.
+  EXPECT_EQ(m.axioms, 2u /*decl*/ + 3u /*told*/);
+  // Annotations are inert: expressivity unchanged.
+  EXPECT_EQ(m.expressivity, "EL");
+}
+
+TEST(Annotations, RoundTripThroughPrinter) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      AnnotationAssertion(rdfs:comment X "hello world")
+      SubClassOf(X Y)
+    ))",
+                        t);
+  const std::string doc = toFunctionalSyntaxDocument(t);
+  EXPECT_NE(doc.find("AnnotationAssertion(rdfs:comment X \"hello world\")"),
+            std::string::npos);
+  TBox t2;
+  parseFunctionalSyntax(doc, t2);
+  EXPECT_EQ(t2.toldAxioms().size(), t.toldAxioms().size());
+  EXPECT_EQ(toFunctionalSyntaxDocument(t2), doc);
+}
+
+TEST(Annotations, InertForInclusions) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      AnnotationAssertion(rdfs:comment A "x")
+      SubClassOf(A B)
+    ))",
+                        t);
+  t.freeze();
+  EXPECT_EQ(t.inclusions().size(), 1u);  // only the SubClassOf
+}
+
+TEST(Annotations, UnterminatedStringRejected) {
+  TBox t;
+  EXPECT_THROW(
+      parseFunctionalSyntax("Ontology(AnnotationAssertion(p A \"oops))", t),
+      ParseError);
+}
+
+TEST(Annotations, AddAnnotationApi) {
+  TBox t;
+  const ConceptId c = t.declareConcept("C");
+  t.addAnnotation(c, "note");
+  ASSERT_EQ(t.toldAxioms().size(), 1u);
+  EXPECT_EQ(t.toldAxioms()[0].kind, AxiomKind::kAnnotation);
+  EXPECT_EQ(t.toldAxioms()[0].text, "note");
+}
+
+}  // namespace
+}  // namespace owlcl

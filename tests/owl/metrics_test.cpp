@@ -1,0 +1,103 @@
+#include "owl/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "owl/parser.hpp"
+
+namespace owlcl {
+namespace {
+
+OntologyMetrics metricsOf(const char* doc) {
+  TBox t;
+  parseFunctionalSyntax(doc, t);
+  return computeMetrics(t);
+}
+
+TEST(Metrics, PureElOntology) {
+  const auto m = metricsOf(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(B ObjectSomeValuesFrom(r C))
+      SubClassOf(C ObjectIntersectionOf(A B))
+    ))");
+  EXPECT_EQ(m.concepts, 3u);
+  EXPECT_EQ(m.subClassOf, 3u);
+  EXPECT_EQ(m.somes, 1u);
+  EXPECT_EQ(m.qcrs, 0u);
+  EXPECT_EQ(m.expressivity, "EL");
+}
+
+TEST(Metrics, ElhPlusNaming) {
+  const auto m = metricsOf(R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+      SubObjectPropertyOf(r s)
+      TransitiveObjectProperty(s)
+    ))");
+  EXPECT_EQ(m.expressivity, "ELH+");
+  EXPECT_EQ(m.roleHierarchyAxioms, 1u);
+  EXPECT_EQ(m.transitiveRoles, 1u);
+}
+
+TEST(Metrics, AlcFromUnion) {
+  const auto m = metricsOf("Ontology(SubClassOf(A ObjectUnionOf(B C)))");
+  EXPECT_EQ(m.expressivity, "ALC");
+  EXPECT_EQ(m.unions, 1u);
+}
+
+TEST(Metrics, AlcFromDisjointness) {
+  const auto m = metricsOf("Ontology(DisjointClasses(A B))");
+  EXPECT_EQ(m.expressivity, "ALC");
+  EXPECT_EQ(m.disjoint, 1u);
+}
+
+TEST(Metrics, SWithTransitivity) {
+  const auto m = metricsOf(R"(
+    Ontology(
+      SubClassOf(A ObjectAllValuesFrom(r B))
+      TransitiveObjectProperty(r)
+    ))");
+  EXPECT_EQ(m.expressivity, "S");
+}
+
+TEST(Metrics, QcrCountsAndNaming) {
+  const auto m = metricsOf(R"(
+    Ontology(
+      SubClassOf(A ObjectMinCardinality(2 r B))
+      SubClassOf(B ObjectMaxCardinality(1 r A))
+      SubClassOf(C ObjectUnionOf(A B))
+    ))");
+  EXPECT_EQ(m.qcrs, 2u);
+  EXPECT_EQ(m.expressivity, "ALCQ");
+}
+
+TEST(Metrics, ShqNaming) {
+  const auto m = metricsOf(R"(
+    Ontology(
+      SubClassOf(A ObjectMinCardinality(2 r B))
+      SubClassOf(A ObjectComplementOf(B))
+      SubObjectPropertyOf(r s)
+      TransitiveObjectProperty(t)
+    ))");
+  EXPECT_EQ(m.expressivity, "SHQ");
+}
+
+TEST(Metrics, CountsEquivalent) {
+  const auto m = metricsOf(R"(
+    Ontology(
+      EquivalentClasses(A ObjectIntersectionOf(B ObjectSomeValuesFrom(r C)))
+      EquivalentClasses(D E)
+    ))");
+  EXPECT_EQ(m.equivalent, 2u);
+  EXPECT_EQ(m.somes, 1u);
+}
+
+TEST(Metrics, RowRendersName) {
+  const auto m = metricsOf("Ontology(SubClassOf(A B))");
+  const std::string row = metricsRow("test.owl", m);
+  EXPECT_NE(row.find("test.owl"), std::string::npos);
+  EXPECT_NE(row.find("EL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,205 @@
+#include "owl/obo_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "elcore/el_reasoner.hpp"
+#include "owl/metrics.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(OboParser, BasicTermsAndIsA) {
+  TBox t;
+  parseObo(R"(format-version: 1.2
+ontology: test
+
+[Term]
+id: GO:0000001
+name: root thing
+
+[Term]
+id: GO:0000002
+name: child thing
+is_a: GO:0000001 ! root thing
+)",
+           t);
+  EXPECT_EQ(t.conceptCount(), 2u);
+  const OntologyMetrics m = computeMetrics(t);
+  EXPECT_EQ(m.subClassOf, 1u);
+  EXPECT_EQ(m.annotations, 2u);  // the two name: tags
+}
+
+TEST(OboParser, RelationshipBecomesExistential) {
+  TBox t;
+  parseObo(R"(
+[Term]
+id: A
+relationship: part_of B
+)",
+           t);
+  EXPECT_NE(t.findConcept("B"), kInvalidConcept);
+  EXPECT_NE(t.roles().find("part_of"), kInvalidRole);
+  const OntologyMetrics m = computeMetrics(t);
+  EXPECT_EQ(m.somes, 1u);
+  EXPECT_EQ(m.expressivity, "EL");
+}
+
+TEST(OboParser, IntersectionOfBecomesDefinition) {
+  TBox t;
+  parseObo(R"(
+[Term]
+id: A
+intersection_of: B
+intersection_of: part_of C
+)",
+           t);
+  t.freeze();
+  ElReasoner el(t);
+  el.classify();
+  // A ≡ B ⊓ ∃part_of.C entails A ⊑ B.
+  EXPECT_TRUE(el.subsumes(t.findConcept("B"), t.findConcept("A")));
+  EXPECT_FALSE(el.subsumes(t.findConcept("A"), t.findConcept("B")));
+}
+
+TEST(OboParser, TypedefHierarchyAndTransitivity) {
+  TBox t;
+  parseObo(R"(
+[Typedef]
+id: part_of
+is_a: overlaps
+is_transitive: true
+
+[Term]
+id: A
+relationship: part_of B
+)",
+           t);
+  const RoleId partOf = t.roles().find("part_of");
+  const RoleId overlaps = t.roles().find("overlaps");
+  ASSERT_NE(partOf, kInvalidRole);
+  ASSERT_NE(overlaps, kInvalidRole);
+  EXPECT_TRUE(t.roles().isTransitiveDeclared(partOf));
+  t.freeze();
+  EXPECT_TRUE(t.roles().isSubRoleOf(partOf, overlaps));
+}
+
+TEST(OboParser, ObsoleteTermsSkipped) {
+  TBox t;
+  parseObo(R"(
+[Term]
+id: Old
+is_obsolete: true
+is_a: Gone
+
+[Term]
+id: Live
+)",
+           t);
+  EXPECT_EQ(t.findConcept("Old"), kInvalidConcept);
+  EXPECT_EQ(t.findConcept("Gone"), kInvalidConcept);
+  EXPECT_NE(t.findConcept("Live"), kInvalidConcept);
+}
+
+TEST(OboParser, DisjointAndEquivalent) {
+  TBox t;
+  parseObo(R"(
+[Term]
+id: A
+disjoint_from: B
+equivalent_to: C
+)",
+           t);
+  const OntologyMetrics m = computeMetrics(t);
+  EXPECT_EQ(m.disjoint, 1u);
+  EXPECT_EQ(m.equivalent, 1u);
+}
+
+TEST(OboParser, BangCommentsAndBlankLines) {
+  TBox t;
+  parseObo(R"(
+! a file comment
+
+[Term]
+id: A
+
+is_a: B ! with a comment
+)",
+           t);
+  t.freeze();
+  ASSERT_EQ(t.inclusions().size(), 1u);
+  EXPECT_NE(t.findConcept("B"), kInvalidConcept);
+}
+
+TEST(OboParser, UnknownTagsIgnored) {
+  TBox t;
+  parseObo(R"(
+[Term]
+id: A
+xref: EXT:123
+synonym: "another name" EXACT []
+namespace: test_ns
+created_by: someone
+)",
+           t);
+  EXPECT_EQ(t.conceptCount(), 1u);
+}
+
+TEST(OboParser, Errors) {
+  TBox t1;
+  EXPECT_THROW(parseObo("[Term]\nname: no id\n", t1), ParseError);
+  TBox t2;
+  EXPECT_THROW(parseObo("[Term\nid: A\n", t2), ParseError);
+  TBox t3;
+  EXPECT_THROW(parseObo("[Term]\nid: A\nrelationship: onlyrole\n", t3),
+               ParseError);
+  TBox t4;
+  EXPECT_THROW(parseObo("[Term]\nid: A\nintersection_of: B\n", t4), ParseError);
+  TBox t5;
+  EXPECT_THROW(parseObo("[Term]\nid: A\nbadline\n", t5), ParseError);
+}
+
+TEST(OboParser, EndToEndClassification) {
+  // A miniature OBO anatomy: classify it and check entailed placement
+  // through a definition.
+  TBox t;
+  parseObo(R"(
+[Typedef]
+id: part_of
+is_a: located_in
+is_transitive: true
+
+[Term]
+id: UBERON:body
+
+[Term]
+id: UBERON:organ
+is_a: UBERON:body
+
+[Term]
+id: UBERON:heart
+is_a: UBERON:organ
+relationship: part_of UBERON:body
+
+[Term]
+id: UBERON:valve
+relationship: part_of UBERON:heart
+
+[Term]
+id: HeartPart
+intersection_of: UBERON:valve
+intersection_of: part_of UBERON:heart
+)",
+           t);
+  t.freeze();
+  ASSERT_TRUE(isElTBox(t));
+  ElReasoner el(t);
+  el.classify();
+  // valve has part_of heart asserted, so valve ⊑ HeartPart (definition).
+  EXPECT_TRUE(
+      el.subsumes(t.findConcept("HeartPart"), t.findConcept("UBERON:valve")));
+  EXPECT_TRUE(el.subsumes(t.findConcept("UBERON:body"),
+                          t.findConcept("UBERON:heart")));
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,164 @@
+#include "owl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "owl/printer.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(Parser, MinimalOntology) {
+  TBox t;
+  parseFunctionalSyntax("Ontology(<http://x>)", t);
+  EXPECT_EQ(t.conceptCount(), 0u);
+}
+
+TEST(Parser, DeclarationsAndSubClassOf) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(<http://x>
+      Declaration(Class(A))
+      Declaration(Class(B))
+      SubClassOf(A B)
+    ))",
+                        t);
+  EXPECT_EQ(t.conceptCount(), 2u);
+  ASSERT_EQ(t.toldAxioms().size(), 1u);
+  EXPECT_EQ(t.toldAxioms()[0].kind, AxiomKind::kSubClassOf);
+}
+
+TEST(Parser, PrefixExpansion) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Prefix(ex:=<http://example.org/>)
+    Ontology(
+      SubClassOf(ex:A ex:B)
+    ))",
+                        t);
+  EXPECT_NE(t.findConcept("http://example.org/A"), kInvalidConcept);
+  EXPECT_NE(t.findConcept("http://example.org/B"), kInvalidConcept);
+}
+
+TEST(Parser, FullIris) {
+  TBox t;
+  parseFunctionalSyntax("Ontology(SubClassOf(<http://x/A> <http://x/B>))", t);
+  EXPECT_NE(t.findConcept("http://x/A"), kInvalidConcept);
+}
+
+TEST(Parser, ComplexClassExpressions) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubClassOf(A ObjectIntersectionOf(B ObjectSomeValuesFrom(r C)))
+      SubClassOf(B ObjectUnionOf(C ObjectComplementOf(A)))
+      SubClassOf(C ObjectAllValuesFrom(r owl:Thing))
+      SubClassOf(D owl:Nothing)
+    ))",
+                        t);
+  EXPECT_EQ(t.conceptCount(), 4u);
+  EXPECT_EQ(t.roles().size(), 1u);
+}
+
+TEST(Parser, CardinalityForms) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubClassOf(A ObjectMinCardinality(2 r B))
+      SubClassOf(A ObjectMaxCardinality(3 r B))
+      SubClassOf(A ObjectExactCardinality(1 r))
+    ))",
+                        t);
+  const auto& f = t.exprs();
+  const ExprId minC = t.toldAxioms()[0].classArgs[1];
+  EXPECT_EQ(f.kind(minC), ExprKind::kAtLeast);
+  EXPECT_EQ(f.node(minC).number, 2u);
+  const ExprId maxC = t.toldAxioms()[1].classArgs[1];
+  EXPECT_EQ(f.kind(maxC), ExprKind::kAtMost);
+  // ExactCardinality(1 r) = ≥1 r.⊤ ⊓ ≤1 r.⊤ = ∃r.⊤ ⊓ ≤1 r.⊤.
+  const ExprId exact = t.toldAxioms()[2].classArgs[1];
+  EXPECT_EQ(f.kind(exact), ExprKind::kAnd);
+}
+
+TEST(Parser, EquivalentAndDisjoint) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      EquivalentClasses(A B C)
+      DisjointClasses(D E)
+    ))",
+                        t);
+  ASSERT_EQ(t.toldAxioms().size(), 2u);
+  EXPECT_EQ(t.toldAxioms()[0].classArgs.size(), 3u);
+  EXPECT_EQ(t.toldAxioms()[1].kind, AxiomKind::kDisjointClasses);
+}
+
+TEST(Parser, RoleAxioms) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      Declaration(ObjectProperty(r))
+      SubObjectPropertyOf(r s)
+      TransitiveObjectProperty(s)
+    ))",
+                        t);
+  EXPECT_EQ(t.roles().size(), 2u);
+  EXPECT_TRUE(t.roles().isTransitiveDeclared(t.roles().find("s")));
+}
+
+TEST(Parser, LineCommentsIgnored) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    # header comment
+    Ontology( # trailing
+      SubClassOf(A B) # another
+    ))",
+                        t);
+  EXPECT_EQ(t.conceptCount(), 2u);
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  TBox t;
+  try {
+    parseFunctionalSyntax("Ontology(\n  BogusAxiom(A B)\n)", t);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Parser, RejectsUnterminatedIri) {
+  TBox t;
+  EXPECT_THROW(parseFunctionalSyntax("Ontology(<http://x", t), ParseError);
+}
+
+TEST(Parser, RejectsTrailingContent) {
+  TBox t;
+  EXPECT_THROW(parseFunctionalSyntax("Ontology() junk", t), ParseError);
+}
+
+TEST(Parser, RoundTripsThroughPrinter) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      Declaration(Class(A))
+      Declaration(Class(B))
+      Declaration(ObjectProperty(r))
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+      EquivalentClasses(B ObjectIntersectionOf(A C))
+      DisjointClasses(A C)
+      SubObjectPropertyOf(r s)
+      TransitiveObjectProperty(s)
+    ))",
+                        t);
+  const std::string doc = toFunctionalSyntaxDocument(t);
+  TBox t2;
+  parseFunctionalSyntax(doc, t2);
+  EXPECT_EQ(t2.conceptCount(), t.conceptCount());
+  EXPECT_EQ(t2.roles().size(), t.roles().size());
+  EXPECT_EQ(t2.toldAxioms().size(), t.toldAxioms().size());
+  // And the re-print is a fixpoint.
+  EXPECT_EQ(toFunctionalSyntaxDocument(t2), doc);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,60 @@
+#include "owl/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "owl/parser.hpp"
+
+namespace owlcl {
+namespace {
+
+struct Fixture {
+  TBox t;
+  ExprFactory& f = t.exprs();
+  ConceptId a = t.declareConcept("A");
+  ConceptId b = t.declareConcept("B");
+  RoleId r = t.declareRole("r");
+  // Pre-intern the atoms so they get the smallest expression ids; n-ary
+  // operands print in canonical (id) order, which this makes stable.
+  ExprId ea = f.atom(a);
+  ExprId eb = f.atom(b);
+};
+
+TEST(Printer, DlSyntaxBasics) {
+  Fixture fx;
+  EXPECT_EQ(toDlSyntax(fx.t, fx.f.top()), "⊤");
+  EXPECT_EQ(toDlSyntax(fx.t, fx.f.bottom()), "⊥");
+  EXPECT_EQ(toDlSyntax(fx.t, fx.f.atom(fx.a)), "A");
+  EXPECT_EQ(toDlSyntax(fx.t, fx.f.negate(fx.f.atom(fx.a))), "¬A");
+  EXPECT_EQ(toDlSyntax(fx.t, fx.f.conj(fx.f.atom(fx.a), fx.f.atom(fx.b))),
+            "(A ⊓ B)");
+  EXPECT_EQ(toDlSyntax(fx.t, fx.f.exists(fx.r, fx.f.atom(fx.b))), "∃r.B");
+  EXPECT_EQ(toDlSyntax(fx.t, fx.f.forall(fx.r, fx.f.atom(fx.b))), "∀r.B");
+  EXPECT_EQ(toDlSyntax(fx.t, fx.f.atLeast(3, fx.r, fx.f.atom(fx.b))), "≥3 r.B");
+  EXPECT_EQ(toDlSyntax(fx.t, fx.f.atMost(2, fx.r, fx.f.atom(fx.b))), "≤2 r.B");
+}
+
+TEST(Printer, FunctionalSyntaxNested) {
+  Fixture fx;
+  const ExprId e = fx.f.disj(fx.f.atom(fx.a),
+                             fx.f.exists(fx.r, fx.f.negate(fx.f.atom(fx.b))));
+  const std::string s = toFunctionalSyntax(fx.t, e);
+  EXPECT_EQ(s,
+            "ObjectUnionOf(A ObjectSomeValuesFrom(r ObjectComplementOf(B)))");
+}
+
+TEST(Printer, ExpressionsRoundTripThroughParser) {
+  // Print an expression, embed it in an axiom, reparse: same structure.
+  Fixture fx;
+  const ExprId e =
+      fx.f.conj(fx.f.atLeast(2, fx.r, fx.f.atom(fx.b)),
+                fx.f.forall(fx.r, fx.f.disj(fx.f.atom(fx.a), fx.f.atom(fx.b))));
+  const std::string doc =
+      "Ontology(SubClassOf(A " + toFunctionalSyntax(fx.t, e) + "))";
+  TBox t2;
+  parseFunctionalSyntax(doc, t2);
+  const ExprId reparsed = t2.toldAxioms()[0].classArgs[1];
+  EXPECT_EQ(toFunctionalSyntax(t2, reparsed), toFunctionalSyntax(fx.t, e));
+}
+
+}  // namespace
+}  // namespace owlcl

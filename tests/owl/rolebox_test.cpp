@@ -1,0 +1,84 @@
+#include "owl/rolebox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace owlcl {
+namespace {
+
+TEST(RoleBox, DeclareIsIdempotent) {
+  RoleBox rb;
+  const RoleId r = rb.declare("r");
+  EXPECT_EQ(rb.declare("r"), r);
+  EXPECT_EQ(rb.find("r"), r);
+  EXPECT_EQ(rb.find("missing"), kInvalidRole);
+  EXPECT_EQ(rb.name(r), "r");
+}
+
+TEST(RoleBox, ClosureIsReflexive) {
+  RoleBox rb;
+  const RoleId r = rb.declare("r");
+  rb.freeze();
+  EXPECT_TRUE(rb.isSubRoleOf(r, r));
+}
+
+TEST(RoleBox, ClosureIsTransitive) {
+  RoleBox rb;
+  const RoleId r = rb.declare("r");
+  const RoleId s = rb.declare("s");
+  const RoleId t = rb.declare("t");
+  rb.addSubRole(r, s);
+  rb.addSubRole(s, t);
+  rb.freeze();
+  EXPECT_TRUE(rb.isSubRoleOf(r, s));
+  EXPECT_TRUE(rb.isSubRoleOf(r, t));
+  EXPECT_FALSE(rb.isSubRoleOf(t, r));
+  EXPECT_TRUE(rb.subRoles(t).test(r));
+  EXPECT_TRUE(rb.superRoles(r).test(t));
+}
+
+TEST(RoleBox, ClosureHandlesCycles) {
+  RoleBox rb;
+  const RoleId r = rb.declare("r");
+  const RoleId s = rb.declare("s");
+  rb.addSubRole(r, s);
+  rb.addSubRole(s, r);
+  rb.freeze();
+  EXPECT_TRUE(rb.isSubRoleOf(r, s));
+  EXPECT_TRUE(rb.isSubRoleOf(s, r));
+}
+
+TEST(RoleBox, HasTransitiveBetween) {
+  // r ⊑ t ⊑ s with Trans(t): the ∀⁺-rule guard must fire for (r, s).
+  RoleBox rb;
+  const RoleId r = rb.declare("r");
+  const RoleId t = rb.declare("t");
+  const RoleId s = rb.declare("s");
+  rb.addSubRole(r, t);
+  rb.addSubRole(t, s);
+  rb.setTransitive(t);
+  rb.freeze();
+  EXPECT_TRUE(rb.hasTransitiveBetween(r, s));
+  EXPECT_TRUE(rb.hasTransitiveBetween(t, s));
+  EXPECT_TRUE(rb.hasTransitiveBetween(r, t));
+  EXPECT_FALSE(rb.hasTransitiveBetween(s, r));
+}
+
+TEST(RoleBox, HasTransitiveBetweenNegativeWithoutTransitivity) {
+  RoleBox rb;
+  const RoleId r = rb.declare("r");
+  const RoleId s = rb.declare("s");
+  rb.addSubRole(r, s);
+  rb.freeze();
+  EXPECT_FALSE(rb.hasTransitiveBetween(r, s));
+}
+
+TEST(RoleBox, TransitiveCount) {
+  RoleBox rb;
+  rb.declare("a");
+  const RoleId b = rb.declare("b");
+  rb.setTransitive(b);
+  EXPECT_EQ(rb.transitiveCount(), 1u);
+}
+
+}  // namespace
+}  // namespace owlcl

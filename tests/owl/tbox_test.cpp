@@ -1,0 +1,89 @@
+#include "owl/tbox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace owlcl {
+namespace {
+
+TEST(TBox, DeclareConceptDenseIds) {
+  TBox t;
+  EXPECT_EQ(t.declareConcept("A"), 0u);
+  EXPECT_EQ(t.declareConcept("B"), 1u);
+  EXPECT_EQ(t.declareConcept("A"), 0u);  // idempotent
+  EXPECT_EQ(t.conceptCount(), 2u);
+  EXPECT_EQ(t.findConcept("B"), 1u);
+  EXPECT_EQ(t.findConcept("C"), kInvalidConcept);
+  EXPECT_EQ(t.conceptName(1), "B");
+}
+
+TEST(TBox, FreezeExpandsEquivalences) {
+  TBox t;
+  auto& f = t.exprs();
+  const ExprId a = f.atom(t.declareConcept("A"));
+  const ExprId b = f.atom(t.declareConcept("B"));
+  t.addEquivalentClasses({a, b});
+  t.freeze();
+  // A ≡ B → A ⊑ B and B ⊑ A.
+  ASSERT_EQ(t.inclusions().size(), 2u);
+  EXPECT_EQ(t.inclusions()[0].lhs, a);
+  EXPECT_EQ(t.inclusions()[0].rhs, b);
+  EXPECT_EQ(t.inclusions()[1].lhs, b);
+  EXPECT_EQ(t.inclusions()[1].rhs, a);
+}
+
+TEST(TBox, FreezeExpandsDisjointnessPairwise) {
+  TBox t;
+  auto& f = t.exprs();
+  const ExprId a = f.atom(t.declareConcept("A"));
+  const ExprId b = f.atom(t.declareConcept("B"));
+  const ExprId c = f.atom(t.declareConcept("C"));
+  t.addDisjointClasses({a, b, c});
+  t.freeze();
+  // 3 choose 2 = 3 inclusions of the form Ci ⊑ ¬Cj.
+  ASSERT_EQ(t.inclusions().size(), 3u);
+  EXPECT_EQ(t.inclusions()[0].rhs, f.negate(b));
+}
+
+TEST(TBox, FreezeIsIdempotent) {
+  TBox t;
+  auto& f = t.exprs();
+  t.addSubClassOf(f.atom(t.declareConcept("A")), f.atom(t.declareConcept("B")));
+  t.freeze();
+  const std::size_t n = t.inclusions().size();
+  t.freeze();
+  EXPECT_EQ(t.inclusions().size(), n);
+}
+
+TEST(TBox, RoleAxiomsReachRoleBox) {
+  TBox t;
+  const RoleId r = t.declareRole("r");
+  const RoleId s = t.declareRole("s");
+  t.addSubObjectPropertyOf(r, s);
+  t.addTransitiveObjectProperty(s);
+  t.freeze();
+  EXPECT_TRUE(t.roles().isSubRoleOf(r, s));
+  EXPECT_TRUE(t.roles().isTransitiveDeclared(s));
+}
+
+TEST(TBox, AxiomCountOwlIncludesDeclarations) {
+  TBox t;
+  auto& f = t.exprs();
+  const ExprId a = f.atom(t.declareConcept("A"));
+  const ExprId b = f.atom(t.declareConcept("B"));
+  t.declareRole("r");
+  t.addSubClassOf(a, b);
+  // 2 class declarations + 1 property declaration + 1 logical axiom.
+  EXPECT_EQ(t.axiomCountOwl(), 4u);
+}
+
+TEST(TBox, MutationAfterFreezeAborts) {
+  TBox t;
+  auto& f = t.exprs();
+  const ExprId a = f.atom(t.declareConcept("A"));
+  t.freeze();
+  EXPECT_DEATH(t.addSubClassOf(a, a), "frozen");
+  EXPECT_DEATH(t.declareConcept("Z"), "frozen");
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,119 @@
+#include "parallel/atomic_bitmatrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace owlcl {
+namespace {
+
+TEST(AtomicBitMatrix, StartsZeroed) {
+  AtomicBitMatrix m(10, 70);
+  EXPECT_EQ(m.rows(), 10u);
+  EXPECT_EQ(m.cols(), 70u);
+  EXPECT_EQ(m.countAll(), 0u);
+  EXPECT_TRUE(m.rowEmpty(0));
+}
+
+TEST(AtomicBitMatrix, TestAndSetClaimSemantics) {
+  AtomicBitMatrix m(2, 128);
+  EXPECT_TRUE(m.testAndSet(0, 5));
+  EXPECT_FALSE(m.testAndSet(0, 5));  // already set: claim lost
+  EXPECT_TRUE(m.test(0, 5));
+  EXPECT_FALSE(m.test(1, 5));
+}
+
+TEST(AtomicBitMatrix, TestAndClear) {
+  AtomicBitMatrix m(1, 64);
+  m.testAndSet(0, 63);
+  EXPECT_TRUE(m.testAndClear(0, 63));
+  EXPECT_FALSE(m.testAndClear(0, 63));  // already clear
+  EXPECT_FALSE(m.test(0, 63));
+}
+
+TEST(AtomicBitMatrix, FillRowSetsExactlyValidColumns) {
+  AtomicBitMatrix m(3, 70);
+  m.fillRow(1);
+  EXPECT_EQ(m.countRow(1), 70u);
+  EXPECT_EQ(m.countRow(0), 0u);
+  EXPECT_EQ(m.countAll(), 70u);
+}
+
+TEST(AtomicBitMatrix, FillRowWithSkip) {
+  AtomicBitMatrix m(1, 100);
+  m.fillRow(0, 42);
+  EXPECT_EQ(m.countRow(0), 99u);
+  EXPECT_FALSE(m.test(0, 42));
+  EXPECT_TRUE(m.test(0, 41));
+}
+
+TEST(AtomicBitMatrix, ClearRow) {
+  AtomicBitMatrix m(2, 100);
+  m.fillRow(0);
+  m.fillRow(1);
+  m.clearRow(0);
+  EXPECT_TRUE(m.rowEmpty(0));
+  EXPECT_EQ(m.countRow(1), 100u);
+}
+
+TEST(AtomicBitMatrix, RowIndicesMatchesSnapshot) {
+  AtomicBitMatrix m(1, 200);
+  for (std::size_t c = 0; c < 200; c += 13) m.testAndSet(0, c);
+  const auto idx = m.rowIndices(0);
+  const DynamicBitset snap = m.rowSnapshot(0);
+  ASSERT_EQ(idx.size(), snap.count());
+  for (std::uint32_t c : idx) EXPECT_TRUE(snap.test(c));
+}
+
+TEST(AtomicBitMatrix, ResetRedimensions) {
+  AtomicBitMatrix m(2, 64);
+  m.fillRow(0);
+  m.reset(4, 32);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 32u);
+  EXPECT_EQ(m.countAll(), 0u);
+}
+
+// Concurrency: each of the T threads claims disjoint winners via
+// testAndSet; exactly one winner per bit.
+TEST(AtomicBitMatrix, ConcurrentClaimsAreExclusive) {
+  const std::size_t cols = 4096;
+  AtomicBitMatrix m(1, cols);
+  const int T = 8;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  threads.reserve(T);
+  for (int t = 0; t < T; ++t) {
+    threads.emplace_back([&m, &wins, cols] {
+      int local = 0;
+      for (std::size_t c = 0; c < cols; ++c)
+        if (m.testAndSet(0, c)) ++local;
+      wins.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wins.load(), static_cast<int>(cols));
+  EXPECT_EQ(m.countRow(0), cols);
+}
+
+// Concurrency: concurrent set/clear of disjoint bits in the same word do
+// not clobber each other.
+TEST(AtomicBitMatrix, ConcurrentMixedOpsOnSharedWords) {
+  AtomicBitMatrix m(1, 64);
+  // Even bits pre-set; odd threads clear evens while even threads set odds.
+  for (std::size_t c = 0; c < 64; c += 2) m.testAndSet(0, c);
+  std::thread setter([&m] {
+    for (std::size_t c = 1; c < 64; c += 2) m.testAndSet(0, c);
+  });
+  std::thread clearer([&m] {
+    for (std::size_t c = 0; c < 64; c += 2) m.testAndClear(0, c);
+  });
+  setter.join();
+  clearer.join();
+  for (std::size_t c = 0; c < 64; ++c) EXPECT_EQ(m.test(0, c), c % 2 == 1);
+}
+
+}  // namespace
+}  // namespace owlcl

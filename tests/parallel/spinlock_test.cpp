@@ -1,0 +1,48 @@
+#include "parallel/spinlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace owlcl {
+namespace {
+
+TEST(Spinlock, MutualExclusionCounter) {
+  Spinlock lock;
+  long counter = 0;
+  const int kThreads = 4, kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        ++counter;  // data race iff the lock is broken
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Spinlock, TryLock) {
+  Spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(ShardedSpinlocks, KeysMapToStableShards) {
+  ShardedSpinlocks<64> locks;
+  Spinlock& a = locks.forKey(5);
+  Spinlock& b = locks.forKey(5 + 64);  // same shard (power-of-two masking)
+  Spinlock& c = locks.forKey(6);
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,89 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace owlcl {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.waitIdle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, SubmitToTargetsSpecificWorker) {
+  ThreadPool pool(3);
+  // Tasks submitted to one worker run sequentially in FIFO order.
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i)
+    pool.submitTo(1, [&order, i] { order.push_back(i); });
+  pool.waitIdle();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, RoundRobinAcrossWorkersCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 400; ++i)
+    pool.submitTo(static_cast<std::size_t>(i) % pool.size(),
+                  [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), 400);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), (wave + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerIsSequential) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) pool.submit([&order, i] { order.push_back(i); });
+  pool.waitIdle();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    pool.waitIdle();
+  }  // destructor joins
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,104 @@
+// Property tests on the tableau engine: subsumption must be a preorder
+// consistent with satisfiability, on randomly generated mixed-expressivity
+// ontologies.
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "reasoner/tableau_reasoner.hpp"
+#include "util/rng.hpp"
+
+namespace owlcl {
+namespace {
+
+class TableauProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  GeneratedOntology makeOntology() {
+    GenConfig cfg;
+    cfg.name = "prop";
+    cfg.concepts = 30;
+    cfg.subClassEdges = 45;
+    cfg.existentialAxioms = 12;
+    cfg.universalAxioms = 4;
+    cfg.qcrAxioms = 6;
+    cfg.equivalentAxioms = 3;
+    cfg.disjointAxioms = 4;
+    cfg.unsatConcepts = 1;
+    cfg.seed = GetParam();
+    return generateOntology(cfg);
+  }
+};
+
+TEST_P(TableauProperty, SubsumptionIsReflexive) {
+  auto g = makeOntology();
+  TableauReasoner r(*g.tbox);
+  for (ConceptId c = 0; c < g.tbox->conceptCount(); ++c)
+    EXPECT_TRUE(r.isSubsumedBy(c, c));
+}
+
+TEST_P(TableauProperty, SubsumptionIsTransitiveOnSamples) {
+  auto g = makeOntology();
+  TableauReasoner r(*g.tbox);
+  const std::size_t n = g.tbox->conceptCount();
+  Xoshiro256 rng(GetParam() * 7 + 1);
+  for (int i = 0; i < 200; ++i) {
+    const ConceptId a = static_cast<ConceptId>(rng.below(n));
+    const ConceptId b = static_cast<ConceptId>(rng.below(n));
+    const ConceptId c = static_cast<ConceptId>(rng.below(n));
+    if (r.isSubsumedBy(a, b) && r.isSubsumedBy(b, c)) {
+      EXPECT_TRUE(r.isSubsumedBy(a, c))
+          << g.tbox->conceptName(a) << " ⊑ " << g.tbox->conceptName(b)
+          << " ⊑ " << g.tbox->conceptName(c);
+    }
+  }
+}
+
+TEST_P(TableauProperty, UnsatIsSubsumedByEverything) {
+  auto g = makeOntology();
+  TableauReasoner r(*g.tbox);
+  const std::size_t n = g.tbox->conceptCount();
+  for (ConceptId c = 0; c < n; ++c) {
+    if (r.isSatisfiable(c)) continue;
+    for (ConceptId d = 0; d < n; ++d)
+      EXPECT_TRUE(r.isSubsumedBy(c, d))
+          << "unsat " << g.tbox->conceptName(c) << " must be ⊑ everything";
+  }
+}
+
+TEST_P(TableauProperty, SubsumedByUnsatImpliesUnsat) {
+  auto g = makeOntology();
+  TableauReasoner r(*g.tbox);
+  const std::size_t n = g.tbox->conceptCount();
+  for (ConceptId c = 0; c < n; ++c) {
+    if (r.isSatisfiable(c)) continue;
+    for (ConceptId d = 0; d < n; ++d)
+      if (r.isSubsumedBy(d, c)) {
+        EXPECT_FALSE(r.isSatisfiable(d))
+            << g.tbox->conceptName(d) << " ⊑ unsat "
+            << g.tbox->conceptName(c);
+      }
+  }
+}
+
+TEST_P(TableauProperty, EquivalenceIsSymmetric) {
+  auto g = makeOntology();
+  TableauReasoner r(*g.tbox);
+  const std::size_t n = g.tbox->conceptCount();
+  for (ConceptId a = 0; a < n; ++a) {
+    for (ConceptId b = static_cast<ConceptId>(a + 1); b < n; ++b) {
+      const bool ab = r.isSubsumedBy(a, b);
+      const bool ba = r.isSubsumedBy(b, a);
+      if (ab && ba) {
+        // Mutual subsumption: both must have identical subsumer sets.
+        for (ConceptId c = 0; c < n; ++c)
+          EXPECT_EQ(r.isSubsumedBy(a, c), r.isSubsumedBy(b, c));
+        break;  // one witness per a is enough to keep runtime bounded
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableauProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace owlcl

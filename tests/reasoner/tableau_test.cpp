@@ -1,0 +1,392 @@
+#include "reasoner/tableau_reasoner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "owl/parser.hpp"
+
+namespace owlcl {
+namespace {
+
+struct Fixture {
+  TBox tbox;
+  std::unique_ptr<TableauReasoner> r;
+
+  explicit Fixture(const std::string& doc) {
+    parseFunctionalSyntax(doc, tbox);
+    r = std::make_unique<TableauReasoner>(tbox);
+  }
+
+  bool sat(const char* c) { return r->isSatisfiable(tbox.findConcept(c)); }
+  bool subs(const char* sup, const char* sub) {
+    return r->isSubsumedBy(tbox.findConcept(sub), tbox.findConcept(sup));
+  }
+};
+
+// ---- basic propositional reasoning ----------------------------------------
+
+TEST(Tableau, FreshAtomIsSatisfiable) {
+  Fixture f("Ontology(Declaration(Class(A)))");
+  EXPECT_TRUE(f.sat("A"));
+}
+
+TEST(Tableau, PaperExample21) {
+  // Example 2.1: C ≡ (A ⊓ ¬A) ⊔ B is satisfiable via the B disjunct.
+  Fixture f(R"(
+    Ontology(
+      EquivalentClasses(C ObjectUnionOf(ObjectIntersectionOf(A ObjectComplementOf(A)) B))
+    ))");
+  EXPECT_TRUE(f.sat("C"));
+  // And C ⊑ B holds: the first disjunct is empty.
+  EXPECT_TRUE(f.subs("B", "C"));
+}
+
+TEST(Tableau, DirectContradictionUnsat) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(A ObjectComplementOf(B))
+    ))");
+  EXPECT_FALSE(f.sat("A"));
+  EXPECT_TRUE(f.sat("B"));
+}
+
+TEST(Tableau, ToldSubsumptionChain) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(B C)
+    ))");
+  EXPECT_TRUE(f.subs("B", "A"));
+  EXPECT_TRUE(f.subs("C", "A"));
+  EXPECT_FALSE(f.subs("A", "B"));
+  EXPECT_TRUE(f.subs("A", "A"));
+}
+
+TEST(Tableau, DisjunctionBranching) {
+  // A ⊑ B ⊔ C, B ⊑ D, C ⊑ D ⟹ A ⊑ D.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectUnionOf(B C))
+      SubClassOf(B D)
+      SubClassOf(C D)
+    ))");
+  EXPECT_TRUE(f.subs("D", "A"));
+  EXPECT_FALSE(f.subs("B", "A"));
+  EXPECT_FALSE(f.subs("C", "A"));
+}
+
+TEST(Tableau, DisjointnessUnsat) {
+  Fixture f(R"(
+    Ontology(
+      DisjointClasses(B C)
+      SubClassOf(A B)
+      SubClassOf(A C)
+    ))");
+  EXPECT_FALSE(f.sat("A"));
+  // Unsatisfiable concepts are subsumed by everything.
+  EXPECT_TRUE(f.subs("B", "A"));
+  EXPECT_TRUE(f.subs("C", "A"));
+}
+
+// ---- definitional reasoning (lazy unfolding both directions) --------------
+
+TEST(Tableau, DefinitionBackwardDirection) {
+  // A ≡ ∃r.B: anything with an r-successor in B is an A.
+  Fixture f(R"(
+    Ontology(
+      EquivalentClasses(A ObjectSomeValuesFrom(r B))
+      SubClassOf(X ObjectSomeValuesFrom(r B))
+    ))");
+  EXPECT_TRUE(f.subs("A", "X"));
+  EXPECT_FALSE(f.subs("X", "A"));
+}
+
+TEST(Tableau, DefinedConceptsEquivalent) {
+  Fixture f(R"(
+    Ontology(
+      EquivalentClasses(A ObjectIntersectionOf(P Q))
+      EquivalentClasses(B ObjectIntersectionOf(Q P))
+    ))");
+  EXPECT_TRUE(f.subs("A", "B"));
+  EXPECT_TRUE(f.subs("B", "A"));
+}
+
+TEST(Tableau, CyclicDefinitionFallsBackSoundly) {
+  // A ≡ ∃r.A is cyclic: the ¬A direction becomes a GCI; reasoning stays
+  // sound and terminates via blocking.
+  Fixture f(R"(
+    Ontology(
+      EquivalentClasses(A ObjectSomeValuesFrom(r A))
+      Declaration(Class(B))
+    ))");
+  EXPECT_TRUE(f.sat("A"));
+  EXPECT_TRUE(f.sat("B"));
+  EXPECT_FALSE(f.subs("A", "B"));
+}
+
+// ---- existential / universal interaction -----------------------------------
+
+TEST(Tableau, ExistsForallClash) {
+  // A ⊑ ∃r.B ⊓ ∀r.¬B is unsatisfiable.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectIntersectionOf(
+        ObjectSomeValuesFrom(r B)
+        ObjectAllValuesFrom(r ObjectComplementOf(B))))
+    ))");
+  EXPECT_FALSE(f.sat("A"));
+}
+
+TEST(Tableau, ForallPropagatesIntoSuccessor) {
+  // A ⊑ ∃r.B ⊓ ∀r.C, B ⊓ C ⊑ D, ∃r.D ⊑ E ⟹ A ⊑ E.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectIntersectionOf(ObjectSomeValuesFrom(r B) ObjectAllValuesFrom(r C)))
+      SubClassOf(ObjectIntersectionOf(B C) D)
+      SubClassOf(ObjectSomeValuesFrom(r D) E)
+    ))");
+  EXPECT_TRUE(f.subs("E", "A"));
+}
+
+TEST(Tableau, UnsatFillerPoisonsExistential) {
+  Fixture f(R"(
+    Ontology(
+      DisjointClasses(P Q)
+      SubClassOf(X P)
+      SubClassOf(X Q)
+      SubClassOf(A ObjectSomeValuesFrom(r X))
+    ))");
+  EXPECT_FALSE(f.sat("X"));
+  EXPECT_FALSE(f.sat("A"));
+}
+
+TEST(Tableau, ForallWithoutSuccessorIsVacuous) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectAllValuesFrom(r owl:Nothing))
+    ))");
+  EXPECT_TRUE(f.sat("A"));
+}
+
+// ---- role hierarchy + transitivity -----------------------------------------
+
+TEST(Tableau, RoleHierarchyForallApplies) {
+  // A ⊑ ∃r.B ⊓ ∀s.¬B with r ⊑ s is unsatisfiable.
+  Fixture f(R"(
+    Ontology(
+      SubObjectPropertyOf(r s)
+      SubClassOf(A ObjectIntersectionOf(
+        ObjectSomeValuesFrom(r B)
+        ObjectAllValuesFrom(s ObjectComplementOf(B))))
+    ))");
+  EXPECT_FALSE(f.sat("A"));
+}
+
+TEST(Tableau, TransitiveForallPlusRule) {
+  // A ⊑ ∃r.(∃r.B) ⊓ ∀r.¬B is satisfiable without Trans(r) but
+  // unsatisfiable with it (∀⁺ pushes ∀r.¬B one level down).
+  const char* base = R"(
+    Ontology(
+      SubClassOf(A ObjectIntersectionOf(
+        ObjectSomeValuesFrom(r ObjectSomeValuesFrom(r B))
+        ObjectAllValuesFrom(r ObjectComplementOf(B))))
+      %s
+    ))";
+  {
+    Fixture f(R"(
+      Ontology(
+        SubClassOf(A ObjectIntersectionOf(
+          ObjectSomeValuesFrom(r ObjectSomeValuesFrom(r B))
+          ObjectAllValuesFrom(r ObjectComplementOf(B))))
+      ))");
+    EXPECT_TRUE(f.sat("A"));
+  }
+  {
+    Fixture f(R"(
+      Ontology(
+        SubClassOf(A ObjectIntersectionOf(
+          ObjectSomeValuesFrom(r ObjectSomeValuesFrom(r B))
+          ObjectAllValuesFrom(r ObjectComplementOf(B))))
+        TransitiveObjectProperty(r)
+      ))");
+    EXPECT_FALSE(f.sat("A"));
+  }
+  (void)base;
+}
+
+TEST(Tableau, TransitivityThroughHierarchy) {
+  // p ⊑ t (trans), t ⊑ s; ∀s.¬B at the top must reach depth 2 over p-edges.
+  Fixture f(R"(
+    Ontology(
+      SubObjectPropertyOf(p t)
+      TransitiveObjectProperty(t)
+      SubObjectPropertyOf(t s)
+      SubClassOf(A ObjectIntersectionOf(
+        ObjectSomeValuesFrom(p ObjectSomeValuesFrom(p B))
+        ObjectAllValuesFrom(s ObjectComplementOf(B))))
+    ))");
+  EXPECT_FALSE(f.sat("A"));
+}
+
+// ---- qualified number restrictions -----------------------------------------
+
+TEST(Tableau, AtLeastVsAtMostClash) {
+  // ≥3 r.B ⊓ ≤2 r.B is unsatisfiable (pairwise-distinct successors).
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectIntersectionOf(
+        ObjectMinCardinality(3 r B) ObjectMaxCardinality(2 r B)))
+    ))");
+  EXPECT_FALSE(f.sat("A"));
+}
+
+TEST(Tableau, AtLeastWithinBoundSat) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectIntersectionOf(
+        ObjectMinCardinality(2 r B) ObjectMaxCardinality(2 r B)))
+    ))");
+  EXPECT_TRUE(f.sat("A"));
+}
+
+TEST(Tableau, MergeResolvesAtMost) {
+  // ∃r.B ⊓ ∃r.C ⊓ ≤1 r.⊤ forces merging: the single successor is B ⊓ C.
+  // With Disjoint(B, C) it becomes unsatisfiable.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectIntersectionOf(
+        ObjectSomeValuesFrom(r B)
+        ObjectSomeValuesFrom(r C)
+        ObjectMaxCardinality(1 r)))
+      SubClassOf(A2 ObjectIntersectionOf(
+        ObjectSomeValuesFrom(r B)
+        ObjectSomeValuesFrom(r C)
+        ObjectMaxCardinality(1 r)))
+      DisjointClasses(B C)
+    ))");
+  EXPECT_FALSE(f.sat("A"));
+  EXPECT_FALSE(f.sat("A2"));
+}
+
+TEST(Tableau, MergeWithoutDisjointnessSat) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectIntersectionOf(
+        ObjectSomeValuesFrom(r B)
+        ObjectSomeValuesFrom(r C)
+        ObjectMaxCardinality(1 r)))
+    ))");
+  EXPECT_TRUE(f.sat("A"));
+}
+
+TEST(Tableau, ChooseRuleCounts) {
+  // ≥2 r.⊤ ⊓ ≤1 r.B ⊓ ≤1 r.¬B: 2 distinct successors, one must be B and
+  // the other ¬B — satisfiable. With ≤0 r.¬B it forces both into B,
+  // violating ≤1 r.B — unsatisfiable.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectIntersectionOf(
+        ObjectMinCardinality(2 r)
+        ObjectMaxCardinality(1 r B)
+        ObjectMaxCardinality(1 r ObjectComplementOf(B))))
+      SubClassOf(A2 ObjectIntersectionOf(
+        ObjectMinCardinality(2 r)
+        ObjectMaxCardinality(1 r B)
+        ObjectMaxCardinality(0 r ObjectComplementOf(B))))
+    ))");
+  EXPECT_TRUE(f.sat("A"));
+  EXPECT_FALSE(f.sat("A2"));
+}
+
+TEST(Tableau, QcrSubsumption) {
+  // ≥3 r.B ⊑ ≥2 r.B and ≤1 r.B ⊑ ≤2 r.B.
+  Fixture f(R"(
+    Ontology(
+      EquivalentClasses(X3 ObjectMinCardinality(3 r B))
+      EquivalentClasses(X2 ObjectMinCardinality(2 r B))
+      EquivalentClasses(L1 ObjectMaxCardinality(1 r B))
+      EquivalentClasses(L2 ObjectMaxCardinality(2 r B))
+    ))");
+  EXPECT_TRUE(f.subs("X2", "X3"));
+  EXPECT_FALSE(f.subs("X3", "X2"));
+  EXPECT_TRUE(f.subs("L2", "L1"));
+  EXPECT_FALSE(f.subs("L1", "L2"));
+}
+
+TEST(Tableau, QcrOnNonSimpleRoleRejected) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      TransitiveObjectProperty(r)
+      SubClassOf(A ObjectMinCardinality(2 r B))
+    ))",
+                        t);
+  EXPECT_THROW(TableauReasoner{t}, std::runtime_error);
+}
+
+// ---- GCIs ------------------------------------------------------------------
+
+TEST(Tableau, GciWithComplexLhs) {
+  // ∃r.B ⊑ C (complex lhs, internalised); A ⊑ ∃r.B ⟹ A ⊑ C.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(ObjectSomeValuesFrom(r B) C)
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+    ))");
+  EXPECT_TRUE(f.subs("C", "A"));
+}
+
+TEST(Tableau, BinaryAbsorptionGci) {
+  // (P ⊓ Q) ⊑ D absorbed into P ⊑ ¬Q ⊔ D; A ⊑ P ⊓ Q ⟹ A ⊑ D.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(ObjectIntersectionOf(P Q) D)
+      SubClassOf(A ObjectIntersectionOf(P Q))
+    ))");
+  EXPECT_TRUE(f.subs("D", "A"));
+  EXPECT_FALSE(f.subs("D", "P"));
+}
+
+TEST(Tableau, TopSubsumptionDetected) {
+  // ¬B ⊑ A and B ⊑ A ⟹ A ≡ ⊤, so every concept is subsumed by A.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(ObjectComplementOf(B) A)
+      SubClassOf(B A)
+      Declaration(Class(X))
+    ))");
+  EXPECT_TRUE(f.subs("A", "X"));
+  EXPECT_TRUE(f.subs("A", "B"));
+}
+
+// ---- caching / repeated queries --------------------------------------------
+
+TEST(Tableau, RepeatedQueriesStaySound) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(B C)
+      DisjointClasses(C D)
+      SubClassOf(E ObjectIntersectionOf(A D))
+    ))");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(f.subs("C", "A"));
+    EXPECT_FALSE(f.sat("E"));
+    EXPECT_TRUE(f.sat("A"));
+    EXPECT_FALSE(f.subs("D", "A"));
+  }
+  EXPECT_GT(f.r->testCount(), 0u);
+}
+
+TEST(Tableau, StatsAccumulate) {
+  Fixture f("Ontology(SubClassOf(A ObjectUnionOf(B C)))");
+  f.sat("A");
+  const TableauStats s = f.r->aggregatedStats();
+  EXPECT_GT(s.satCalls, 0u);
+  EXPECT_GT(s.expansions, 0u);
+}
+
+}  // namespace
+}  // namespace owlcl

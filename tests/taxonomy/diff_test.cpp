@@ -1,0 +1,95 @@
+#include "taxonomy/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_classifier.hpp"
+#include "core/sequential.hpp"
+#include "gen/generator.hpp"
+#include "gen/mock_reasoner.hpp"
+#include "owl/parser.hpp"
+#include "simsched/virtual_executor.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(TaxonomyDiff, IdenticalTaxonomies) {
+  Taxonomy a(2), b(2);
+  const auto a0 = a.addNode({0});
+  const auto a1 = a.addNode({1});
+  a.addEdge(a0, a1);
+  a.finalize();
+  const auto b0 = b.addNode({0});
+  const auto b1 = b.addNode({1});
+  b.addEdge(b0, b1);
+  b.finalize();
+  const TaxonomyDiff d = diffTaxonomies(a, b);
+  EXPECT_TRUE(d.identical());
+}
+
+TEST(TaxonomyDiff, DetectsMissingEdge) {
+  Taxonomy a(2), b(2);
+  const auto a0 = a.addNode({0});
+  const auto a1 = a.addNode({1});
+  a.addEdge(a0, a1);
+  a.finalize();
+  b.addNode({0});
+  b.addNode({1});
+  b.finalize();  // incomparable in b
+  const TaxonomyDiff d = diffTaxonomies(a, b);
+  ASSERT_EQ(d.onlyInA.size(), 1u);
+  EXPECT_EQ(d.onlyInA[0], std::make_pair(ConceptId{0}, ConceptId{1}));
+  EXPECT_TRUE(d.onlyInB.empty());
+}
+
+TEST(TaxonomyDiff, DetectsSatDifference) {
+  Taxonomy a(1), b(1);
+  a.addNode({0});
+  a.finalize();
+  b.assignToBottom(0);
+  b.finalize();
+  const TaxonomyDiff d = diffTaxonomies(a, b);
+  ASSERT_EQ(d.satDiffers.size(), 1u);
+  // ⊥-placement also flips subsumption pairs (0 ⊑ everything in b).
+  EXPECT_FALSE(d.identical());
+}
+
+TEST(TaxonomyDiff, ReportNamesConcepts) {
+  TBox t;
+  parseFunctionalSyntax("Ontology(Declaration(Class(Foo)) Declaration(Class(Bar)))",
+                        t);
+  Taxonomy a(2), b(2);
+  const auto a0 = a.addNode({0});
+  const auto a1 = a.addNode({1});
+  a.addEdge(a0, a1);
+  a.finalize();
+  b.addNode({0});
+  b.addNode({1});
+  b.finalize();
+  const std::string report = diffTaxonomies(a, b).report(t);
+  EXPECT_NE(report.find("Bar ⊑ Foo"), std::string::npos);
+  EXPECT_NE(report.find("only in A"), std::string::npos);
+}
+
+TEST(TaxonomyDiff, ParallelAndSequentialAreIdentical) {
+  GenConfig cfg;
+  cfg.name = "diff";
+  cfg.concepts = 60;
+  cfg.subClassEdges = 90;
+  cfg.equivalentAxioms = 4;
+  cfg.seed = 5150;
+  auto g = generateOntology(cfg);
+  MockReasoner mock(g.truth);
+
+  VirtualExecutor exec(4);
+  ParallelClassifier pc(*g.tbox, mock);
+  const ClassificationResult pr = pc.classify(exec);
+
+  BruteForceClassifier bc(*g.tbox, mock);
+  const SequentialResult br = bc.classify();
+
+  const TaxonomyDiff d = diffTaxonomies(pr.taxonomy, br.taxonomy);
+  EXPECT_TRUE(d.identical()) << d.report(*g.tbox);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,117 @@
+#include "taxonomy/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "owl/parser.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(Taxonomy, EmptyHasTopAndBottom) {
+  Taxonomy tax(0);
+  tax.finalize();
+  EXPECT_EQ(tax.nodeCount(), 2u);
+  EXPECT_EQ(tax.edgeCount(true), 1u);  // ⊤ → ⊥
+}
+
+TEST(Taxonomy, SingleNodeLinksToTopAndBottom) {
+  Taxonomy tax(1);
+  const auto n = tax.addNode({0});
+  tax.finalize();
+  EXPECT_EQ(tax.nodeOf(0), n);
+  EXPECT_TRUE(tax.subsumes(0, 0));
+  const auto& node = tax.node(n);
+  ASSERT_EQ(node.parents.size(), 1u);
+  EXPECT_EQ(node.parents[0], Taxonomy::kTopNode);
+  ASSERT_EQ(node.children.size(), 1u);
+  EXPECT_EQ(node.children[0], Taxonomy::kBottomNode);
+}
+
+TEST(Taxonomy, ChainSubsumption) {
+  Taxonomy tax(3);
+  const auto a = tax.addNode({0});
+  const auto b = tax.addNode({1});
+  const auto c = tax.addNode({2});
+  tax.addEdge(a, b);
+  tax.addEdge(b, c);
+  tax.finalize();
+  EXPECT_TRUE(tax.subsumes(0, 2));   // c ⊑ a transitively
+  EXPECT_TRUE(tax.subsumes(0, 1));
+  EXPECT_FALSE(tax.subsumes(2, 0));
+  EXPECT_FALSE(tax.subsumes(1, 2) == false);  // b subsumes c
+  EXPECT_EQ(tax.depth(), 3u);
+}
+
+TEST(Taxonomy, EquivalenceClassMembers) {
+  Taxonomy tax(3);
+  tax.addNode({0, 2});
+  tax.addNode({1});
+  tax.finalize();
+  EXPECT_TRUE(tax.equivalent(0, 2));
+  EXPECT_FALSE(tax.equivalent(0, 1));
+  EXPECT_EQ(tax.equivalents(0).size(), 2u);
+  EXPECT_TRUE(tax.subsumes(0, 2));
+  EXPECT_TRUE(tax.subsumes(2, 0));
+}
+
+TEST(Taxonomy, BottomMembersSubsumedByAll) {
+  Taxonomy tax(2);
+  tax.addNode({0});
+  tax.assignToBottom(1);
+  tax.finalize();
+  EXPECT_TRUE(tax.subsumes(0, 1));   // unsat 1 below everything
+  EXPECT_FALSE(tax.subsumes(1, 0));
+}
+
+TEST(Taxonomy, DiamondDagSubsumption) {
+  // Diamond: a over {b, c}, both over d.
+  Taxonomy tax(4);
+  const auto a = tax.addNode({0});
+  const auto b = tax.addNode({1});
+  const auto c = tax.addNode({2});
+  const auto d = tax.addNode({3});
+  tax.addEdge(a, b);
+  tax.addEdge(a, c);
+  tax.addEdge(b, d);
+  tax.addEdge(c, d);
+  tax.finalize();
+  EXPECT_TRUE(tax.subsumes(0, 3));
+  EXPECT_TRUE(tax.subsumes(1, 3));
+  EXPECT_TRUE(tax.subsumes(2, 3));
+  EXPECT_FALSE(tax.subsumes(1, 2));
+  EXPECT_EQ(tax.edgeCount(), 4u);
+  EXPECT_EQ(tax.depth(), 3u);
+}
+
+TEST(Taxonomy, AddEdgeIsIdempotent) {
+  Taxonomy tax(2);
+  const auto a = tax.addNode({0});
+  const auto b = tax.addNode({1});
+  tax.addEdge(a, b);
+  tax.addEdge(a, b);
+  tax.finalize();
+  EXPECT_EQ(tax.node(a).children.size(), 1u);
+  EXPECT_EQ(tax.node(b).parents.size(), 1u);
+}
+
+TEST(Taxonomy, PrintAndDotRender) {
+  TBox t;
+  parseFunctionalSyntax("Ontology(Declaration(Class(A)) Declaration(Class(B)))", t);
+  Taxonomy tax(2);
+  const auto a = tax.addNode({0});
+  const auto b = tax.addNode({1});
+  tax.addEdge(a, b);
+  tax.finalize();
+  std::ostringstream text, dot;
+  tax.print(text, t);
+  tax.writeDot(dot, t);
+  EXPECT_NE(text.str().find("owl:Thing"), std::string::npos);
+  EXPECT_NE(text.str().find("A"), std::string::npos);
+  EXPECT_NE(dot.str().find("digraph"), std::string::npos);
+  EXPECT_NE(dot.str().find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace owlcl

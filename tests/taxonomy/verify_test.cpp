@@ -1,0 +1,87 @@
+#include "taxonomy/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_classifier.hpp"
+#include "gen/generator.hpp"
+#include "gen/mock_reasoner.hpp"
+#include "simsched/virtual_executor.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(VerifyStructure, AcceptsCleanTaxonomy) {
+  Taxonomy tax(4);
+  const auto a = tax.addNode({0});
+  const auto b = tax.addNode({1, 3});
+  const auto c = tax.addNode({2});
+  tax.addEdge(a, b);
+  tax.addEdge(a, c);
+  tax.finalize();
+  const TaxonomyIssues issues = verifyStructure(tax);
+  EXPECT_TRUE(issues.ok()) << issues.summary();
+}
+
+TEST(VerifyStructure, DetectsRedundantEdge) {
+  Taxonomy tax(3);
+  const auto a = tax.addNode({0});
+  const auto b = tax.addNode({1});
+  const auto c = tax.addNode({2});
+  tax.addEdge(a, b);
+  tax.addEdge(b, c);
+  tax.addEdge(a, c);  // redundant: a→b→c already implies it
+  tax.finalize();
+  const TaxonomyIssues issues = verifyStructure(tax);
+  ASSERT_FALSE(issues.ok());
+  EXPECT_NE(issues.summary().find("redundant"), std::string::npos);
+}
+
+TEST(VerifyStructure, DetectsUnplacedConcept) {
+  Taxonomy tax(2);
+  tax.addNode({0});  // concept 1 never placed
+  tax.finalize();
+  const TaxonomyIssues issues = verifyStructure(tax);
+  ASSERT_FALSE(issues.ok());
+  EXPECT_NE(issues.summary().find("unplaced"), std::string::npos);
+}
+
+TEST(VerifyOracle, DetectsDisagreement) {
+  Taxonomy tax(2);
+  tax.addNode({0});
+  tax.addNode({1});
+  tax.finalize();  // 0 and 1 incomparable
+  const TaxonomyIssues bad = verifyAgainstOracle(
+      tax, [](ConceptId sup, ConceptId sub) { return sup == 0 || sup == sub; });
+  EXPECT_FALSE(bad.ok());
+  const TaxonomyIssues good = verifyAgainstOracle(
+      tax, [](ConceptId sup, ConceptId sub) { return sup == sub; });
+  EXPECT_TRUE(good.ok()) << good.summary();
+}
+
+TEST(Verify, ClassifierOutputPassesBothChecks) {
+  GenConfig cfg;
+  cfg.name = "verify";
+  cfg.concepts = 90;
+  cfg.subClassEdges = 150;
+  cfg.equivalentAxioms = 6;
+  cfg.disjointAxioms = 5;
+  cfg.unsatConcepts = 2;
+  cfg.seed = 2024;
+  auto g = generateOntology(cfg);
+  MockReasoner mock(g.truth);
+  VirtualExecutor exec(6);
+  ParallelClassifier classifier(*g.tbox, mock);
+  const ClassificationResult r = classifier.classify(exec);
+
+  const TaxonomyIssues structure = verifyStructure(r.taxonomy);
+  EXPECT_TRUE(structure.ok()) << structure.summary();
+
+  const TaxonomyIssues semantic = verifyAgainstOracle(
+      r.taxonomy, [&g](ConceptId sup, ConceptId sub) {
+        return g.truth.subsumes(sup, sub);
+      });
+  EXPECT_TRUE(semantic.ok()) << semantic.summary();
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,162 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset bs(100);
+  EXPECT_EQ(bs.size(), 100u);
+  EXPECT_EQ(bs.count(), 0u);
+  EXPECT_TRUE(bs.none());
+  EXPECT_FALSE(bs.any());
+  EXPECT_EQ(bs.findFirst(), 100u);
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset bs(130);
+  bs.set(0);
+  bs.set(63);
+  bs.set(64);
+  bs.set(129);
+  EXPECT_TRUE(bs.test(0));
+  EXPECT_TRUE(bs.test(63));
+  EXPECT_TRUE(bs.test(64));
+  EXPECT_TRUE(bs.test(129));
+  EXPECT_FALSE(bs.test(1));
+  EXPECT_EQ(bs.count(), 4u);
+  bs.reset(64);
+  EXPECT_FALSE(bs.test(64));
+  EXPECT_EQ(bs.count(), 3u);
+}
+
+TEST(DynamicBitset, ConstructAllSetRespectsTail) {
+  DynamicBitset bs(70, true);
+  EXPECT_EQ(bs.count(), 70u);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_TRUE(bs.test(i));
+}
+
+TEST(DynamicBitset, SetAllThenResetAll) {
+  DynamicBitset bs(65);
+  bs.setAll();
+  EXPECT_EQ(bs.count(), 65u);
+  bs.resetAll();
+  EXPECT_TRUE(bs.none());
+}
+
+TEST(DynamicBitset, FindFirstAndNextWalkAllBits) {
+  DynamicBitset bs(200);
+  const std::size_t idx[] = {3, 64, 65, 127, 128, 199};
+  for (std::size_t i : idx) bs.set(i);
+  std::vector<std::size_t> seen;
+  for (std::size_t i = bs.findFirst(); i < bs.size(); i = bs.findNext(i))
+    seen.push_back(i);
+  EXPECT_EQ(seen, std::vector<std::size_t>(std::begin(idx), std::end(idx)));
+}
+
+TEST(DynamicBitset, SetBitsRangeMatchesToVector) {
+  DynamicBitset bs(300);
+  for (std::size_t i = 0; i < 300; i += 7) bs.set(i);
+  std::vector<std::uint32_t> viaRange;
+  for (std::size_t i : bs.setBits()) viaRange.push_back(static_cast<std::uint32_t>(i));
+  EXPECT_EQ(viaRange, bs.toVector());
+}
+
+TEST(DynamicBitset, OrAndDifference) {
+  DynamicBitset a(128), b(128);
+  a.set(1);
+  a.set(100);
+  b.set(100);
+  b.set(127);
+
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(100));
+
+  DynamicBitset d = a;
+  d -= b;
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(DynamicBitset, SubsetAndIntersects) {
+  DynamicBitset a(64), b(64);
+  a.set(3);
+  b.set(3);
+  b.set(40);
+  EXPECT_TRUE(a.isSubsetOf(b));
+  EXPECT_FALSE(b.isSubsetOf(a));
+  EXPECT_TRUE(a.intersects(b));
+  DynamicBitset c(64);
+  c.set(10);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(c.isSubsetOf(b) == false);
+}
+
+TEST(DynamicBitset, ResizeGrowZero) {
+  DynamicBitset bs(10);
+  bs.set(9);
+  bs.resize(100);
+  EXPECT_TRUE(bs.test(9));
+  EXPECT_EQ(bs.count(), 1u);
+  EXPECT_FALSE(bs.test(99));
+}
+
+TEST(DynamicBitset, ResizeGrowOnesFillsOnlyNewBits) {
+  DynamicBitset bs(10);
+  bs.set(2);
+  bs.resize(80, true);
+  EXPECT_TRUE(bs.test(2));
+  EXPECT_FALSE(bs.test(3));   // old bits stay as they were
+  for (std::size_t i = 10; i < 80; ++i) EXPECT_TRUE(bs.test(i));
+  EXPECT_EQ(bs.count(), 71u);
+}
+
+TEST(DynamicBitset, EqualityIncludesSize) {
+  DynamicBitset a(64), b(65);
+  EXPECT_FALSE(a == b);
+  DynamicBitset c(64);
+  EXPECT_TRUE(a == c);
+  c.set(0);
+  EXPECT_FALSE(a == c);
+}
+
+// Property: random operations agree with a std::set<size_t> model.
+TEST(DynamicBitset, RandomOpsAgreeWithSetModel) {
+  const std::size_t n = 257;
+  DynamicBitset bs(n);
+  std::set<std::size_t> model;
+  Xoshiro256 rng(42);
+  for (int op = 0; op < 5000; ++op) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(n));
+    switch (rng.below(3)) {
+      case 0:
+        bs.set(i);
+        model.insert(i);
+        break;
+      case 1:
+        bs.reset(i);
+        model.erase(i);
+        break;
+      default:
+        ASSERT_EQ(bs.test(i), model.count(i) == 1) << "bit " << i;
+    }
+  }
+  ASSERT_EQ(bs.count(), model.size());
+  std::vector<std::uint32_t> bits = bs.toVector();
+  std::vector<std::uint32_t> want(model.begin(), model.end());
+  ASSERT_EQ(bits, want);
+}
+
+}  // namespace
+}  // namespace owlcl

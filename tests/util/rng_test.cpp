@@ -1,0 +1,87 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace owlcl {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+  Xoshiro256 rng(9);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[rng.below(10)];
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(Xoshiro256, Uniform01Bounds) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Shuffle, IsPermutation) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  Xoshiro256 rng(5);
+  shuffle(v, rng);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(Shuffle, DeterministicForSameSeed) {
+  std::vector<int> a(50), b(50);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Xoshiro256 r1(77), r2(77);
+  shuffle(a, r1);
+  shuffle(b, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shuffle, HandlesTinyVectors) {
+  std::vector<int> empty;
+  std::vector<int> one{42};
+  Xoshiro256 rng(1);
+  shuffle(empty, rng);
+  shuffle(one, rng);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), first);
+  EXPECT_NE(sm2.next(), first);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,41 @@
+#include "util/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace owlcl {
+namespace {
+
+TEST(Stopwatch, ElapsedIsMonotone) {
+  Stopwatch sw;
+  const auto a = sw.elapsedNs();
+  const auto b = sw.elapsedNs();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);
+}
+
+TEST(Stopwatch, MeasuresSleep) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.elapsedMs(), 9.0);
+  EXPECT_LT(sw.elapsedSec(), 5.0);  // sanity upper bound
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sw.restart();
+  EXPECT_LT(sw.elapsedMs(), 5.0);
+}
+
+TEST(Stopwatch, UnitsAgree) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double ns = static_cast<double>(sw.elapsedNs());
+  const double ms = sw.elapsedMs();
+  EXPECT_NEAR(ns / 1e6, ms, 1.0);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,47 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace owlcl {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(startsWith("hello", "he"));
+  EXPECT_FALSE(startsWith("hello", "hello!"));
+  EXPECT_TRUE(endsWith("hello", "lo"));
+  EXPECT_FALSE(endsWith("hello", "hel"));
+  EXPECT_TRUE(startsWith("x", ""));
+  EXPECT_TRUE(endsWith("x", ""));
+}
+
+TEST(Strprintf, FormatsLikePrintf) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace owlcl

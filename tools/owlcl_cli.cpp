@@ -1,0 +1,249 @@
+// owlcl — command-line front-end to the library.
+//
+//   owlcl classify <file.{ofn,obo}> [options]   classify and print taxonomy
+//   owlcl metrics  <file.{ofn,obo}>             Table IV/V-style metrics row
+//   owlcl sweep    <file.{ofn,obo}> [options]   virtual-time speedup sweep
+//   owlcl convert  <file.obo> [out.ofn]         OBO → functional syntax
+//
+// classify options:
+//   --workers=N          worker threads (default 4)
+//   --cycles=N           random-division cycles (default 2)
+//   --no-pruning         disable Algorithm 5 pruning
+//   --ordered            ordered (non-symmetric) pair tests
+//   --seed-told          seed K with told atomic subsumptions
+//   --scheduling=rr|ll|sq  group dispatch discipline (default rr)
+//   --backend=tableau|el   reasoner plug-in (el requires an EL ontology)
+//   --output=tree|dot|none taxonomy rendering (default tree)
+//   --verify             run structural verification on the result
+// sweep options:
+//   --max-workers=N      sweep 1..N on the virtual executor (default 64)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "owlcl.hpp"
+#include "taxonomy/verify.hpp"
+
+namespace {
+
+using namespace owlcl;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: owlcl <classify|metrics|sweep|convert> <file> "
+               "[options]\n(see the header of tools/owlcl_cli.cpp)\n");
+  std::exit(2);
+}
+
+bool hasSuffix(const std::string& s, const char* suffix) {
+  const std::size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+void load(const std::string& path, TBox& tbox) {
+  if (hasSuffix(path, ".obo"))
+    parseOboFile(path, tbox);
+  else
+    parseFunctionalSyntaxFile(path, tbox);
+}
+
+/// ReasonerPlugin over the EL saturation, for --backend=el.
+class ElBackend : public ReasonerPlugin {
+ public:
+  explicit ElBackend(const TBox& tbox) : el_(tbox) { el_.classify(); }
+  bool isSatisfiable(ConceptId c, std::uint64_t* costNs) override {
+    ++tests_;
+    if (costNs != nullptr) *costNs = 100;
+    return el_.isSatisfiable(c);
+  }
+  bool isSubsumedBy(ConceptId sub, ConceptId sup,
+                    std::uint64_t* costNs) override {
+    ++tests_;
+    if (costNs != nullptr) *costNs = 100;
+    return el_.subsumes(sup, sub);
+  }
+  std::uint64_t testCount() const override { return tests_; }
+
+ private:
+  ElReasoner el_;
+  std::atomic<std::uint64_t> tests_{0};
+};
+
+struct Options {
+  std::size_t workers = 4;
+  std::size_t cycles = 2;
+  bool pruning = true;
+  bool symmetric = true;
+  bool seedTold = false;
+  bool verify = false;
+  SchedulingPolicy scheduling = SchedulingPolicy::kRoundRobin;
+  std::string backend = "tableau";
+  std::string output = "tree";
+  std::size_t maxWorkers = 64;
+};
+
+Options parseOptions(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&a](const char* key) -> const char* {
+      const std::size_t len = std::strlen(key);
+      return a.compare(0, len, key) == 0 ? a.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--workers=")) {
+      o.workers = static_cast<std::size_t>(std::atol(v));
+    } else if (const char* v2 = value("--cycles=")) {
+      o.cycles = static_cast<std::size_t>(std::atol(v2));
+    } else if (a == "--no-pruning") {
+      o.pruning = false;
+    } else if (a == "--ordered") {
+      o.symmetric = false;
+    } else if (a == "--seed-told") {
+      o.seedTold = true;
+    } else if (a == "--verify") {
+      o.verify = true;
+    } else if (const char* v3 = value("--scheduling=")) {
+      const std::string s = v3;
+      o.scheduling = s == "ll"   ? SchedulingPolicy::kLeastLoaded
+                     : s == "sq" ? SchedulingPolicy::kSharedQueue
+                                 : SchedulingPolicy::kRoundRobin;
+    } else if (const char* v4 = value("--backend=")) {
+      o.backend = v4;
+    } else if (const char* v5 = value("--output=")) {
+      o.output = v5;
+    } else if (const char* v6 = value("--max-workers=")) {
+      o.maxWorkers = static_cast<std::size_t>(std::atol(v6));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage();
+    }
+  }
+  if (o.workers == 0 || o.maxWorkers == 0) usage();
+  return o;
+}
+
+std::unique_ptr<ReasonerPlugin> makeBackend(const std::string& name,
+                                            TBox& tbox) {
+  if (name == "el") {
+    if (!isElTBox(tbox)) {
+      std::fprintf(stderr,
+                   "--backend=el requires an EL ontology (this one is %s)\n",
+                   computeMetrics(tbox).expressivity.c_str());
+      std::exit(1);
+    }
+    tbox.freeze();
+    return std::make_unique<ElBackend>(tbox);
+  }
+  if (name == "tableau") return std::make_unique<TableauReasoner>(tbox);
+  std::fprintf(stderr, "unknown backend: %s\n", name.c_str());
+  usage();
+}
+
+int cmdClassify(const std::string& path, const Options& o) {
+  TBox tbox;
+  load(path, tbox);
+  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o.backend, tbox);
+
+  ClassifierConfig config;
+  config.randomCycles = o.cycles;
+  config.enablePruning = o.pruning;
+  config.symmetricTests = o.symmetric;
+  config.toldSeeding = o.seedTold;
+  config.scheduling = o.scheduling;
+
+  Stopwatch sw;
+  ParallelClassifier classifier(tbox, *backend, config);
+  ThreadPool pool(o.workers);
+  RealExecutor exec(pool);
+  const ClassificationResult r = classifier.classify(exec);
+
+  if (o.output == "dot")
+    r.taxonomy.writeDot(std::cout, tbox);
+  else if (o.output == "tree")
+    r.taxonomy.print(std::cout, tbox);
+
+  std::fprintf(stderr,
+               "classified %zu concepts in %.1f ms (%zu workers, backend %s)\n"
+               "  %llu sat + %llu subsumption tests, %llu pruned, "
+               "%zu taxonomy nodes, depth %zu\n",
+               tbox.conceptCount(), sw.elapsedMs(), o.workers,
+               o.backend.c_str(), static_cast<unsigned long long>(r.satTests),
+               static_cast<unsigned long long>(r.subsumptionTests),
+               static_cast<unsigned long long>(r.prunedWithoutTest),
+               r.taxonomy.nodeCount(), r.taxonomy.depth());
+
+  if (o.verify) {
+    const TaxonomyIssues issues = verifyStructure(r.taxonomy);
+    std::fprintf(stderr, "structural verification: %s\n",
+                 issues.summary().c_str());
+    if (!issues.ok()) return 1;
+  }
+  return 0;
+}
+
+int cmdMetrics(const std::string& path) {
+  TBox tbox;
+  load(path, tbox);
+  const OntologyMetrics m = computeMetrics(tbox);
+  std::printf("%s\n", metricsRow(path, m).c_str());
+  std::printf(
+      "  concepts=%zu roles=%zu axioms=%zu subClassOf=%zu equivalent=%zu\n"
+      "  disjoint=%zu qcrs=%zu somes=%zu alls=%zu annotations=%zu\n"
+      "  roleHierarchy=%zu transitive=%zu expressivity=%s\n",
+      m.concepts, m.roles, m.axioms, m.subClassOf, m.equivalent, m.disjoint,
+      m.qcrs, m.somes, m.alls, m.annotations, m.roleHierarchyAxioms,
+      m.transitiveRoles, m.expressivity.c_str());
+  return 0;
+}
+
+int cmdSweep(const std::string& path, const Options& o) {
+  TBox tbox;
+  load(path, tbox);
+  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o.backend, tbox);
+  ClassifierConfig config;
+  config.randomCycles = o.cycles;
+  const SweepResult r = runSpeedupSweep(path, tbox, *backend,
+                                        figureWorkerCounts(o.maxWorkers),
+                                        config);
+  std::printf("%s", renderSweepTable(r).c_str());
+  return 0;
+}
+
+int cmdConvert(const std::string& path, const std::string& outPath) {
+  TBox tbox;
+  parseOboFile(path, tbox);
+  if (outPath.empty()) {
+    writeFunctionalSyntax(tbox, std::cout);
+  } else {
+    std::ofstream out(outPath);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+      return 1;
+    }
+    writeFunctionalSyntax(tbox, out);
+    std::fprintf(stderr, "wrote %s (%zu concepts, %zu told axioms)\n",
+                 outPath.c_str(), tbox.conceptCount(),
+                 tbox.toldAxioms().size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  try {
+    if (command == "classify") return cmdClassify(path, parseOptions(argc, argv, 3));
+    if (command == "metrics") return cmdMetrics(path);
+    if (command == "sweep") return cmdSweep(path, parseOptions(argc, argv, 3));
+    if (command == "convert") return cmdConvert(path, argc > 3 ? argv[3] : "");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
