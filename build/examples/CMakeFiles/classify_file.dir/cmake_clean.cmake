@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_file.dir/classify_file.cpp.o"
+  "CMakeFiles/classify_file.dir/classify_file.cpp.o.d"
+  "classify_file"
+  "classify_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

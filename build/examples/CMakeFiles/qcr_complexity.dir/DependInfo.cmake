@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/qcr_complexity.cpp" "examples/CMakeFiles/qcr_complexity.dir/qcr_complexity.cpp.o" "gcc" "examples/CMakeFiles/qcr_complexity.dir/qcr_complexity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/owlcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/owlcl_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/owlcl_simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoner/CMakeFiles/owlcl_reasoner.dir/DependInfo.cmake"
+  "/root/repo/build/src/elcore/CMakeFiles/owlcl_elcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/owlcl_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/owl/CMakeFiles/owlcl_owl.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/owlcl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owlcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

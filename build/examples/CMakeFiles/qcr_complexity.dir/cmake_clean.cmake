@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcr_complexity.dir/qcr_complexity.cpp.o"
+  "CMakeFiles/qcr_complexity.dir/qcr_complexity.cpp.o.d"
+  "qcr_complexity"
+  "qcr_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcr_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

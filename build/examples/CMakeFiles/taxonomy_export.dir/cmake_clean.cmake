@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxonomy_export.dir/taxonomy_export.cpp.o"
+  "CMakeFiles/taxonomy_export.dir/taxonomy_export.cpp.o.d"
+  "taxonomy_export"
+  "taxonomy_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxonomy_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/owlcl_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/owlcl_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/parallel_classifier.cpp" "src/core/CMakeFiles/owlcl_core.dir/parallel_classifier.cpp.o" "gcc" "src/core/CMakeFiles/owlcl_core.dir/parallel_classifier.cpp.o.d"
+  "/root/repo/src/core/pk_store.cpp" "src/core/CMakeFiles/owlcl_core.dir/pk_store.cpp.o" "gcc" "src/core/CMakeFiles/owlcl_core.dir/pk_store.cpp.o.d"
+  "/root/repo/src/core/sequential.cpp" "src/core/CMakeFiles/owlcl_core.dir/sequential.cpp.o" "gcc" "src/core/CMakeFiles/owlcl_core.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/owl/CMakeFiles/owlcl_owl.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/owlcl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/owlcl_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owlcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlcl_core.dir/incremental.cpp.o"
+  "CMakeFiles/owlcl_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/owlcl_core.dir/parallel_classifier.cpp.o"
+  "CMakeFiles/owlcl_core.dir/parallel_classifier.cpp.o.d"
+  "CMakeFiles/owlcl_core.dir/pk_store.cpp.o"
+  "CMakeFiles/owlcl_core.dir/pk_store.cpp.o.d"
+  "CMakeFiles/owlcl_core.dir/sequential.cpp.o"
+  "CMakeFiles/owlcl_core.dir/sequential.cpp.o.d"
+  "libowlcl_core.a"
+  "libowlcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libowlcl_core.a"
+)

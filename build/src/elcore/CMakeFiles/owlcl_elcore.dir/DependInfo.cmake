@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elcore/el_concurrent.cpp" "src/elcore/CMakeFiles/owlcl_elcore.dir/el_concurrent.cpp.o" "gcc" "src/elcore/CMakeFiles/owlcl_elcore.dir/el_concurrent.cpp.o.d"
+  "/root/repo/src/elcore/el_reasoner.cpp" "src/elcore/CMakeFiles/owlcl_elcore.dir/el_reasoner.cpp.o" "gcc" "src/elcore/CMakeFiles/owlcl_elcore.dir/el_reasoner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/owl/CMakeFiles/owlcl_owl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owlcl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/owlcl_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

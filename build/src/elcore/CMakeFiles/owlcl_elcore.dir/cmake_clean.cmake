@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlcl_elcore.dir/el_concurrent.cpp.o"
+  "CMakeFiles/owlcl_elcore.dir/el_concurrent.cpp.o.d"
+  "CMakeFiles/owlcl_elcore.dir/el_reasoner.cpp.o"
+  "CMakeFiles/owlcl_elcore.dir/el_reasoner.cpp.o.d"
+  "libowlcl_elcore.a"
+  "libowlcl_elcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlcl_elcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

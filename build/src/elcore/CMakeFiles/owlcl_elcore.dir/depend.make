@@ -1,0 +1,2 @@
+# Empty dependencies file for owlcl_elcore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlcl_gen.dir/generator.cpp.o"
+  "CMakeFiles/owlcl_gen.dir/generator.cpp.o.d"
+  "CMakeFiles/owlcl_gen.dir/mock_reasoner.cpp.o"
+  "CMakeFiles/owlcl_gen.dir/mock_reasoner.cpp.o.d"
+  "CMakeFiles/owlcl_gen.dir/suites.cpp.o"
+  "CMakeFiles/owlcl_gen.dir/suites.cpp.o.d"
+  "libowlcl_gen.a"
+  "libowlcl_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlcl_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

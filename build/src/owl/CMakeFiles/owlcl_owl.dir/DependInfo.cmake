@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/owl/expr.cpp" "src/owl/CMakeFiles/owlcl_owl.dir/expr.cpp.o" "gcc" "src/owl/CMakeFiles/owlcl_owl.dir/expr.cpp.o.d"
+  "/root/repo/src/owl/metrics.cpp" "src/owl/CMakeFiles/owlcl_owl.dir/metrics.cpp.o" "gcc" "src/owl/CMakeFiles/owlcl_owl.dir/metrics.cpp.o.d"
+  "/root/repo/src/owl/obo_parser.cpp" "src/owl/CMakeFiles/owlcl_owl.dir/obo_parser.cpp.o" "gcc" "src/owl/CMakeFiles/owlcl_owl.dir/obo_parser.cpp.o.d"
+  "/root/repo/src/owl/parser.cpp" "src/owl/CMakeFiles/owlcl_owl.dir/parser.cpp.o" "gcc" "src/owl/CMakeFiles/owlcl_owl.dir/parser.cpp.o.d"
+  "/root/repo/src/owl/printer.cpp" "src/owl/CMakeFiles/owlcl_owl.dir/printer.cpp.o" "gcc" "src/owl/CMakeFiles/owlcl_owl.dir/printer.cpp.o.d"
+  "/root/repo/src/owl/rolebox.cpp" "src/owl/CMakeFiles/owlcl_owl.dir/rolebox.cpp.o" "gcc" "src/owl/CMakeFiles/owlcl_owl.dir/rolebox.cpp.o.d"
+  "/root/repo/src/owl/tbox.cpp" "src/owl/CMakeFiles/owlcl_owl.dir/tbox.cpp.o" "gcc" "src/owl/CMakeFiles/owlcl_owl.dir/tbox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/owlcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

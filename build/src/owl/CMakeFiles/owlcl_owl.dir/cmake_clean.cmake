@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlcl_owl.dir/expr.cpp.o"
+  "CMakeFiles/owlcl_owl.dir/expr.cpp.o.d"
+  "CMakeFiles/owlcl_owl.dir/metrics.cpp.o"
+  "CMakeFiles/owlcl_owl.dir/metrics.cpp.o.d"
+  "CMakeFiles/owlcl_owl.dir/obo_parser.cpp.o"
+  "CMakeFiles/owlcl_owl.dir/obo_parser.cpp.o.d"
+  "CMakeFiles/owlcl_owl.dir/parser.cpp.o"
+  "CMakeFiles/owlcl_owl.dir/parser.cpp.o.d"
+  "CMakeFiles/owlcl_owl.dir/printer.cpp.o"
+  "CMakeFiles/owlcl_owl.dir/printer.cpp.o.d"
+  "CMakeFiles/owlcl_owl.dir/rolebox.cpp.o"
+  "CMakeFiles/owlcl_owl.dir/rolebox.cpp.o.d"
+  "CMakeFiles/owlcl_owl.dir/tbox.cpp.o"
+  "CMakeFiles/owlcl_owl.dir/tbox.cpp.o.d"
+  "libowlcl_owl.a"
+  "libowlcl_owl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlcl_owl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlcl_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/owlcl_parallel.dir/thread_pool.cpp.o.d"
+  "libowlcl_parallel.a"
+  "libowlcl_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlcl_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

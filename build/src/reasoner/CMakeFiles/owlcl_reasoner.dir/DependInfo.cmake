@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reasoner/kb.cpp" "src/reasoner/CMakeFiles/owlcl_reasoner.dir/kb.cpp.o" "gcc" "src/reasoner/CMakeFiles/owlcl_reasoner.dir/kb.cpp.o.d"
+  "/root/repo/src/reasoner/tableau.cpp" "src/reasoner/CMakeFiles/owlcl_reasoner.dir/tableau.cpp.o" "gcc" "src/reasoner/CMakeFiles/owlcl_reasoner.dir/tableau.cpp.o.d"
+  "/root/repo/src/reasoner/tableau_reasoner.cpp" "src/reasoner/CMakeFiles/owlcl_reasoner.dir/tableau_reasoner.cpp.o" "gcc" "src/reasoner/CMakeFiles/owlcl_reasoner.dir/tableau_reasoner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/owl/CMakeFiles/owlcl_owl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owlcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

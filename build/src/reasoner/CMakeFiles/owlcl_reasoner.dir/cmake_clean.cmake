@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlcl_reasoner.dir/kb.cpp.o"
+  "CMakeFiles/owlcl_reasoner.dir/kb.cpp.o.d"
+  "CMakeFiles/owlcl_reasoner.dir/tableau.cpp.o"
+  "CMakeFiles/owlcl_reasoner.dir/tableau.cpp.o.d"
+  "CMakeFiles/owlcl_reasoner.dir/tableau_reasoner.cpp.o"
+  "CMakeFiles/owlcl_reasoner.dir/tableau_reasoner.cpp.o.d"
+  "libowlcl_reasoner.a"
+  "libowlcl_reasoner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlcl_reasoner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

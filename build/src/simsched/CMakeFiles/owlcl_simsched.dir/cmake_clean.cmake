@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlcl_simsched.dir/sweep.cpp.o"
+  "CMakeFiles/owlcl_simsched.dir/sweep.cpp.o.d"
+  "libowlcl_simsched.a"
+  "libowlcl_simsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlcl_simsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

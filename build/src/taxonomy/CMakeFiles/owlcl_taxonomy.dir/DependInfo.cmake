@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxonomy/diff.cpp" "src/taxonomy/CMakeFiles/owlcl_taxonomy.dir/diff.cpp.o" "gcc" "src/taxonomy/CMakeFiles/owlcl_taxonomy.dir/diff.cpp.o.d"
+  "/root/repo/src/taxonomy/taxonomy.cpp" "src/taxonomy/CMakeFiles/owlcl_taxonomy.dir/taxonomy.cpp.o" "gcc" "src/taxonomy/CMakeFiles/owlcl_taxonomy.dir/taxonomy.cpp.o.d"
+  "/root/repo/src/taxonomy/verify.cpp" "src/taxonomy/CMakeFiles/owlcl_taxonomy.dir/verify.cpp.o" "gcc" "src/taxonomy/CMakeFiles/owlcl_taxonomy.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/owl/CMakeFiles/owlcl_owl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/owlcl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

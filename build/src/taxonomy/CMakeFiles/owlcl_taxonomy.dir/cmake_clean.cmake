@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlcl_taxonomy.dir/diff.cpp.o"
+  "CMakeFiles/owlcl_taxonomy.dir/diff.cpp.o.d"
+  "CMakeFiles/owlcl_taxonomy.dir/taxonomy.cpp.o"
+  "CMakeFiles/owlcl_taxonomy.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/owlcl_taxonomy.dir/verify.cpp.o"
+  "CMakeFiles/owlcl_taxonomy.dir/verify.cpp.o.d"
+  "libowlcl_taxonomy.a"
+  "libowlcl_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlcl_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlcl_util.dir/bitset.cpp.o"
+  "CMakeFiles/owlcl_util.dir/bitset.cpp.o.d"
+  "CMakeFiles/owlcl_util.dir/rng.cpp.o"
+  "CMakeFiles/owlcl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/owlcl_util.dir/strings.cpp.o"
+  "CMakeFiles/owlcl_util.dir/strings.cpp.o.d"
+  "libowlcl_util.a"
+  "libowlcl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlcl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

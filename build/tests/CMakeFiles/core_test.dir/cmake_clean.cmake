@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/classifier_edge_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/classifier_edge_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/classifier_property_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/classifier_property_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/classifier_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/classifier_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/incremental_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/incremental_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pk_store_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pk_store_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/real_executor_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/real_executor_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sequential_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sequential_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

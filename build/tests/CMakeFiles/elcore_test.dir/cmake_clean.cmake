@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elcore_test.dir/elcore/el_concurrent_test.cpp.o"
+  "CMakeFiles/elcore_test.dir/elcore/el_concurrent_test.cpp.o.d"
+  "CMakeFiles/elcore_test.dir/elcore/el_reasoner_test.cpp.o"
+  "CMakeFiles/elcore_test.dir/elcore/el_reasoner_test.cpp.o.d"
+  "elcore_test"
+  "elcore_test.pdb"
+  "elcore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

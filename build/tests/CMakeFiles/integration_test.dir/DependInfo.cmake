@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/example_data_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/example_data_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/example_data_test.cpp.o.d"
+  "/root/repo/tests/integration/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/owlcl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/owl/CMakeFiles/owlcl_owl.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/owlcl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/elcore/CMakeFiles/owlcl_elcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoner/CMakeFiles/owlcl_reasoner.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/owlcl_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/owlcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/owlcl_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/owlcl_simsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

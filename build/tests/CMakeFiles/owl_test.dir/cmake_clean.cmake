@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_test.dir/owl/annotation_test.cpp.o"
+  "CMakeFiles/owl_test.dir/owl/annotation_test.cpp.o.d"
+  "CMakeFiles/owl_test.dir/owl/expr_test.cpp.o"
+  "CMakeFiles/owl_test.dir/owl/expr_test.cpp.o.d"
+  "CMakeFiles/owl_test.dir/owl/metrics_test.cpp.o"
+  "CMakeFiles/owl_test.dir/owl/metrics_test.cpp.o.d"
+  "CMakeFiles/owl_test.dir/owl/obo_parser_test.cpp.o"
+  "CMakeFiles/owl_test.dir/owl/obo_parser_test.cpp.o.d"
+  "CMakeFiles/owl_test.dir/owl/parser_test.cpp.o"
+  "CMakeFiles/owl_test.dir/owl/parser_test.cpp.o.d"
+  "CMakeFiles/owl_test.dir/owl/printer_test.cpp.o"
+  "CMakeFiles/owl_test.dir/owl/printer_test.cpp.o.d"
+  "CMakeFiles/owl_test.dir/owl/rolebox_test.cpp.o"
+  "CMakeFiles/owl_test.dir/owl/rolebox_test.cpp.o.d"
+  "CMakeFiles/owl_test.dir/owl/tbox_test.cpp.o"
+  "CMakeFiles/owl_test.dir/owl/tbox_test.cpp.o.d"
+  "owl_test"
+  "owl_test.pdb"
+  "owl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

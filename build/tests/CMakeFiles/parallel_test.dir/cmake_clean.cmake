@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_test.dir/parallel/atomic_bitmatrix_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/parallel/atomic_bitmatrix_test.cpp.o.d"
+  "CMakeFiles/parallel_test.dir/parallel/spinlock_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/parallel/spinlock_test.cpp.o.d"
+  "CMakeFiles/parallel_test.dir/parallel/thread_pool_test.cpp.o"
+  "CMakeFiles/parallel_test.dir/parallel/thread_pool_test.cpp.o.d"
+  "parallel_test"
+  "parallel_test.pdb"
+  "parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reasoner_test.dir/reasoner/kb_test.cpp.o"
+  "CMakeFiles/reasoner_test.dir/reasoner/kb_test.cpp.o.d"
+  "CMakeFiles/reasoner_test.dir/reasoner/tableau_property_test.cpp.o"
+  "CMakeFiles/reasoner_test.dir/reasoner/tableau_property_test.cpp.o.d"
+  "CMakeFiles/reasoner_test.dir/reasoner/tableau_test.cpp.o"
+  "CMakeFiles/reasoner_test.dir/reasoner/tableau_test.cpp.o.d"
+  "reasoner_test"
+  "reasoner_test.pdb"
+  "reasoner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reasoner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

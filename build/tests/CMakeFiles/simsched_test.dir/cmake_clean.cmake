@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsched_test.dir/simsched/sweep_test.cpp.o"
+  "CMakeFiles/simsched_test.dir/simsched/sweep_test.cpp.o.d"
+  "CMakeFiles/simsched_test.dir/simsched/virtual_executor_test.cpp.o"
+  "CMakeFiles/simsched_test.dir/simsched/virtual_executor_test.cpp.o.d"
+  "simsched_test"
+  "simsched_test.pdb"
+  "simsched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

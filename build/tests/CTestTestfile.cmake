@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/owl_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/elcore_test[1]_include.cmake")
+include("/root/repo/build/tests/reasoner_test[1]_include.cmake")
+include("/root/repo/build/tests/taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/simsched_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

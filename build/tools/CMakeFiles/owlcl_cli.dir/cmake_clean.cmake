@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlcl_cli.dir/owlcl_cli.cpp.o"
+  "CMakeFiles/owlcl_cli.dir/owlcl_cli.cpp.o.d"
+  "owlcl"
+  "owlcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlcl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
