@@ -18,9 +18,18 @@
 #include <cstdint>
 #include <functional>
 
+#include "parallel/cancellation.hpp"
+
 namespace owlcl {
 
 /// Scheduling disciplines for picking the worker of the next group task.
+///
+/// Contract: kRoundRobin rotates worker slots; kSharedQueue returns
+/// kAnyWorker (any idle worker takes the task); kLeastLoaded returns the
+/// worker with the smallest outstanding load *as observable by the
+/// executor* — per-worker queue depth for RealExecutor, per-worker
+/// virtual clock for VirtualExecutor. Implementations must not silently
+/// degrade kLeastLoaded to another discipline.
 enum class SchedulingPolicy : std::uint8_t {
   kRoundRobin,   // the paper's round-robin scheduling (Section III-A2)
   kLeastLoaded,  // "getAvailableThread": worker with the least queued work
@@ -50,6 +59,22 @@ class Executor {
 
   /// Σ task costs across all workers ("runtime" in the paper's metric).
   virtual std::uint64_t busyNs() const = 0;
+
+  // --- cooperative cancellation ---------------------------------------------
+  // Long-running task bodies poll cancellation().cancelled() and return
+  // early once it fires; the dispatcher then degrades gracefully instead
+  // of waiting forever on a hung run (see parallel/cancellation.hpp).
+
+  CancellationToken& cancellation() { return cancel_; }
+  const CancellationToken& cancellation() const { return cancel_; }
+
+  /// Arms a watchdog that cancels cancellation() once `budgetNs` of this
+  /// executor's time (wall or virtual) elapses past the current instant.
+  /// Default: no watchdog support (budget ignored).
+  virtual void armWatchdog(std::uint64_t budgetNs) { (void)budgetNs; }
+
+ private:
+  CancellationToken cancel_;
 };
 
 }  // namespace owlcl

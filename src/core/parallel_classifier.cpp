@@ -15,18 +15,109 @@ ParallelClassifier::ParallelClassifier(const TBox& tbox, ReasonerPlugin& plugin,
   OWLCL_ASSERT_MSG(tbox.frozen(), "freeze the TBox before classification");
 }
 
-bool ParallelClassifier::ensureSat(ConceptId c, std::uint64_t& cost) {
-  SatStatus st = store_.satStatus(c);
-  if (st == SatStatus::kUnknown) {
-    std::uint64_t ns = 0;
-    const bool sat = plugin_.isSatisfiable(c, &ns);
-    cost += ns;
-    satTests_.fetch_add(1, std::memory_order_relaxed);
-    store_.setSatStatus(c, sat);
-    if (!sat) store_.eraseUnsatConcept(c);
-    st = sat ? SatStatus::kSat : SatStatus::kUnsat;
+ParallelClassifier::SatResult ParallelClassifier::ensureSat(
+    ConceptId c, std::uint64_t& cost) {
+  const SatStatus st = store_.satStatus(c);
+  if (st == SatStatus::kSat) return SatResult::kSat;
+  if (st == SatStatus::kUnsat) return SatResult::kUnsat;
+
+  // Unknown: at most one worker computes it; a failed attempt backs off.
+  if (!store_.retryEligible(c, c, epoch_.load(std::memory_order_relaxed)))
+    return SatResult::kDeferred;
+  if (!store_.claimSat(c)) {
+    // Another worker holds (or held) the computation; use whatever status
+    // it published, else defer this pair to a later round.
+    switch (store_.satStatus(c)) {
+      case SatStatus::kSat:
+        return SatResult::kSat;
+      case SatStatus::kUnsat:
+        return SatResult::kUnsat;
+      case SatStatus::kUnknown:
+        return SatResult::kDeferred;
+    }
   }
-  return st == SatStatus::kSat;
+
+  std::uint64_t ns = 0;
+  if (store_.hasFailures() && store_.failureAttempts(c, c) > 0)
+    retriedTests_.fetch_add(1, std::memory_order_relaxed);
+  const TestVerdict v = plugin_.trySatisfiable(c, &ns);
+  cost += ns;
+  satTests_.fetch_add(1, std::memory_order_relaxed);
+  if (!v.ok()) {
+    noteSatFailure(c);
+    return SatResult::kDeferred;
+  }
+  store_.setSatStatus(c, v.value());
+  if (!v.value()) store_.eraseUnsatConcept(c);
+  return v.value() ? SatResult::kSat : SatResult::kUnsat;
+}
+
+TestOutcome ParallelClassifier::runClaimedSubsTest(ConceptId x, ConceptId y,
+                                                   std::uint64_t& cost) {
+  std::uint64_t ns = 0;
+  if (store_.hasFailures() && store_.failureAttempts(x, y) > 0)
+    retriedTests_.fetch_add(1, std::memory_order_relaxed);
+  const TestVerdict v = plugin_.trySubsumedBy(y, x, &ns);  // subs?(x,y): y ⊑ x?
+  cost += ns;
+  subsTests_.fetch_add(1, std::memory_order_relaxed);
+  if (!v.ok()) {
+    noteSubsFailure(x, y);
+    return TestOutcome::kFailed;
+  }
+  if (v.value())
+    store_.recordSubsumption(x, y);
+  else
+    store_.recordNonSubsumption(x, y);
+  return v.outcome;
+}
+
+void ParallelClassifier::noteSubsFailure(ConceptId x, ConceptId y) {
+  failedTests_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t attempts =
+      store_.recordFailure(x, y, epoch_.load(std::memory_order_relaxed),
+                           config_.backoffCapRounds);
+  if (attempts > config_.maxRetries) {
+    // Retries exhausted: withdraw the pair (we still hold its claim) so
+    // classification terminates; the verdict stays unknown.
+    store_.markUnresolved(x, y);
+  } else {
+    store_.releaseClaim(x, y);  // pair stays possible → requeued later
+  }
+}
+
+void ParallelClassifier::noteSatFailure(ConceptId c) {
+  failedTests_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t attempts =
+      store_.recordFailure(c, c, epoch_.load(std::memory_order_relaxed),
+                           config_.backoffCapRounds);
+  if (attempts > config_.maxRetries)
+    giveUpOnConcept(c);  // keeps the sat claim: nobody retries
+  else
+    store_.releaseSat(c);
+}
+
+void ParallelClassifier::giveUpOnConcept(ConceptId c) {
+  // sat?(c) is undecidable within the fault budget. Degrade: treat c as
+  // satisfiable-with-unknown-status (sound — only successfully derived
+  // edges are ever asserted; if c were actually unsatisfiable, every
+  // subsumption involving it is entailed anyway) and withdraw every
+  // pending pair involving c so the run terminates.
+  store_.markConceptUnresolved(c);
+  const std::size_t n = store_.conceptCount();
+  for (ConceptId y : store_.possibleRow(c)) store_.markUnresolved(c, y);
+  for (ConceptId x = 0; x < n; ++x)
+    if (x != c && store_.possible(x, c)) store_.markUnresolved(x, c);
+}
+
+void ParallelClassifier::drainPossibleToUnresolved() {
+  // Cancellation cut the run short: whatever is still possible will never
+  // be tested. Runs between barriers — no worker holds claims here.
+  const std::size_t n = store_.conceptCount();
+  for (ConceptId x = 0; x < n; ++x)
+    for (ConceptId y : store_.possibleRow(x)) store_.markUnresolved(x, y);
+  for (ConceptId c = 0; c < n; ++c)
+    if (store_.satStatus(c) == SatStatus::kUnknown)
+      store_.markConceptUnresolved(c);
 }
 
 void ParallelClassifier::pruneAfterStrict(ConceptId super, ConceptId sub) {
@@ -64,41 +155,41 @@ void ParallelClassifier::testPairSymmetric(ConceptId a, ConceptId b,
                                            std::uint64_t& cost) {
   // Quick reject: both directions already resolved.
   if (!store_.possible(a, b) && !store_.possible(b, a)) return;
-  if (!ensureSat(a, cost)) return;  // eraseUnsatConcept cleared the pair
-  if (!ensureSat(b, cost)) return;
+  // Unsat erases the pair; a deferred (failed/backing-off) sat test keeps
+  // it possible for a later round.
+  if (ensureSat(a, cost) != SatResult::kSat) return;
+  if (ensureSat(b, cost) != SatResult::kSat) return;
 
-  // Claim each direction; a lost claim is being handled by another worker.
-  const bool claimAb = store_.claimTest(a, b);  // subs?(a,b): b ⊑ a?
-  const bool claimBa = store_.claimTest(b, a);  // subs?(b,a): a ⊑ b?
+  // Claim each direction; a lost claim is being handled by another worker,
+  // and a direction in retry backoff must not be re-attempted yet.
+  const std::size_t round = epoch_.load(std::memory_order_relaxed);
+  const bool claimAb =
+      store_.retryEligible(a, b, round) && store_.claimTest(a, b);
+  const bool claimBa =
+      store_.retryEligible(b, a, round) && store_.claimTest(b, a);
   if (!claimAb && !claimBa) return;
 
-  std::uint64_t ns = 0;
   bool bUnderA = false, aUnderB = false;
   bool knowBUnderA = false, knowAUnderB = false;
-  if (claimAb) {
-    bUnderA = plugin_.isSubsumedBy(b, a, &ns);
-    knowBUnderA = true;
-    cost += ns;
-    subsTests_.fetch_add(1, std::memory_order_relaxed);
-    if (bUnderA)
-      store_.recordSubsumption(a, b);
-    else
-      store_.recordNonSubsumption(a, b);
+  if (claimAb) {  // subs?(a,b): b ⊑ a?
+    const TestOutcome o = runClaimedSubsTest(a, b, cost);
+    if (o != TestOutcome::kFailed) {
+      knowBUnderA = true;
+      bUnderA = o == TestOutcome::kTrue;
+    }
   }
-  if (claimBa) {
-    aUnderB = plugin_.isSubsumedBy(a, b, &ns);
-    knowAUnderB = true;
-    cost += ns;
-    subsTests_.fetch_add(1, std::memory_order_relaxed);
-    if (aUnderB)
-      store_.recordSubsumption(b, a);
-    else
-      store_.recordNonSubsumption(b, a);
+  if (claimBa) {  // subs?(b,a): a ⊑ b?
+    const TestOutcome o = runClaimedSubsTest(b, a, cost);
+    if (o != TestOutcome::kFailed) {
+      knowAUnderB = true;
+      aUnderB = o == TestOutcome::kTrue;
+    }
   }
 
   // Algorithm 5 pruning needs a *strict* outcome, i.e. both directions
   // known from this claim (Situation 2.3; 2.2 equivalence and 2.4 mutual
-  // non-subsumption leave P/K as recorded above).
+  // non-subsumption leave P/K as recorded above). A failed direction
+  // yields no outcome, so no pruning happens on partial knowledge.
   if (!config_.enablePruning || !knowBUnderA || !knowAUnderB) return;
   if (bUnderA && !aUnderB)
     pruneAfterStrict(/*super=*/a, /*sub=*/b);
@@ -110,17 +201,12 @@ void ParallelClassifier::testOrdered(ConceptId x, ConceptId y,
                                      std::uint64_t& cost) {
   // Algorithm 2/3 verbatim: test subs?(x, y) — is y ⊑ x — only.
   if (!store_.possible(x, y)) return;
-  if (!ensureSat(x, cost)) return;
-  if (!ensureSat(y, cost)) return;
+  if (ensureSat(x, cost) != SatResult::kSat) return;
+  if (ensureSat(y, cost) != SatResult::kSat) return;
+  if (!store_.retryEligible(x, y, epoch_.load(std::memory_order_relaxed)))
+    return;
   if (!store_.claimTest(x, y)) return;
-  std::uint64_t ns = 0;
-  const bool yUnderX = plugin_.isSubsumedBy(y, x, &ns);
-  cost += ns;
-  subsTests_.fetch_add(1, std::memory_order_relaxed);
-  if (yUnderX)
-    store_.recordSubsumption(x, y);
-  else
-    store_.recordNonSubsumption(x, y);
+  runClaimedSubsTest(x, y, cost);
 }
 
 void ParallelClassifier::seedTold() {
@@ -149,6 +235,7 @@ void ParallelClassifier::runRandomCycle(Executor& exec, std::size_t cycleIndex,
 
   // randomDivision: w contiguous slices of the shuffled order, one per
   // worker (group count == worker count, Section III-A1).
+  const CancellationToken& cancel = exec.cancellation();
   const std::size_t base = n / w;
   const std::size_t extra = n % w;
   std::size_t begin = 0;
@@ -162,9 +249,11 @@ void ParallelClassifier::runRandomCycle(Executor& exec, std::size_t cycleIndex,
                                  order.begin() +
                                      static_cast<std::ptrdiff_t>(begin + size));
     begin += size;
-    exec.dispatch(g % w, [this, slice = std::move(slice)]() -> std::uint64_t {
+    exec.dispatch(g % w,
+                  [this, slice = std::move(slice), &cancel]() -> std::uint64_t {
       std::uint64_t cost = 0;
       for (std::size_t i = 0; i < slice.size(); ++i) {
+        if (cancel.cancelled()) break;  // cooperative: stop picking pairs
         for (std::size_t j = i + 1; j < slice.size(); ++j) {
           if (config_.symmetricTests)
             testPairSymmetric(slice[i], slice[j], cost);
@@ -197,13 +286,16 @@ void ParallelClassifier::runGroupRound(Executor& exec, std::size_t roundIndex,
   // the task starts, so pruning performed by earlier groups already
   // shrinks later ones — the paper's "changes performed to P and K before
   // new divisions are created for an idle thread".
+  const CancellationToken& cancel = exec.cancellation();
   for (ConceptId x = 0; x < n; ++x) {
     if (store_.possibleEmpty(x)) continue;
     const std::size_t worker = exec.pickWorker(config_.scheduling);
-    exec.dispatch(worker, [this, x]() -> std::uint64_t {
+    exec.dispatch(worker, [this, x, &cancel]() -> std::uint64_t {
       std::uint64_t cost = 0;
-      if (!ensureSat(x, cost)) return cost;
+      if (cancel.cancelled()) return cost;
+      if (ensureSat(x, cost) != SatResult::kSat) return cost;
       for (ConceptId y : store_.possibleRow(x)) {
+        if (cancel.cancelled()) break;  // cooperative: stop picking pairs
         if (config_.symmetricTests)
           testPairSymmetric(x, y, cost);
         else
@@ -363,6 +455,15 @@ ClassificationResult ParallelClassifier::classify(Executor& exec) {
 
   store_.initPossibleAll();
   if (config_.toldSeeding) seedTold();
+  if (config_.watchdogBudgetNs != 0) exec.armWatchdog(config_.watchdogBudgetNs);
+  const CancellationToken& cancel = exec.cancellation();
+
+  // Convergence slack for fault tolerance: a test key may fail up to
+  // maxRetries+1 times, each followed by at most backoffCapRounds idle
+  // rounds, and a pair can serialise up to four such keys (two sat tests,
+  // two subsumption directions) before it is resolved or withdrawn.
+  const std::size_t faultSlack =
+      4 * (config_.maxRetries + 1) * (config_.backoffCapRounds + 1) + 4;
 
   // Phase 1: random division cycles.
   std::vector<ConceptId> order(n);
@@ -371,27 +472,35 @@ ClassificationResult ParallelClassifier::classify(Executor& exec) {
   for (std::size_t cycle = 0; cycle < config_.randomCycles; ++cycle) {
     shuffle(order, rng);
     runRandomCycle(exec, cycle, order, result);
+    epoch_.fetch_add(1, std::memory_order_relaxed);  // backoff round clock
   }
 
   // Phase 2: group division until R_O = ∅. One round resolves every
   // remaining bit (each P_X is exhaustively attempted); the loop guards
-  // against claim races leaving stragglers.
+  // against claim races leaving stragglers, and keeps spinning while
+  // failed tests back off — every key either eventually succeeds or
+  // exhausts its retries and is withdrawn, so the loop terminates.
   std::size_t round = 0;
-  while (store_.remainingPossible() > 0) {
+  while (store_.remainingPossible() > 0 && !cancel.cancelled()) {
     runGroupRound(exec, round, result);
-    OWLCL_ASSERT_MSG(++round <= n + 1, "group division failed to converge");
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+    OWLCL_ASSERT_MSG(++round <= n + 1 + faultSlack,
+                     "group division failed to converge");
   }
 
   // Satisfiability completion: unsat-erasure and Algorithm 5 pruning can
   // resolve every pair involving a concept without ever running sat?() on
   // it (e.g. a two-concept ontology where the partner is found
   // unsatisfiable first). The taxonomy needs a definite status for every
-  // concept, so test the stragglers in parallel.
-  {
-    bool anyUnknown = false;
+  // concept, so test the stragglers in parallel — repeating rounds while
+  // failed sat tests back off, skipping concepts already given up on.
+  std::size_t satPass = 0;
+  while (!cancel.cancelled()) {
+    bool anyPending = false;
     for (ConceptId x = 0; x < n; ++x) {
       if (store_.satStatus(x) != SatStatus::kUnknown) continue;
-      anyUnknown = true;
+      if (store_.conceptUnresolved(x)) continue;  // degraded: given up
+      anyPending = true;
       exec.dispatch(exec.pickWorker(config_.scheduling),
                     [this, x]() -> std::uint64_t {
                       std::uint64_t cost = 0;
@@ -399,8 +508,18 @@ ClassificationResult ParallelClassifier::classify(Executor& exec) {
                       return cost;
                     });
     }
-    if (anyUnknown) exec.barrier();
+    if (!anyPending) break;
+    exec.barrier();
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+    OWLCL_ASSERT_MSG(++satPass <= faultSlack,
+                     "sat completion failed to converge");
   }
+
+  // Graceful degradation: a fired watchdog (or external cancel) leaves
+  // pairs possible and sat statuses unknown; withdraw them into the
+  // unresolved report so the partial taxonomy below is still sound.
+  result.cancelled = cancel.cancelled();
+  if (result.cancelled) drainPossibleToUnresolved();
 
   // Phase 3: taxonomy construction.
   buildHierarchy(exec, result);
@@ -410,6 +529,12 @@ ClassificationResult ParallelClassifier::classify(Executor& exec) {
   result.satTests = satTests_.load(std::memory_order_relaxed);
   result.subsumptionTests = subsTests_.load(std::memory_order_relaxed);
   result.prunedWithoutTest = pruned_.load(std::memory_order_relaxed);
+  result.failedTests = failedTests_.load(std::memory_order_relaxed);
+  result.retriedTests = retriedTests_.load(std::memory_order_relaxed);
+  result.unresolvedPairs = store_.unresolvedPairs();
+  std::sort(result.unresolvedPairs.begin(), result.unresolvedPairs.end());
+  result.unresolvedConcepts = store_.unresolvedConcepts();
+  std::sort(result.unresolvedConcepts.begin(), result.unresolvedConcepts.end());
   return result;
 }
 

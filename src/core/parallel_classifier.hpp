@@ -19,6 +19,17 @@
 // invoking the reasoner. The unsound symmetric variants the paper refutes
 // with counter-examples (Figs. 6–8) are deliberately NOT performed; tests
 // encode those counter-examples.
+//
+// Fault tolerance: the plug-in is called through the tri-state try*()
+// boundary (core/plugin.hpp) and is allowed to fail. A failed test keeps
+// its pair *possible*, is recorded in the PkStore retry ledger, and is
+// requeued with capped exponential backoff across division rounds; after
+// maxRetries failures the pair is moved to the unresolved set and
+// withdrawn, so classify() always terminates with a *sound* (possibly
+// partial) taxonomy — every edge it asserts was either derived from a
+// successful test or pruned by Algorithm 5 — plus an unresolvedPairs /
+// unresolvedConcepts report. A fired executor cancellation token
+// (watchdog) short-circuits remaining work the same way.
 #pragma once
 
 #include <atomic>
@@ -52,6 +63,17 @@ struct ClassifierConfig {
   bool toldSeeding = false;
   /// Group-division dispatch discipline (Section III-A2 uses round-robin).
   SchedulingPolicy scheduling = SchedulingPolicy::kRoundRobin;
+
+  // --- fault tolerance -------------------------------------------------------
+  /// Failed plug-in calls per test key before the pair/concept is given up
+  /// as unresolved (maxRetries retries after the initial attempt).
+  std::size_t maxRetries = 3;
+  /// Cap, in division rounds, for the exponential retry backoff.
+  std::size_t backoffCapRounds = 8;
+  /// Whole-run watchdog budget in executor time (wall for RealExecutor,
+  /// virtual for VirtualExecutor); 0 = no watchdog. When it fires, the
+  /// run degrades: remaining pairs become unresolved.
+  std::uint64_t watchdogBudgetNs = 0;
 };
 
 struct CycleStats {
@@ -74,6 +96,24 @@ struct ClassificationResult {
   std::uint64_t subsumptionTests = 0;
   std::uint64_t prunedWithoutTest = 0;  // pairs resolved by Algorithm 5
 
+  // --- fault-tolerance report ------------------------------------------------
+  std::uint64_t failedTests = 0;   // plug-in calls that returned kFailed
+  std::uint64_t retriedTests = 0;  // calls that were retries of failed keys
+  /// Ordered tests subs?(sup, sub) that exhausted retries (or were cut off
+  /// by cancellation): "is sub ⊑ sup" is UNKNOWN in this result. Sorted.
+  std::vector<std::pair<ConceptId, ConceptId>> unresolvedPairs;
+  /// Concepts whose sat?() never got a verdict; placed in the taxonomy as
+  /// if satisfiable, with only their successfully derived edges. Sorted.
+  std::vector<ConceptId> unresolvedConcepts;
+  /// The executor's cancellation token fired (watchdog / explicit cancel).
+  bool cancelled = false;
+
+  /// True iff every pair was resolved: the taxonomy is the complete
+  /// classification, not a degraded partial one.
+  bool complete() const {
+    return unresolvedPairs.empty() && unresolvedConcepts.empty();
+  }
+
   /// The paper's speedup metric: runtime / elapsed time (Section V-A).
   double speedup() const {
     return elapsedNs == 0 ? 0.0
@@ -94,10 +134,20 @@ class ParallelClassifier {
 
  private:
   // Pair/test primitives shared by both division phases.
-  bool ensureSat(ConceptId c, std::uint64_t& cost);
+  enum class SatResult : std::uint8_t { kSat, kUnsat, kDeferred };
+  SatResult ensureSat(ConceptId c, std::uint64_t& cost);
   void testPairSymmetric(ConceptId a, ConceptId b, std::uint64_t& cost);
   void testOrdered(ConceptId x, ConceptId y, std::uint64_t& cost);
   void pruneAfterStrict(ConceptId super, ConceptId sub);
+
+  // Failure handling: runs the already-claimed ordered test subs?(x, y)
+  // and records its outcome; on failure updates the retry ledger and
+  // either releases the claim (retry later) or gives the pair up.
+  TestOutcome runClaimedSubsTest(ConceptId x, ConceptId y, std::uint64_t& cost);
+  void noteSubsFailure(ConceptId x, ConceptId y);
+  void noteSatFailure(ConceptId c);
+  void giveUpOnConcept(ConceptId c);
+  void drainPossibleToUnresolved();
 
   void seedTold();
   void runRandomCycle(Executor& exec, std::size_t cycleIndex,
@@ -115,6 +165,12 @@ class ParallelClassifier {
   std::atomic<std::uint64_t> satTests_{0};
   std::atomic<std::uint64_t> subsTests_{0};
   std::atomic<std::uint64_t> pruned_{0};
+  std::atomic<std::uint64_t> failedTests_{0};
+  std::atomic<std::uint64_t> retriedTests_{0};
+  /// Division-round clock for the retry backoff: incremented after every
+  /// random cycle and group round (barrier-separated from the tasks that
+  /// read it).
+  std::atomic<std::size_t> epoch_{0};
 };
 
 }  // namespace owlcl

@@ -1,5 +1,7 @@
 #include "core/pk_store.hpp"
 
+#include <algorithm>
+
 namespace owlcl {
 
 PkStore::PkStore(std::size_t conceptCount)
@@ -7,10 +9,13 @@ PkStore::PkStore(std::size_t conceptCount)
       p_(conceptCount, conceptCount),
       k_(conceptCount, conceptCount),
       tested_(conceptCount, conceptCount),
-      sat_(conceptCount) {
+      sat_(conceptCount),
+      satClaim_(conceptCount),
+      conceptUnresolvedFlag_(conceptCount, false) {
   for (auto& s : sat_)
     s.store(static_cast<std::uint8_t>(SatStatus::kUnknown),
             std::memory_order_relaxed);
+  for (auto& c : satClaim_) c.store(0, std::memory_order_relaxed);
 }
 
 void PkStore::initPossibleAll() {
@@ -36,6 +41,67 @@ void PkStore::eraseUnsatConcept(ConceptId x) {
     tested_.testAndSet(other, x);
     tested_.testAndSet(x, other);
   }
+}
+
+std::size_t PkStore::recordFailure(ConceptId x, ConceptId y, std::size_t round,
+                                   std::size_t backoffCapRounds) {
+  totalFailures_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  RetryEntry& e = retries_[pairKey(x, y)];
+  ++e.attempts;
+  const std::size_t exponent =
+      std::min<std::size_t>(e.attempts - 1, 62);  // 2^62 caps the shift itself
+  const std::size_t delay =
+      std::min<std::size_t>(std::size_t{1} << exponent,
+                            std::max<std::size_t>(backoffCapRounds, 1));
+  e.retryAtRound = round + delay;
+  return e.attempts;
+}
+
+bool PkStore::retryEligible(ConceptId x, ConceptId y, std::size_t round) const {
+  if (!hasFailures()) return true;
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  const auto it = retries_.find(pairKey(x, y));
+  return it == retries_.end() || round >= it->second.retryAtRound;
+}
+
+std::size_t PkStore::failureAttempts(ConceptId x, ConceptId y) const {
+  if (!hasFailures()) return 0;
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  const auto it = retries_.find(pairKey(x, y));
+  return it == retries_.end() ? 0 : it->second.attempts;
+}
+
+void PkStore::markUnresolved(ConceptId x, ConceptId y) {
+  // Claim the test so nobody retries it; the claim may already be held
+  // (by this worker's failed attempt) — that is fine. The P bit decides
+  // exactly-once recording: only the call that withdraws the pair logs it.
+  tested_.testAndSet(x, y);
+  if (!p_.testAndClear(x, y)) return;
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  unresolvedPairs_.emplace_back(x, y);
+}
+
+void PkStore::markConceptUnresolved(ConceptId c) {
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  if (conceptUnresolvedFlag_[c]) return;
+  conceptUnresolvedFlag_[c] = true;
+  unresolvedConcepts_.push_back(c);
+}
+
+std::vector<std::pair<ConceptId, ConceptId>> PkStore::unresolvedPairs() const {
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  return unresolvedPairs_;
+}
+
+std::vector<ConceptId> PkStore::unresolvedConcepts() const {
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  return unresolvedConcepts_;
+}
+
+bool PkStore::conceptUnresolved(ConceptId c) const {
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  return conceptUnresolvedFlag_[c];
 }
 
 }  // namespace owlcl

@@ -8,10 +8,23 @@
 //   P.test(X, Y)  — "Y might be subsumed by X, not yet resolved"
 //   K.test(X, Y)  — "O ⊨ Y ⊑ X was derived"
 //   tested(X, Y)  — "the ordered test subs?(X, Y) has been claimed"
+//
+// Fault tolerance (robust layer): plug-in calls can fail instead of
+// returning a verdict, so the store also keeps a *retry ledger*: per
+// ordered pair (and per concept, keyed on the diagonal) a failure count
+// and the earliest division round at which a retry may run (capped
+// exponential backoff), plus the `unresolved` set of pairs/concepts that
+// exhausted their retries and were withdrawn from P so classification
+// terminates with a sound partial taxonomy. Ledger operations lock a
+// mutex, but every fast-path query short-circuits on an atomic failure
+// counter — the ledger costs nothing until the first failure.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "owl/ids.hpp"
@@ -53,6 +66,16 @@ class PkStore {
   /// claim (the paper's ¬tested(X,Y) guard, made atomic).
   bool claimTest(ConceptId x, ConceptId y) { return tested_.testAndSet(x, y); }
   bool tested(ConceptId x, ConceptId y) const { return tested_.test(x, y); }
+  /// Returns a claimed-but-failed test to the pool: the pair becomes
+  /// claimable again (by this or another worker, once its backoff allows).
+  void releaseClaim(ConceptId x, ConceptId y) { tested_.testAndClear(x, y); }
+
+  /// Claims the sat?(C) computation so concurrent workers run at most one
+  /// sat test per concept (and the retry ledger sees a deterministic
+  /// attempt sequence). Released only on a retryable failure; a decided
+  /// status makes the claim irrelevant.
+  bool claimSat(ConceptId c) { return satClaim_[c].exchange(1, std::memory_order_acq_rel) == 0; }
+  void releaseSat(ConceptId c) { satClaim_[c].store(0, std::memory_order_release); }
 
   // --- recording test outcomes ----------------------------------------------
   /// O ⊨ y ⊑ x: insert y into K_x, delete y from P_x.
@@ -85,12 +108,68 @@ class PkStore {
   std::vector<ConceptId> knownRow(ConceptId x) const { return k_.rowIndices(x); }
   DynamicBitset knownRowBits(ConceptId x) const { return k_.rowSnapshot(x); }
 
+  // --- retry ledger (failed plug-in calls) -----------------------------------
+  // Keys are ordered pairs ⟨X,Y⟩ for subs?(X,Y); sat?(C) failures use the
+  // diagonal key ⟨C,C⟩ (never a real pair test).
+
+  /// Records one failed attempt of test ⟨X,Y⟩ observed during division
+  /// round `round`, schedules the retry with capped exponential backoff
+  /// (min(2^(attempts-1), backoffCapRounds) rounds later), and returns the
+  /// total attempt count for the key.
+  std::size_t recordFailure(ConceptId x, ConceptId y, std::size_t round,
+                            std::size_t backoffCapRounds);
+
+  /// False while ⟨X,Y⟩ is backing off (its scheduled retry round is after
+  /// `round`). Fast-path true when no failure was ever recorded.
+  bool retryEligible(ConceptId x, ConceptId y, std::size_t round) const;
+
+  /// Failed attempts recorded for ⟨X,Y⟩ (0 if none).
+  std::size_t failureAttempts(ConceptId x, ConceptId y) const;
+
+  /// True once any failure has been recorded (single atomic load).
+  bool hasFailures() const {
+    return totalFailures_.load(std::memory_order_relaxed) != 0;
+  }
+  std::uint64_t totalFailures() const {
+    return totalFailures_.load(std::memory_order_relaxed);
+  }
+
+  /// Gives up on test ⟨X,Y⟩: claims it (idempotent), withdraws it from
+  /// P_X, and — iff this call performed the withdrawal — records it in the
+  /// unresolved set. Safe to call for already-resolved pairs (no-op).
+  void markUnresolved(ConceptId x, ConceptId y);
+
+  /// Gives up on sat?(C) (concept-level degradation; the caller also
+  /// withdraws every pending pair involving C). Idempotent.
+  void markConceptUnresolved(ConceptId c);
+
+  /// Snapshot of the unresolved sets (unordered; callers sort for reports).
+  std::vector<std::pair<ConceptId, ConceptId>> unresolvedPairs() const;
+  std::vector<ConceptId> unresolvedConcepts() const;
+  bool conceptUnresolved(ConceptId c) const;
+
  private:
+  struct RetryEntry {
+    std::uint32_t attempts = 0;
+    std::size_t retryAtRound = 0;
+  };
+  static std::uint64_t pairKey(ConceptId x, ConceptId y) {
+    return (static_cast<std::uint64_t>(x) << 32) | y;
+  }
+
   std::size_t n_;
   AtomicBitMatrix p_;
   AtomicBitMatrix k_;
   AtomicBitMatrix tested_;
   std::vector<std::atomic<std::uint8_t>> sat_;
+  std::vector<std::atomic<std::uint8_t>> satClaim_;
+
+  std::atomic<std::uint64_t> totalFailures_{0};
+  mutable std::mutex ledgerMu_;
+  std::unordered_map<std::uint64_t, RetryEntry> retries_;
+  std::vector<std::pair<ConceptId, ConceptId>> unresolvedPairs_;
+  std::vector<ConceptId> unresolvedConcepts_;
+  std::vector<bool> conceptUnresolvedFlag_;
 };
 
 }  // namespace owlcl

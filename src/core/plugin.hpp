@@ -8,13 +8,50 @@
 // workers invoke them concurrently. The optional costNs out-parameter
 // reports the cost of the individual test — wall time for real reasoners,
 // model cost for the mock reasoner driving the virtual-time scheduler.
+//
+// Fault surface: a plug-in is an *external* decision procedure that can
+// time out, exhaust memory, or throw. The classifier therefore talks to
+// plug-ins through the tri-state try*() entry points (kTrue / kFalse /
+// kFailed) and never assumes a call yields a verdict. Legacy plug-ins
+// only implement the bool predicates; the default try*() wrappers turn
+// any escaped exception into a classified failure. robust/
+// guarded_plugin.hpp layers per-call deadlines and failure statistics on
+// top of this boundary.
 #pragma once
 
 #include <cstdint>
+#include <new>
+#include <stdexcept>
 
 #include "owl/ids.hpp"
 
 namespace owlcl {
+
+/// Tri-state verdict of a guarded sat?/subs? call.
+enum class TestOutcome : std::uint8_t { kFalse = 0, kTrue = 1, kFailed = 2 };
+
+/// Why a call failed (meaningful only with TestOutcome::kFailed).
+enum class FailureKind : std::uint8_t {
+  kNone = 0,
+  kTimeout,   // exceeded its per-call deadline
+  kError,     // threw an exception / internal error
+  kResource,  // exhausted a resource (memory, tableau limits)
+};
+
+struct TestVerdict {
+  TestOutcome outcome;
+  FailureKind failure = FailureKind::kNone;
+
+  bool ok() const { return outcome != TestOutcome::kFailed; }
+  bool value() const { return outcome == TestOutcome::kTrue; }
+
+  static TestVerdict of(bool b) {
+    return {b ? TestOutcome::kTrue : TestOutcome::kFalse, FailureKind::kNone};
+  }
+  static TestVerdict failed(FailureKind kind) {
+    return {TestOutcome::kFailed, kind};
+  }
+};
 
 class ReasonerPlugin {
  public:
@@ -26,6 +63,31 @@ class ReasonerPlugin {
   /// subs?(sup, sub): does the TBox entail sub ⊑ sup?
   virtual bool isSubsumedBy(ConceptId sub, ConceptId sup,
                             std::uint64_t* costNs = nullptr) = 0;
+
+  /// Failure-aware sat?(): never throws; an escaped exception becomes a
+  /// classified kFailed verdict (bad_alloc → kResource, else kError).
+  virtual TestVerdict trySatisfiable(ConceptId c,
+                                     std::uint64_t* costNs = nullptr) {
+    try {
+      return TestVerdict::of(isSatisfiable(c, costNs));
+    } catch (const std::bad_alloc&) {
+      return TestVerdict::failed(FailureKind::kResource);
+    } catch (...) {
+      return TestVerdict::failed(FailureKind::kError);
+    }
+  }
+
+  /// Failure-aware subs?(); same contract as trySatisfiable().
+  virtual TestVerdict trySubsumedBy(ConceptId sub, ConceptId sup,
+                                    std::uint64_t* costNs = nullptr) {
+    try {
+      return TestVerdict::of(isSubsumedBy(sub, sup, costNs));
+    } catch (const std::bad_alloc&) {
+      return TestVerdict::failed(FailureKind::kResource);
+    } catch (...) {
+      return TestVerdict::failed(FailureKind::kError);
+    }
+  }
 
   /// Total number of sat + subsumption tests served (approximate under
   /// concurrency; used for statistics only).

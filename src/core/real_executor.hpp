@@ -5,8 +5,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "core/executor.hpp"
+#include "parallel/cancellation.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/stopwatch.hpp"
 
@@ -23,10 +25,25 @@ class RealExecutor : public Executor {
       case SchedulingPolicy::kSharedQueue:
         return kAnyWorker;
       case SchedulingPolicy::kRoundRobin:
-      case SchedulingPolicy::kLeastLoaded:
-        // With real threads, "least loaded" is what the shared queue gives
-        // us for free; for the pinned disciplines we rotate slots.
         return rr_++ % pool_.size();
+      case SchedulingPolicy::kLeastLoaded: {
+        // "getAvailableThread": the worker with the fewest queued +
+        // in-flight tasks. The rotating scan start breaks ties away from
+        // worker 0 so an all-idle pool still spreads the groups.
+        const std::size_t w = pool_.size();
+        const std::size_t start = rr_++ % w;
+        std::size_t best = start;
+        std::size_t bestDepth = pool_.queueDepth(start);
+        for (std::size_t off = 1; off < w && bestDepth > 0; ++off) {
+          const std::size_t i = (start + off) % w;
+          const std::size_t depth = pool_.queueDepth(i);
+          if (depth < bestDepth) {
+            best = i;
+            bestDepth = depth;
+          }
+        }
+        return best;
+      }
     }
     return kAnyWorker;
   }
@@ -51,11 +68,19 @@ class RealExecutor : public Executor {
     return busy_.load(std::memory_order_relaxed);
   }
 
+  /// Wall-clock watchdog: cancels cancellation() `budgetNs` from now.
+  /// Re-arming replaces the previous watchdog.
+  void armWatchdog(std::uint64_t budgetNs) override {
+    watchdog_.reset();  // disarm (joins) before re-arming
+    watchdog_ = std::make_unique<WallClockWatchdog>(cancellation(), budgetNs);
+  }
+
  private:
   ThreadPool& pool_;
   Stopwatch clock_;
   std::atomic<std::uint64_t> busy_{0};
   std::size_t rr_ = 0;
+  std::unique_ptr<WallClockWatchdog> watchdog_;
 };
 
 }  // namespace owlcl

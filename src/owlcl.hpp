@@ -39,12 +39,17 @@
 #include "core/real_executor.hpp"
 #include "core/incremental.hpp"
 #include "core/sequential.hpp"
+
+// Fault tolerance (guarded plug-in calls, deterministic fault injection)
+#include "robust/guarded_plugin.hpp"
+#include "robust/fault_injector.hpp"
 #include "taxonomy/diff.hpp"
 #include "taxonomy/taxonomy.hpp"
 #include "taxonomy/verify.hpp"
 
 // Substrates
 #include "parallel/atomic_bitmatrix.hpp"
+#include "parallel/cancellation.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/bitset.hpp"
 #include "util/rng.hpp"

@@ -1,0 +1,79 @@
+// Cooperative cancellation for the classification substrate.
+//
+// A hung or pathologically slow plugin call cannot be preempted from the
+// outside (sat?/subs? are synchronous C++ calls), so fault tolerance is
+// cooperative: a CancellationToken is owned by the Executor, every
+// classifier task polls it between pair tests, and failure-aware plugin
+// decorators (robust/guarded_plugin.hpp) fail fast once it fires. The
+// token is armed either explicitly (cancel()) or by a watchdog:
+//
+//   * WallClockWatchdog — a detached-join thread that cancels the token
+//     after a wall-clock budget (RealExecutor). Disarming before the
+//     budget elapses is cheap and race-free.
+//   * VirtualExecutor enforces the same contract in virtual time (no
+//     thread needed: it checks its simulated clock at dispatch points).
+//
+// The effect of a fired token is graceful degradation, not abortion:
+// workers stop picking up new pair tests, in-flight calls run to
+// completion, and the classifier returns a sound partial taxonomy with
+// the skipped pairs reported as unresolved.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace owlcl {
+
+class CancellationToken {
+ public:
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  /// Re-arms the token for a new run. Only valid between runs (no
+  /// concurrent pollers).
+  void reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Cancels `token` once `budgetNs` of wall time elapses, unless disarmed
+/// (or destroyed) first. One watchdog guards one run.
+class WallClockWatchdog {
+ public:
+  WallClockWatchdog(CancellationToken& token, std::uint64_t budgetNs)
+      : token_(token),
+        thread_([this, budgetNs] {
+          std::unique_lock<std::mutex> lock(mu_);
+          if (!cv_.wait_for(lock, std::chrono::nanoseconds(budgetNs),
+                            [this] { return disarmed_; }))
+            token_.cancel();
+        }) {}
+
+  ~WallClockWatchdog() { disarm(); }
+
+  WallClockWatchdog(const WallClockWatchdog&) = delete;
+  WallClockWatchdog& operator=(const WallClockWatchdog&) = delete;
+
+  /// Stops the countdown without cancelling (idempotent).
+  void disarm() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  CancellationToken& token_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;  // last member: started after the state it reads
+};
+
+}  // namespace owlcl

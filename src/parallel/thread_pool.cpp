@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
+#include <utility>
+
 #include "util/assert.hpp"
 
 namespace owlcl {
@@ -42,6 +44,17 @@ void ThreadPool::submitTo(std::size_t i, Task task) {
 void ThreadPool::waitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idleCv_.wait(lock, [this] { return pending_ == 0; });
+  if (firstException_ != nullptr) {
+    std::exception_ptr e = std::exchange(firstException_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+std::size_t ThreadPool::queueDepth(std::size_t i) const {
+  OWLCL_ASSERT(i < perWorker_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return perWorker_[i].queue.size() + (perWorker_[i].running ? 1 : 0);
 }
 
 bool ThreadPool::tryPop(std::size_t index, Task& out) {
@@ -71,10 +84,21 @@ void ThreadPool::workerLoop(std::size_t index) {
         if (stop_) return;
         continue;
       }
+      perWorker_[index].running = true;
     }
-    task();
+    // Contain task failures: the worker survives, later tasks still run,
+    // and the first exception is surfaced by the next waitIdle().
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      perWorker_[index].running = false;
+      if (error != nullptr && firstException_ == nullptr)
+        firstException_ = std::move(error);
       --pending_;
       if (pending_ == 0) idleCv_.notify_all();
     }

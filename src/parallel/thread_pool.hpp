@@ -9,11 +9,18 @@
 // Workers drain their private queue before taking from the shared queue.
 // waitIdle() blocks until every submitted task has finished — the barrier
 // between classification phases/cycles.
+//
+// Fault containment: a task that throws does NOT terminate the process or
+// kill its worker. The pool captures the *first* exception, keeps running
+// every remaining task (later tasks are never lost), and rethrows the
+// captured exception from the next waitIdle() — so a barrier surfaces the
+// failure to exactly one caller while the pool stays usable afterwards.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -39,8 +46,16 @@ class ThreadPool {
   /// Enqueues on worker i's private queue (i < size()).
   void submitTo(std::size_t i, Task task);
 
-  /// Blocks until all previously submitted tasks have completed.
+  /// Blocks until all previously submitted tasks have completed, then
+  /// rethrows the first exception any task threw since the last
+  /// waitIdle() (clearing it, so the pool remains usable).
   void waitIdle();
+
+  /// Work queued for worker i plus its in-flight task, i.e. how much
+  /// submitTo(i, ...) would wait behind. Tasks on the shared queue are
+  /// not attributed to any worker. Snapshot — exact only while no other
+  /// thread submits or completes work.
+  std::size_t queueDepth(std::size_t i) const;
 
  private:
   void workerLoop(std::size_t index);
@@ -48,6 +63,7 @@ class ThreadPool {
 
   struct WorkerState {
     std::deque<Task> queue;  // guarded by ThreadPool::mu_
+    bool running = false;    // executing a task (own-queue or shared)
   };
 
   mutable std::mutex mu_;
@@ -56,6 +72,7 @@ class ThreadPool {
   std::deque<Task> sharedQueue_;
   std::vector<WorkerState> perWorker_;
   std::size_t pending_ = 0;  // queued + running tasks
+  std::exception_ptr firstException_;  // first task failure since waitIdle
   bool stop_ = false;
   std::vector<std::thread> workers_;  // last member: joins before state dies
 };

@@ -1,0 +1,119 @@
+// FaultInjector — deterministic, seed-driven fault injection at the
+// reasoner plug-in boundary. Drives the robustness test suite, the
+// degradation benches, and the CLI's --inject-faults flag.
+//
+// Every guarded call is identified by its *key* (the ordered concept
+// pair of a subs? test; the diagonal ⟨c,c⟩ for a sat? test — the
+// classifier never tests the diagonal as a pair, so keys cannot collide)
+// and its per-key *attempt index* (0 for the first call on that key, 1
+// for the first retry, ...). Whether and how a call faults is a pure
+// function of (seed, key, attempt):
+//
+//   * rate-driven faults — each attempt rolls an independent uniform
+//     from hash(seed, key, attempt) against errorRate / resourceRate /
+//     timeoutRate; later attempts re-roll, so retries eventually get
+//     through (the transient-failure model).
+//   * scheduled faults — a deterministic targetPairRate fraction of keys
+//     is marked "bad"; bad keys fail their first failFirstAttempts
+//     attempts and then succeed. With failFirstAttempts > maxRetries
+//     this is the retry-exhaustion model (the pair becomes unresolved).
+//
+// Fault forms: thrown std::runtime_error (→ FailureKind::kError), thrown
+// std::bad_alloc (→ kResource), or an injected delay — delayNs is added
+// to the call's reported cost (tripping a GuardedPlugin deadline
+// deterministically in virtual time) and sleepNs is slept for real (to
+// exercise wall-clock deadlines and the executor watchdog).
+//
+// Determinism: the classifier claims each ordered test before calling
+// the plug-in and retries sequentially across rounds, so each (key,
+// attempt) is evaluated exactly once per run — the fault schedule is
+// reproducible even under real threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/plugin.hpp"
+
+namespace owlcl {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Rate-driven transient faults, rolled independently per attempt.
+  double errorRate = 0.0;     // throw std::runtime_error
+  double resourceRate = 0.0;  // throw std::bad_alloc
+  double timeoutRate = 0.0;   // injected delay (see delayNs / sleepNs)
+
+  /// Virtual delay added to the reported cost of a timeout fault. Pick it
+  /// larger than the GuardedPlugin deadline to make the fault observable.
+  std::uint64_t delayNs = 0;
+  /// Real wall sleep performed on a timeout fault (watchdog tests).
+  std::uint64_t sleepNs = 0;
+
+  // Scheduled deterministic faults: `targetPairRate` of keys fail their
+  // first `failFirstAttempts` attempts (kind chosen by hash among the
+  // enabled forms), then succeed.
+  double targetPairRate = 0.0;
+  std::size_t failFirstAttempts = 0;
+
+  bool enabled() const {
+    return errorRate > 0 || resourceRate > 0 || timeoutRate > 0 ||
+           (targetPairRate > 0 && failFirstAttempts > 0);
+  }
+};
+
+struct FaultInjectorStats {
+  std::uint64_t calls = 0;
+  std::uint64_t injectedErrors = 0;
+  std::uint64_t injectedResourceFaults = 0;
+  std::uint64_t injectedDelays = 0;
+  std::uint64_t injected() const {
+    return injectedErrors + injectedResourceFaults + injectedDelays;
+  }
+};
+
+class FaultInjector : public ReasonerPlugin {
+ public:
+  /// `inner` must outlive the injector.
+  FaultInjector(ReasonerPlugin& inner, FaultPlan plan)
+      : inner_(inner), plan_(plan) {}
+
+  bool isSatisfiable(ConceptId c, std::uint64_t* costNs = nullptr) override;
+  bool isSubsumedBy(ConceptId sub, ConceptId sup,
+                    std::uint64_t* costNs = nullptr) override;
+
+  std::uint64_t testCount() const override { return inner_.testCount(); }
+
+  FaultInjectorStats stats() const;
+
+  /// Attempts observed so far on the ordered key ⟨x,y⟩ (sat? keys are
+  /// ⟨c,c⟩). Test/diagnostic accessor.
+  std::uint32_t attempts(ConceptId x, ConceptId y) const;
+
+  /// True iff ⟨x,y⟩ is in the deterministically scheduled bad-key set.
+  bool targeted(ConceptId x, ConceptId y) const;
+
+ private:
+  enum class Fault : std::uint8_t { kNone, kError, kResource, kDelay };
+
+  Fault decide(std::uint64_t key, std::uint32_t attempt) const;
+  std::uint32_t nextAttempt(std::uint64_t key);
+  bool call(std::uint64_t key, ConceptId a, ConceptId b, bool isSat,
+            std::uint64_t* costNs);
+
+  ReasonerPlugin& inner_;
+  FaultPlan plan_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::uint32_t> attempts_;  // by key
+
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> injectedErrors_{0};
+  std::atomic<std::uint64_t> injectedResource_{0};
+  std::atomic<std::uint64_t> injectedDelays_{0};
+};
+
+}  // namespace owlcl

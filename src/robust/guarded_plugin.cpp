@@ -1,0 +1,88 @@
+#include "robust/guarded_plugin.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace owlcl {
+
+template <typename Call>
+TestVerdict GuardedPlugin::guard(const Call& call, std::uint64_t* costNs) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+
+  if (token_ != nullptr && token_->cancelled()) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    if (costNs != nullptr) *costNs = 0;
+    return TestVerdict::failed(FailureKind::kTimeout);
+  }
+
+  Stopwatch sw;
+  std::uint64_t reported = 0;
+  TestVerdict verdict = call(&reported);
+  const std::uint64_t wallNs = static_cast<std::uint64_t>(sw.elapsedNs());
+  // Pass the plug-in's own cost through; a plug-in that reports nothing is
+  // billed its wall time.
+  if (costNs != nullptr) *costNs = reported != 0 ? reported : wallNs;
+
+  if (!verdict.ok()) {
+    switch (verdict.failure) {
+      case FailureKind::kResource:
+        resource_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FailureKind::kTimeout:
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    return verdict;
+  }
+
+  if (config_.deadlineNs != 0 &&
+      (reported > config_.deadlineNs || wallNs > config_.deadlineNs)) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return TestVerdict::failed(FailureKind::kTimeout);
+  }
+  return verdict;
+}
+
+TestVerdict GuardedPlugin::trySatisfiable(ConceptId c, std::uint64_t* costNs) {
+  return guard(
+      [this, c](std::uint64_t* ns) { return inner_.trySatisfiable(c, ns); },
+      costNs);
+}
+
+TestVerdict GuardedPlugin::trySubsumedBy(ConceptId sub, ConceptId sup,
+                                         std::uint64_t* costNs) {
+  return guard(
+      [this, sub, sup](std::uint64_t* ns) {
+        return inner_.trySubsumedBy(sub, sup, ns);
+      },
+      costNs);
+}
+
+bool GuardedPlugin::isSatisfiable(ConceptId c, std::uint64_t* costNs) {
+  const TestVerdict v = trySatisfiable(c, costNs);
+  if (!v.ok())
+    throw PluginFailureError(v.failure, "guarded sat? call failed");
+  return v.value();
+}
+
+bool GuardedPlugin::isSubsumedBy(ConceptId sub, ConceptId sup,
+                                 std::uint64_t* costNs) {
+  const TestVerdict v = trySubsumedBy(sub, sup, costNs);
+  if (!v.ok())
+    throw PluginFailureError(v.failure, "guarded subs? call failed");
+  return v.value();
+}
+
+GuardStats GuardedPlugin::stats() const {
+  GuardStats s;
+  s.calls = calls_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.resourceFailures = resource_.load(std::memory_order_relaxed);
+  s.cancelledCalls = cancelled_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace owlcl

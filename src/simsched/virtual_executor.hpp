@@ -79,10 +79,12 @@ class VirtualExecutor : public Executor {
     serial_ += model_.dispatchNs;
     if (worker == kAnyWorker) worker = pickWorker(SchedulingPolicy::kLeastLoaded);
     OWLCL_ASSERT(worker < clocks_.size());
+    checkWatchdog();  // a task dispatched past the budget sees a fired token
     const std::uint64_t cost = task();  // runs inline, deterministically
     const std::uint64_t start = std::max(clocks_[worker], serial_);
     clocks_[worker] = start + model_.perTaskNs + cost;
     busy_ += cost;
+    checkWatchdog();
   }
 
   void barrier() override {
@@ -91,6 +93,7 @@ class VirtualExecutor : public Executor {
     serial_ = maxClock + model_.barrierCost(clocks_.size());
     // Workers resume after the barrier.
     for (auto& c : clocks_) c = serial_;
+    checkWatchdog();
   }
 
   std::uint64_t elapsedNs() const override {
@@ -101,12 +104,27 @@ class VirtualExecutor : public Executor {
 
   std::uint64_t busyNs() const override { return busy_; }
 
+  /// Virtual-time watchdog: once simulated elapsed time passes the budget
+  /// (measured from now), the cancellation token fires — deterministically,
+  /// at dispatch/barrier granularity, with no watchdog thread.
+  void armWatchdog(std::uint64_t budgetNs) override {
+    watchdogDeadline_ = elapsedNs() + budgetNs;
+  }
+
  private:
+  void checkWatchdog() {
+    if (watchdogDeadline_ != kNoDeadline && elapsedNs() > watchdogDeadline_)
+      cancellation().cancel();
+  }
+
+  static constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+
   std::vector<std::uint64_t> clocks_;
   OverheadModel model_;
   std::uint64_t serial_ = 0;
   std::uint64_t busy_ = 0;
   std::size_t rr_ = 0;
+  std::uint64_t watchdogDeadline_ = kNoDeadline;
 };
 
 }  // namespace owlcl

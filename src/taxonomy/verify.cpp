@@ -138,4 +138,24 @@ TaxonomyIssues verifyAgainstOracle(
   return issues;
 }
 
+TaxonomyIssues verifySoundAgainstOracle(
+    const Taxonomy& tax,
+    const std::function<bool(ConceptId sup, ConceptId sub)>& oracle) {
+  TaxonomyIssues issues;
+  const std::size_t n = tax.conceptCount();
+  for (ConceptId sup = 0; sup < n; ++sup) {
+    for (ConceptId sub = 0; sub < n; ++sub) {
+      if (tax.subsumes(sup, sub) && !oracle(sup, sub))
+        issues.problems.push_back(strprintf(
+            "unsound pair (sup=%u, sub=%u): asserted but not entailed", sup,
+            sub));
+      if (issues.problems.size() > 20) {
+        issues.problems.push_back("... (truncated)");
+        return issues;
+      }
+    }
+  }
+  return issues;
+}
+
 }  // namespace owlcl

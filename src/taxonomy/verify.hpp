@@ -34,4 +34,13 @@ TaxonomyIssues verifyAgainstOracle(
     const Taxonomy& tax,
     const std::function<bool(ConceptId sup, ConceptId sub)>& oracle);
 
+/// One-sided semantic check for *degraded* classification results
+/// (fault-tolerant runs that gave up on some tests): every subsumption the
+/// taxonomy asserts must be entailed by the oracle, but entailments the
+/// taxonomy misses are not reported — those are covered by the result's
+/// unresolvedPairs/unresolvedConcepts report instead.
+TaxonomyIssues verifySoundAgainstOracle(
+    const Taxonomy& tax,
+    const std::function<bool(ConceptId sup, ConceptId sub)>& oracle);
+
 }  // namespace owlcl

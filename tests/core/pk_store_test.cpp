@@ -96,5 +96,99 @@ TEST(PkStore, RowSnapshotsMatchState) {
   EXPECT_FALSE(kb.test(2));
 }
 
+// --- retry ledger ------------------------------------------------------------
+
+TEST(PkStore, RetryLedgerStartsEmpty) {
+  PkStore s(4);
+  EXPECT_FALSE(s.hasFailures());
+  EXPECT_EQ(s.totalFailures(), 0u);
+  EXPECT_EQ(s.failureAttempts(0, 1), 0u);
+  EXPECT_TRUE(s.retryEligible(0, 1, /*round=*/0));
+  EXPECT_TRUE(s.unresolvedPairs().empty());
+  EXPECT_TRUE(s.unresolvedConcepts().empty());
+}
+
+TEST(PkStore, RecordFailureSchedulesExponentialBackoff) {
+  PkStore s(4);
+  // First failure at round 0: retry at round 1 (2^0).
+  EXPECT_EQ(s.recordFailure(0, 1, /*round=*/0, /*cap=*/8), 1u);
+  EXPECT_FALSE(s.retryEligible(0, 1, 0));
+  EXPECT_TRUE(s.retryEligible(0, 1, 1));
+  // Second failure at round 1: retry at round 3 (1 + 2^1).
+  EXPECT_EQ(s.recordFailure(0, 1, 1, 8), 2u);
+  EXPECT_FALSE(s.retryEligible(0, 1, 2));
+  EXPECT_TRUE(s.retryEligible(0, 1, 3));
+  // Fourth failure at round 10: delay 2^3 = 8 hits the cap of 8.
+  s.recordFailure(0, 1, 3, 8);
+  EXPECT_EQ(s.recordFailure(0, 1, 10, 8), 4u);
+  EXPECT_FALSE(s.retryEligible(0, 1, 17));
+  EXPECT_TRUE(s.retryEligible(0, 1, 18));
+  EXPECT_EQ(s.failureAttempts(0, 1), 4u);
+  EXPECT_EQ(s.totalFailures(), 4u);
+}
+
+TEST(PkStore, BackoffCapBoundsTheDelay) {
+  PkStore s(4);
+  for (int i = 0; i < 30; ++i) s.recordFailure(1, 2, /*round=*/100, /*cap=*/4);
+  // 2^29 would overflow any round budget; the cap keeps it at 4.
+  EXPECT_FALSE(s.retryEligible(1, 2, 103));
+  EXPECT_TRUE(s.retryEligible(1, 2, 104));
+}
+
+TEST(PkStore, LedgerKeysAreOrderedPairs) {
+  PkStore s(4);
+  s.recordFailure(0, 1, 0, 8);
+  EXPECT_EQ(s.failureAttempts(0, 1), 1u);
+  EXPECT_EQ(s.failureAttempts(1, 0), 0u) << "reverse direction independent";
+  EXPECT_TRUE(s.retryEligible(1, 0, 0));
+}
+
+TEST(PkStore, MarkUnresolvedWithdrawsPairExactlyOnce) {
+  PkStore s(4);
+  s.initPossibleAll();
+  EXPECT_TRUE(s.possible(0, 1));
+  s.markUnresolved(0, 1);
+  EXPECT_FALSE(s.possible(0, 1));
+  EXPECT_TRUE(s.tested(0, 1)) << "withdrawn pair is claimed forever";
+  s.markUnresolved(0, 1);  // idempotent: second call must not re-record
+  EXPECT_EQ(s.unresolvedPairs().size(), 1u);
+  EXPECT_EQ(s.unresolvedPairs()[0], (std::pair<ConceptId, ConceptId>{0, 1}));
+}
+
+TEST(PkStore, MarkUnresolvedOnResolvedPairIsNoOp) {
+  PkStore s(4);
+  s.initPossibleAll();
+  s.recordNonSubsumption(0, 1);  // resolved: P bit already cleared
+  s.markUnresolved(0, 1);
+  EXPECT_TRUE(s.unresolvedPairs().empty());
+}
+
+TEST(PkStore, MarkConceptUnresolvedIsIdempotent) {
+  PkStore s(4);
+  EXPECT_FALSE(s.conceptUnresolved(2));
+  s.markConceptUnresolved(2);
+  s.markConceptUnresolved(2);
+  EXPECT_TRUE(s.conceptUnresolved(2));
+  EXPECT_EQ(s.unresolvedConcepts(), (std::vector<ConceptId>{2}));
+}
+
+TEST(PkStore, SatClaimIsExclusiveUntilReleased) {
+  PkStore s(4);
+  EXPECT_TRUE(s.claimSat(1));
+  EXPECT_FALSE(s.claimSat(1)) << "second claimant must lose";
+  s.releaseSat(1);
+  EXPECT_TRUE(s.claimSat(1)) << "released claim is claimable again";
+  EXPECT_TRUE(s.claimSat(2)) << "claims are per-concept";
+}
+
+TEST(PkStore, ReleaseClaimMakesTestClaimableAgain) {
+  PkStore s(4);
+  s.initPossibleAll();
+  EXPECT_TRUE(s.claimTest(0, 1));
+  EXPECT_FALSE(s.claimTest(0, 1));
+  s.releaseClaim(0, 1);
+  EXPECT_TRUE(s.claimTest(0, 1));
+}
+
 }  // namespace
 }  // namespace owlcl

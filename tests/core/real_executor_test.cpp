@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <future>
 
 namespace owlcl {
 namespace {
@@ -48,6 +50,47 @@ TEST(RealExecutor, RoundRobinCyclesThroughWorkers) {
   EXPECT_NE(b, c);
   EXPECT_EQ(a, a2);
   EXPECT_EQ(exec.workers(), 3u);
+}
+
+TEST(RealExecutor, LeastLoadedAvoidsBusyWorkers) {
+  ThreadPool pool(3);
+  RealExecutor exec(pool);
+
+  // Pin workers 0 and 2 on blocking tasks (plus queue extra depth behind
+  // worker 0); only worker 1 is idle, so kLeastLoaded must pick it no
+  // matter where its rotating scan starts.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::array<std::promise<void>, 2> started;
+  pool.submitTo(0, [gate, &started] {
+    started[0].set_value();
+    gate.wait();
+  });
+  pool.submitTo(2, [gate, &started] {
+    started[1].set_value();
+    gate.wait();
+  });
+  for (auto& s : started) s.get_future().wait();
+  pool.submitTo(0, [gate] { gate.wait(); });
+
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(exec.pickWorker(SchedulingPolicy::kLeastLoaded), 1u);
+
+  release.set_value();
+  pool.waitIdle();
+}
+
+TEST(RealExecutor, LeastLoadedSpreadsOverIdlePool) {
+  // All-idle pool: the rotating tie-break must not send every group to
+  // worker 0 (the silent round-robin degradation this policy had before).
+  ThreadPool pool(4);
+  RealExecutor exec(pool);
+  std::array<int, 4> hits{};
+  for (int i = 0; i < 8; ++i)
+    ++hits[exec.pickWorker(SchedulingPolicy::kLeastLoaded)];
+  int distinct = 0;
+  for (int h : hits) distinct += h > 0 ? 1 : 0;
+  EXPECT_GT(distinct, 1);
 }
 
 TEST(RealExecutor, BarrierIsReusable) {

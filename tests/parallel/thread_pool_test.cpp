@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
+#include <stdexcept>
 #include <vector>
 
 namespace owlcl {
@@ -83,6 +85,76 @@ TEST(ThreadPool, DestructorJoinsCleanly) {
     pool.waitIdle();
   }  // destructor joins
   EXPECT_EQ(count.load(), 100);
+}
+
+// --- fault containment -------------------------------------------------------
+
+TEST(ThreadPool, ThrowingTaskDoesNotKillWorker) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task blew up"); });
+  EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+  // The worker survived: later tasks still run and waitIdle is clean.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, TasksAfterThrowingTaskStillRun) {
+  // The throwing task must not abandon tasks queued behind it.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("first"); });
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsRethrownAndCleared) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 5; ++i)
+    pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+  pool.waitIdle();  // already surfaced: second wait must not rethrow
+  SUCCEED();
+}
+
+TEST(ThreadPool, ExceptionMessageIsPreserved) {
+  ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("specific failure detail"); });
+  try {
+    pool.waitIdle();
+    FAIL() << "waitIdle should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "specific failure detail");
+  }
+}
+
+TEST(ThreadPool, QueueDepthCountsQueuedAndRunning) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queueDepth(0), 0u);
+  EXPECT_EQ(pool.queueDepth(1), 0u);
+
+  // Block worker 0, then stack two more tasks behind the blocker:
+  // depth(0) == 1 running + 2 queued.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  pool.submitTo(0, [gate, &started] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();
+  pool.submitTo(0, [gate] { gate.wait(); });
+  pool.submitTo(0, [gate] { gate.wait(); });
+  EXPECT_EQ(pool.queueDepth(0), 3u);
+  EXPECT_EQ(pool.queueDepth(1), 0u);
+
+  release.set_value();
+  pool.waitIdle();
+  EXPECT_EQ(pool.queueDepth(0), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,282 @@
+// End-to-end fault-tolerance: classification under injected reasoner
+// faults must never crash or hang, must reproduce the fault-free taxonomy
+// exactly when retries eventually succeed, and must degrade to a *sound*
+// partial taxonomy (plus an unresolved report) when retries exhaust or the
+// watchdog fires.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/parallel_classifier.hpp"
+#include "core/real_executor.hpp"
+#include "gen/generator.hpp"
+#include "gen/mock_reasoner.hpp"
+#include "robust/fault_injector.hpp"
+#include "robust/guarded_plugin.hpp"
+#include "simsched/virtual_executor.hpp"
+#include "taxonomy/diff.hpp"
+#include "taxonomy/verify.hpp"
+
+namespace owlcl {
+namespace {
+
+GenConfig smallOntology(std::uint64_t seed) {
+  GenConfig gc;
+  gc.name = "faulty";
+  gc.concepts = 40;
+  gc.subClassEdges = 55;
+  gc.equivalentAxioms = 2;
+  gc.seed = seed;
+  return gc;
+}
+
+ClassificationResult runReal(const TBox& tbox, ReasonerPlugin& plugin,
+                             ClassifierConfig cc, std::size_t workers) {
+  ThreadPool pool(workers);
+  RealExecutor exec(pool);
+  ParallelClassifier classifier(tbox, plugin, cc);
+  return classifier.classify(exec);
+}
+
+auto oracleOf(const GroundTruth& truth) {
+  return [&truth](ConceptId sup, ConceptId sub) {
+    return truth.subsumes(sup, sub);
+  };
+}
+
+bool pairUnresolved(const ClassificationResult& r, ConceptId sup,
+                    ConceptId sub) {
+  const std::pair<ConceptId, ConceptId> key{sup, sub};
+  return std::binary_search(r.unresolvedPairs.begin(), r.unresolvedPairs.end(),
+                            key) ||
+         std::binary_search(r.unresolvedConcepts.begin(),
+                            r.unresolvedConcepts.end(), sup) ||
+         std::binary_search(r.unresolvedConcepts.begin(),
+                            r.unresolvedConcepts.end(), sub);
+}
+
+TEST(Degradation, TransientTargetedFaultsRecoverToFaultFreeTaxonomy) {
+  const GeneratedOntology onto = generateOntology(smallOntology(7));
+  ClassifierConfig cc;
+  cc.maxRetries = 5;
+  cc.backoffCapRounds = 3;
+
+  MockReasoner clean(onto.truth);
+  const ClassificationResult baseline = runReal(*onto.tbox, clean, cc, 3);
+  ASSERT_TRUE(baseline.complete());
+  ASSERT_EQ(baseline.failedTests, 0u);
+
+  // 15% of test keys fail their first two attempts, then succeed — well
+  // within the retry budget, so the final taxonomy must be identical.
+  MockReasoner mock(onto.truth);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.targetPairRate = 0.15;
+  plan.failFirstAttempts = 2;
+  FaultInjector faulty(mock, plan);
+  const ClassificationResult r = runReal(*onto.tbox, faulty, cc, 3);
+
+  EXPECT_TRUE(r.complete()) << "all retries fit the budget";
+  EXPECT_FALSE(r.cancelled);
+  EXPECT_GT(r.failedTests, 0u) << "faults were actually injected";
+  EXPECT_GT(r.retriedTests, 0u);
+  EXPECT_TRUE(diffTaxonomies(baseline.taxonomy, r.taxonomy).identical())
+      << "retried run must reproduce the fault-free taxonomy exactly";
+}
+
+TEST(Degradation, TransientRandomErrorsRecover) {
+  const GeneratedOntology onto = generateOntology(smallOntology(12));
+  ClassifierConfig cc;
+  cc.maxRetries = 8;
+  cc.backoffCapRounds = 2;
+
+  MockReasoner clean(onto.truth);
+  const ClassificationResult baseline = runReal(*onto.tbox, clean, cc, 2);
+
+  MockReasoner mock(onto.truth);
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.errorRate = 0.10;
+  plan.resourceRate = 0.05;  // independent re-roll per attempt
+  FaultInjector faulty(mock, plan);
+  const ClassificationResult r = runReal(*onto.tbox, faulty, cc, 2);
+
+  EXPECT_TRUE(r.complete());
+  EXPECT_GT(r.failedTests, 0u);
+  EXPECT_TRUE(diffTaxonomies(baseline.taxonomy, r.taxonomy).identical());
+}
+
+TEST(Degradation, ExhaustedRetriesYieldSoundPartialTaxonomy) {
+  const GeneratedOntology onto = generateOntology(smallOntology(5));
+  ClassifierConfig cc;
+  cc.maxRetries = 2;
+  cc.backoffCapRounds = 2;
+
+  // 8% of keys fail far past the retry budget: those tests stay unknown.
+  MockReasoner mock(onto.truth);
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.targetPairRate = 0.08;
+  plan.failFirstAttempts = 50;
+  FaultInjector faulty(mock, plan);
+  const ClassificationResult r = runReal(*onto.tbox, faulty, cc, 3);
+
+  EXPECT_FALSE(r.complete());
+  EXPECT_FALSE(r.unresolvedPairs.empty());
+  EXPECT_GT(r.failedTests, 0u);
+
+  // The partial taxonomy is structurally valid and *sound*: everything it
+  // asserts is entailed.
+  EXPECT_TRUE(verifyStructure(r.taxonomy).ok())
+      << verifyStructure(r.taxonomy).summary();
+  const auto sound = verifySoundAgainstOracle(r.taxonomy, oracleOf(onto.truth));
+  EXPECT_TRUE(sound.ok()) << sound.summary();
+
+  // And *accounted*: every entailment the taxonomy misses is covered by
+  // the unresolved report — nothing went missing silently.
+  for (ConceptId sup = 0; sup < onto.tbox->conceptCount(); ++sup)
+    for (ConceptId sub = 0; sub < onto.tbox->conceptCount(); ++sub) {
+      if (sup == sub) continue;
+      if (onto.truth.subsumes(sup, sub) && !r.taxonomy.subsumes(sup, sub)) {
+        EXPECT_TRUE(pairUnresolved(r, sup, sub))
+            << "missing sup=" << sup << " sub=" << sub << " unaccounted";
+      }
+    }
+}
+
+TEST(Degradation, MixedFaultStormNeverCrashes) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const GeneratedOntology onto = generateOntology(smallOntology(seed));
+    ClassifierConfig cc;
+    cc.maxRetries = 2;
+    cc.backoffCapRounds = 2;
+
+    MockReasoner mock(onto.truth);
+    FaultPlan plan;
+    plan.seed = seed * 101;
+    plan.errorRate = 0.10;
+    plan.resourceRate = 0.05;
+    plan.targetPairRate = 0.05;
+    plan.failFirstAttempts = 10;
+    FaultInjector faulty(mock, plan);
+    const ClassificationResult r = runReal(*onto.tbox, faulty, cc, 3);
+
+    EXPECT_TRUE(verifyStructure(r.taxonomy).ok()) << "seed=" << seed;
+    EXPECT_TRUE(verifySoundAgainstOracle(r.taxonomy, oracleOf(onto.truth)).ok())
+        << "seed=" << seed;
+  }
+}
+
+TEST(Degradation, WatchdogCancelsARealRunAndDegradesSoundly) {
+  GenConfig gc = smallOntology(8);
+  gc.concepts = 24;
+  gc.subClassEdges = 30;
+  const GeneratedOntology onto = generateOntology(gc);
+
+  // Every reasoner call really sleeps 0.2ms; the full run needs >100ms of
+  // reasoner time, so a 2ms watchdog must fire mid-classification.
+  MockReasoner mock(onto.truth);
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.timeoutRate = 1.0;
+  plan.sleepNs = 200'000;
+  FaultInjector slow(mock, plan);
+
+  ClassifierConfig cc;
+  cc.watchdogBudgetNs = 2'000'000;
+  const ClassificationResult r = runReal(*onto.tbox, slow, cc, 2);
+
+  EXPECT_TRUE(r.cancelled) << "watchdog should have fired";
+  EXPECT_FALSE(r.complete());
+  EXPECT_FALSE(r.unresolvedPairs.empty());
+  EXPECT_TRUE(verifyStructure(r.taxonomy).ok())
+      << verifyStructure(r.taxonomy).summary();
+  const auto sound = verifySoundAgainstOracle(r.taxonomy, oracleOf(onto.truth));
+  EXPECT_TRUE(sound.ok()) << sound.summary();
+}
+
+TEST(Degradation, VirtualWatchdogIsDeterministic) {
+  const GeneratedOntology onto = generateOntology(smallOntology(30));
+
+  auto run = [&onto] {
+    MockReasoner mock(onto.truth);  // default cost model: 40µs per test
+    ClassifierConfig cc;
+    cc.watchdogBudgetNs = 5'000'000;  // 5ms of virtual time, then degrade
+    VirtualExecutor exec(4);
+    ParallelClassifier classifier(*onto.tbox, mock, cc);
+    return classifier.classify(exec);
+  };
+
+  const ClassificationResult a = run();
+  const ClassificationResult b = run();
+  EXPECT_TRUE(a.cancelled);
+  EXPECT_FALSE(a.complete());
+  EXPECT_EQ(a.unresolvedPairs, b.unresolvedPairs)
+      << "virtual-time cancellation must be bit-reproducible";
+  EXPECT_EQ(a.unresolvedConcepts, b.unresolvedConcepts);
+  EXPECT_TRUE(diffTaxonomies(a.taxonomy, b.taxonomy).identical());
+  EXPECT_TRUE(verifySoundAgainstOracle(a.taxonomy, oracleOf(onto.truth)).ok());
+}
+
+TEST(Degradation, DeadlineTimesOutHardConceptsDeterministically) {
+  GenConfig gc = smallOntology(9);
+  const GeneratedOntology onto = generateOntology(gc);
+
+  // Three concepts cost 1000× the base 40µs: every test touching them
+  // blows a 1ms deadline *by reported cost* on every attempt, so they
+  // exhaust their retries and degrade; everything else classifies.
+  CostModel cost;
+  cost.markHardConcepts(gc.concepts, 3, 1000, /*seed=*/77);
+  const std::vector<std::uint32_t> hardness = cost.hardness;
+  MockReasoner mock(onto.truth, cost);
+  GuardedPlugin guarded(mock, {/*deadlineNs=*/1'000'000});
+
+  ClassifierConfig cc;
+  cc.maxRetries = 1;
+  cc.backoffCapRounds = 2;
+  const ClassificationResult r = runReal(*onto.tbox, guarded, cc, 2);
+
+  EXPECT_FALSE(r.complete());
+  EXPECT_GT(guarded.stats().timeouts, 0u);
+  EXPECT_TRUE(verifyStructure(r.taxonomy).ok());
+  EXPECT_TRUE(verifySoundAgainstOracle(r.taxonomy, oracleOf(onto.truth)).ok());
+
+  // Only hard-concept tests may degrade.
+  auto isHard = [&hardness](ConceptId c) { return hardness[c] > 1; };
+  for (const auto& [sup, sub] : r.unresolvedPairs)
+    EXPECT_TRUE(isHard(sup) || isHard(sub))
+        << "unresolved pair (" << sup << "," << sub << ") has no hard concept";
+  for (ConceptId c : r.unresolvedConcepts)
+    EXPECT_TRUE(isHard(c)) << "concept " << c;
+}
+
+TEST(Degradation, GuardedInjectedDelaysRetryToCompletion) {
+  const GeneratedOntology onto = generateOntology(smallOntology(14));
+  ClassifierConfig cc;
+  cc.maxRetries = 8;
+  cc.backoffCapRounds = 2;
+
+  MockReasoner clean(onto.truth);
+  const ClassificationResult baseline = runReal(*onto.tbox, clean, cc, 2);
+
+  // Injected delays push 15% of attempts past the deadline; the roll is
+  // per-attempt, so retries eventually land under it.
+  MockReasoner mock(onto.truth);
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.timeoutRate = 0.15;
+  plan.delayNs = 2'000'000;  // past the 1ms deadline
+  FaultInjector faulty(mock, plan);
+  GuardedPlugin guarded(faulty, {/*deadlineNs=*/1'000'000});
+  const ClassificationResult r = runReal(*onto.tbox, guarded, cc, 2);
+
+  EXPECT_TRUE(r.complete());
+  EXPECT_GT(guarded.stats().timeouts, 0u);
+  EXPECT_GT(r.retriedTests, 0u);
+  EXPECT_TRUE(diffTaxonomies(baseline.taxonomy, r.taxonomy).identical());
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,189 @@
+// FaultInjector: the fault schedule must be a pure function of
+// (seed, key, attempt) — reproducible across runs — and each fault form
+// must surface the way the guarded boundary expects.
+#include "robust/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace owlcl {
+namespace {
+
+/// Trivial always-true inner plug-in with a fixed reported cost.
+class ConstPlugin : public ReasonerPlugin {
+ public:
+  bool isSatisfiable(ConceptId, std::uint64_t* costNs = nullptr) override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    if (costNs != nullptr) *costNs = 1'000;
+    return true;
+  }
+  bool isSubsumedBy(ConceptId, ConceptId,
+                    std::uint64_t* costNs = nullptr) override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    if (costNs != nullptr) *costNs = 1'000;
+    return true;
+  }
+  std::uint64_t testCount() const override {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> calls_{0};
+};
+
+/// Runs one subs? call and encodes its observable outcome.
+char probe(FaultInjector& inj, ConceptId sup, ConceptId sub) {
+  try {
+    std::uint64_t cost = 0;
+    inj.isSubsumedBy(sub, sup, &cost);
+    return cost > 1'000 ? 'd' : 'o';  // delayed vs ok
+  } catch (const std::bad_alloc&) {
+    return 'r';
+  } catch (const std::runtime_error&) {
+    return 'e';
+  }
+}
+
+TEST(FaultInjector, DisabledPlanNeverInjects) {
+  ConstPlugin inner;
+  FaultInjector inj(inner, FaultPlan{});  // all rates zero
+  for (ConceptId x = 0; x < 20; ++x) {
+    EXPECT_EQ(probe(inj, x, x + 1), 'o');
+    EXPECT_NO_THROW(inj.isSatisfiable(x));
+  }
+  EXPECT_EQ(inj.stats().injected(), 0u);
+  EXPECT_EQ(inj.stats().calls, 40u);
+}
+
+TEST(FaultInjector, ScheduleIsDeterministicAcrossRuns) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.errorRate = 0.3;
+  plan.resourceRate = 0.1;
+  plan.timeoutRate = 0.2;
+  plan.delayNs = 50'000;
+
+  auto trace = [&plan] {
+    ConstPlugin inner;
+    FaultInjector inj(inner, plan);
+    std::string t;
+    for (int round = 0; round < 4; ++round)
+      for (ConceptId x = 0; x < 15; ++x)
+        t += probe(inj, x, (x + 1) % 15);  // same key sequence each run
+    return t;
+  };
+  const std::string a = trace();
+  const std::string b = trace();
+  EXPECT_EQ(a, b) << "identical plan + call sequence ⇒ identical faults";
+  // The mixed plan actually exercises every fault form.
+  EXPECT_NE(a.find('e'), std::string::npos);
+  EXPECT_NE(a.find('d'), std::string::npos);
+  EXPECT_NE(a.find('o'), std::string::npos);
+}
+
+TEST(FaultInjector, ChangingTheSeedChangesTheSchedule) {
+  FaultPlan plan;
+  plan.errorRate = 0.5;
+  auto trace = [](FaultPlan p) {
+    ConstPlugin inner;
+    FaultInjector inj(inner, p);
+    std::string t;
+    for (ConceptId x = 0; x < 40; ++x) t += probe(inj, x, x + 1);
+    return t;
+  };
+  plan.seed = 1;
+  const std::string a = trace(plan);
+  plan.seed = 2;
+  const std::string b = trace(plan);
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultInjector, TargetedKeysFailFirstAttemptsThenSucceed) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.targetPairRate = 1.0;  // every key is a bad key
+  plan.failFirstAttempts = 2;
+
+  ConstPlugin inner;
+  FaultInjector inj(inner, plan);
+  ASSERT_TRUE(inj.targeted(0, 1));
+  EXPECT_EQ(probe(inj, 0, 1), 'e') << "attempt 0 fails";
+  EXPECT_EQ(probe(inj, 0, 1), 'e') << "attempt 1 fails";
+  EXPECT_EQ(probe(inj, 0, 1), 'o') << "attempt 2 gets through";
+  EXPECT_EQ(probe(inj, 0, 1), 'o') << "and stays through";
+  EXPECT_EQ(inj.attempts(0, 1), 4u);
+}
+
+TEST(FaultInjector, TargetPairRateSelectsAFraction) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.targetPairRate = 0.3;
+  plan.failFirstAttempts = 1;
+  ConstPlugin inner;
+  FaultInjector inj(inner, plan);
+  std::size_t bad = 0;
+  for (ConceptId x = 0; x < 40; ++x)
+    for (ConceptId y = 0; y < 25; ++y)
+      bad += inj.targeted(x, y) ? 1 : 0;
+  // 1000 keys at rate 0.3: loose 2σ-ish bounds, deterministic anyway.
+  EXPECT_GT(bad, 230u);
+  EXPECT_LT(bad, 370u);
+}
+
+TEST(FaultInjector, DelayFaultAddsVirtualCost) {
+  FaultPlan plan;
+  plan.seed = 2;
+  plan.timeoutRate = 1.0;  // every attempt is a delay fault
+  plan.delayNs = 7'777;
+  ConstPlugin inner;
+  FaultInjector inj(inner, plan);
+  std::uint64_t cost = 0;
+  EXPECT_TRUE(inj.isSubsumedBy(1, 0, &cost)) << "delay faults still answer";
+  EXPECT_EQ(cost, 1'000u + 7'777u) << "inner cost plus injected delay";
+  EXPECT_EQ(inj.stats().injectedDelays, 1u);
+}
+
+TEST(FaultInjector, SatTestsAreKeyedOnTheDiagonal) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.targetPairRate = 1.0;
+  plan.failFirstAttempts = 1;
+  ConstPlugin inner;
+  FaultInjector inj(inner, plan);
+  EXPECT_THROW(inj.isSatisfiable(7), std::runtime_error);
+  EXPECT_NO_THROW(inj.isSatisfiable(7));
+  EXPECT_EQ(inj.attempts(7, 7), 2u);
+  EXPECT_EQ(inj.attempts(7, 8), 0u) << "pair keys unaffected by sat calls";
+}
+
+TEST(FaultInjector, SubsKeysMatchTheClassifiersTestIdentity) {
+  // The classifier claims the ordered test subs?(sup, sub) and calls
+  // isSubsumedBy(sub, sup); the injector must key on ⟨sup, sub⟩ so its
+  // attempt counter matches the retry ledger.
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.errorRate = 1.0;
+  ConstPlugin inner;
+  FaultInjector inj(inner, plan);
+  EXPECT_THROW(inj.isSubsumedBy(/*sub=*/4, /*sup=*/9), std::runtime_error);
+  EXPECT_EQ(inj.attempts(/*x=*/9, /*y=*/4), 1u);
+  EXPECT_EQ(inj.attempts(4, 9), 0u);
+}
+
+TEST(FaultInjector, ResourceFaultsThrowBadAlloc) {
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.resourceRate = 1.0;
+  ConstPlugin inner;
+  FaultInjector inj(inner, plan);
+  EXPECT_THROW(inj.isSatisfiable(0), std::bad_alloc);
+  EXPECT_EQ(inj.stats().injectedResourceFaults, 1u);
+}
+
+}  // namespace
+}  // namespace owlcl

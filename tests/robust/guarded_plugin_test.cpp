@@ -1,0 +1,158 @@
+// GuardedPlugin: per-call deadlines, exception classification, cancellation
+// fail-fast, and the legacy-bool escape hatch.
+#include "robust/guarded_plugin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+namespace owlcl {
+namespace {
+
+/// Inner plug-in with scriptable behaviour: reported cost, real sleep,
+/// throw-on-call, fixed answer.
+class ScriptedPlugin : public ReasonerPlugin {
+ public:
+  std::uint64_t reportNs = 0;
+  std::uint64_t sleepNs = 0;
+  bool throwRuntime = false;
+  bool throwBadAlloc = false;
+  bool answer = true;
+
+  bool isSatisfiable(ConceptId, std::uint64_t* costNs = nullptr) override {
+    return run(costNs);
+  }
+  bool isSubsumedBy(ConceptId, ConceptId,
+                    std::uint64_t* costNs = nullptr) override {
+    return run(costNs);
+  }
+  std::uint64_t testCount() const override {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool run(std::uint64_t* costNs) {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    if (sleepNs != 0)
+      std::this_thread::sleep_for(std::chrono::nanoseconds(sleepNs));
+    if (throwBadAlloc) throw std::bad_alloc();
+    if (throwRuntime) throw std::runtime_error("inner boom");
+    if (costNs != nullptr) *costNs = reportNs;
+    return answer;
+  }
+  std::atomic<std::uint64_t> calls_{0};
+};
+
+TEST(GuardedPlugin, PassesVerdictsThroughUnderDeadline) {
+  ScriptedPlugin inner;
+  inner.reportNs = 1'000;
+  GuardedPlugin guarded(inner, {/*deadlineNs=*/1'000'000});
+
+  std::uint64_t cost = 0;
+  const TestVerdict sat = guarded.trySatisfiable(3, &cost);
+  EXPECT_TRUE(sat.ok());
+  EXPECT_TRUE(sat.value());
+  EXPECT_EQ(cost, 1'000u) << "plug-in reported cost passes through";
+
+  inner.answer = false;
+  const TestVerdict subs = guarded.trySubsumedBy(1, 2);
+  EXPECT_TRUE(subs.ok());
+  EXPECT_FALSE(subs.value());
+
+  EXPECT_EQ(guarded.stats().calls, 2u);
+  EXPECT_EQ(guarded.stats().failures(), 0u);
+}
+
+TEST(GuardedPlugin, ZeroDeadlineMeansUnlimited) {
+  ScriptedPlugin inner;
+  inner.reportNs = ~std::uint64_t{0} / 2;  // astronomically expensive
+  GuardedPlugin guarded(inner);            // default config: no deadline
+  EXPECT_TRUE(guarded.trySatisfiable(0).ok());
+}
+
+TEST(GuardedPlugin, ReportedCostExceedingDeadlineIsTimeout) {
+  ScriptedPlugin inner;
+  inner.reportNs = 10'000;
+  GuardedPlugin guarded(inner, {/*deadlineNs=*/5'000});
+
+  const TestVerdict v = guarded.trySubsumedBy(0, 1);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.failure, FailureKind::kTimeout);
+  EXPECT_EQ(guarded.stats().timeouts, 1u);
+  // The verdict the plug-in produced is discarded — callers only ever see
+  // the failure, which keeps timeout decisions cost-deterministic.
+  EXPECT_EQ(inner.testCount(), 1u) << "inner was still consulted";
+}
+
+TEST(GuardedPlugin, WallTimeExceedingDeadlineIsTimeout) {
+  ScriptedPlugin inner;
+  inner.reportNs = 100;           // reported cost is tiny...
+  inner.sleepNs = 20'000'000;     // ...but the call really takes 20ms
+  GuardedPlugin guarded(inner, {/*deadlineNs=*/1'000'000});
+
+  const TestVerdict v = guarded.trySatisfiable(0);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.failure, FailureKind::kTimeout);
+}
+
+TEST(GuardedPlugin, ExceptionsBecomeClassifiedFailures) {
+  ScriptedPlugin inner;
+  GuardedPlugin guarded(inner);
+
+  inner.throwRuntime = true;
+  const TestVerdict err = guarded.trySatisfiable(0);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.failure, FailureKind::kError);
+
+  inner.throwRuntime = false;
+  inner.throwBadAlloc = true;
+  const TestVerdict oom = guarded.trySubsumedBy(0, 1);
+  EXPECT_FALSE(oom.ok());
+  EXPECT_EQ(oom.failure, FailureKind::kResource);
+
+  EXPECT_EQ(guarded.stats().errors, 1u);
+  EXPECT_EQ(guarded.stats().resourceFailures, 1u);
+}
+
+TEST(GuardedPlugin, CancelledTokenFailsFastWithoutCallingInner) {
+  ScriptedPlugin inner;
+  CancellationToken token;
+  GuardedPlugin guarded(inner, {}, &token);
+
+  EXPECT_TRUE(guarded.trySatisfiable(0).ok()) << "token not fired yet";
+  token.cancel();
+  const TestVerdict v = guarded.trySatisfiable(0);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.failure, FailureKind::kTimeout);
+  EXPECT_EQ(inner.testCount(), 1u) << "cancelled call never reached inner";
+  EXPECT_EQ(guarded.stats().cancelledCalls, 1u);
+}
+
+TEST(GuardedPlugin, BoolPredicatesThrowPluginFailureError) {
+  ScriptedPlugin inner;
+  inner.reportNs = 10'000;
+  GuardedPlugin guarded(inner, {/*deadlineNs=*/1'000});
+
+  try {
+    guarded.isSatisfiable(0);
+    FAIL() << "expected PluginFailureError";
+  } catch (const PluginFailureError& e) {
+    EXPECT_EQ(e.kind(), FailureKind::kTimeout);
+  }
+  EXPECT_THROW(guarded.isSubsumedBy(0, 1), PluginFailureError);
+}
+
+TEST(GuardedPlugin, UnreportedCostIsBilledAsWallTime) {
+  ScriptedPlugin inner;  // reportNs stays 0
+  GuardedPlugin guarded(inner);
+  std::uint64_t cost = 0;
+  ASSERT_TRUE(guarded.trySatisfiable(0, &cost).ok());
+  EXPECT_GT(cost, 0u) << "wall-time fallback when the plug-in reports nothing";
+}
+
+}  // namespace
+}  // namespace owlcl

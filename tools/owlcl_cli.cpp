@@ -15,9 +15,24 @@
 //   --backend=tableau|el   reasoner plug-in (el requires an EL ontology)
 //   --output=tree|dot|none taxonomy rendering (default tree)
 //   --verify             run structural verification on the result
+//
+// classify fault-tolerance options:
+//   --deadline-ms=N      per-reasoner-call deadline (0 = unlimited)
+//   --max-retries=N      failed-test retries before giving a pair up (default 3)
+//   --budget-ms=N        whole-run watchdog; past it the run degrades (0 = off)
+//   --inject-faults=SPEC deterministic fault injection for robustness drills.
+//                        SPEC is comma-separated key=value pairs:
+//                          seed=N error=R resource=R timeout=R delay-ms=N
+//                          sleep-ms=N target=R fail-first=N
+//                        delay-ms inflates the *reported* (virtual) cost of a
+//                        timeout fault; sleep-ms adds a real wall-clock sleep
+//                        (use it to exercise --budget-ms).
+//                        e.g. --inject-faults=seed=7,error=0.1,target=0.05,fail-first=9
 // sweep options:
 //   --max-workers=N      sweep 1..N on the virtual executor (default 64)
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -82,7 +97,54 @@ struct Options {
   std::string backend = "tableau";
   std::string output = "tree";
   std::size_t maxWorkers = 64;
+
+  // Fault tolerance.
+  std::size_t deadlineMs = 0;
+  std::size_t maxRetries = 3;
+  std::size_t budgetMs = 0;
+  FaultPlan faults;
 };
+
+/// Parses "--inject-faults=seed=7,error=0.1,..." into a FaultPlan.
+FaultPlan parseFaultSpec(const char* spec) {
+  FaultPlan plan;
+  std::string s = spec;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad --inject-faults item: %s\n", item.c_str());
+      usage();
+    }
+    const std::string key = item.substr(0, eq);
+    const double val = std::atof(item.c_str() + eq + 1);
+    if (key == "seed")
+      plan.seed = static_cast<std::uint64_t>(val);
+    else if (key == "error")
+      plan.errorRate = val;
+    else if (key == "resource")
+      plan.resourceRate = val;
+    else if (key == "timeout")
+      plan.timeoutRate = val;
+    else if (key == "delay-ms")
+      plan.delayNs = static_cast<std::uint64_t>(val * 1e6);
+    else if (key == "sleep-ms")
+      plan.sleepNs = static_cast<std::uint64_t>(val * 1e6);
+    else if (key == "target")
+      plan.targetPairRate = val;
+    else if (key == "fail-first")
+      plan.failFirstAttempts = static_cast<std::size_t>(val);
+    else {
+      std::fprintf(stderr, "unknown --inject-faults key: %s\n", key.c_str());
+      usage();
+    }
+  }
+  return plan;
+}
 
 Options parseOptions(int argc, char** argv, int first) {
   Options o;
@@ -115,6 +177,14 @@ Options parseOptions(int argc, char** argv, int first) {
       o.output = v5;
     } else if (const char* v6 = value("--max-workers=")) {
       o.maxWorkers = static_cast<std::size_t>(std::atol(v6));
+    } else if (const char* v7 = value("--deadline-ms=")) {
+      o.deadlineMs = static_cast<std::size_t>(std::atol(v7));
+    } else if (const char* v8 = value("--max-retries=")) {
+      o.maxRetries = static_cast<std::size_t>(std::atol(v8));
+    } else if (const char* v9 = value("--budget-ms=")) {
+      o.budgetMs = static_cast<std::size_t>(std::atol(v9));
+    } else if (const char* v10 = value("--inject-faults=")) {
+      o.faults = parseFaultSpec(v10);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       usage();
@@ -152,11 +222,29 @@ int cmdClassify(const std::string& path, const Options& o) {
   config.symmetricTests = o.symmetric;
   config.toldSeeding = o.seedTold;
   config.scheduling = o.scheduling;
+  config.maxRetries = o.maxRetries;
+  config.watchdogBudgetNs = static_cast<std::uint64_t>(o.budgetMs) * 1'000'000;
 
   Stopwatch sw;
-  ParallelClassifier classifier(tbox, *backend, config);
   ThreadPool pool(o.workers);
   RealExecutor exec(pool);
+
+  // Plug-in chain: backend → [FaultInjector] → [GuardedPlugin] → classifier.
+  ReasonerPlugin* plugin = backend.get();
+  std::unique_ptr<FaultInjector> injector;
+  if (o.faults.enabled()) {
+    injector = std::make_unique<FaultInjector>(*plugin, o.faults);
+    plugin = injector.get();
+  }
+  std::unique_ptr<GuardedPlugin> guarded;
+  if (o.deadlineMs > 0 || injector != nullptr) {
+    GuardConfig gc;
+    gc.deadlineNs = static_cast<std::uint64_t>(o.deadlineMs) * 1'000'000;
+    guarded = std::make_unique<GuardedPlugin>(*plugin, gc, &exec.cancellation());
+    plugin = guarded.get();
+  }
+
+  ParallelClassifier classifier(tbox, *plugin, config);
   const ClassificationResult r = classifier.classify(exec);
 
   if (o.output == "dot")
@@ -173,6 +261,42 @@ int cmdClassify(const std::string& path, const Options& o) {
                static_cast<unsigned long long>(r.subsumptionTests),
                static_cast<unsigned long long>(r.prunedWithoutTest),
                r.taxonomy.nodeCount(), r.taxonomy.depth());
+
+  if (r.failedTests > 0 || r.cancelled) {
+    std::fprintf(stderr,
+                 "  fault report: %llu failed, %llu retried calls%s\n",
+                 static_cast<unsigned long long>(r.failedTests),
+                 static_cast<unsigned long long>(r.retriedTests),
+                 r.cancelled ? " — RUN CANCELLED BY WATCHDOG" : "");
+    if (guarded != nullptr) {
+      const GuardStats gs = guarded->stats();
+      std::fprintf(stderr,
+                   "  guard: %llu calls, %llu timeouts, %llu errors, "
+                   "%llu resource, %llu cancelled\n",
+                   static_cast<unsigned long long>(gs.calls),
+                   static_cast<unsigned long long>(gs.timeouts),
+                   static_cast<unsigned long long>(gs.errors),
+                   static_cast<unsigned long long>(gs.resourceFailures),
+                   static_cast<unsigned long long>(gs.cancelledCalls));
+    }
+  }
+  if (!r.complete()) {
+    std::fprintf(stderr,
+                 "  PARTIAL taxonomy: %zu unresolved pair(s), %zu unresolved "
+                 "concept(s)\n",
+                 r.unresolvedPairs.size(), r.unresolvedConcepts.size());
+    const std::size_t shown = std::min<std::size_t>(r.unresolvedPairs.size(), 20);
+    for (std::size_t i = 0; i < shown; ++i)
+      std::fprintf(stderr, "    unknown: %s ⊑ %s ?\n",
+                   tbox.conceptName(r.unresolvedPairs[i].second).c_str(),
+                   tbox.conceptName(r.unresolvedPairs[i].first).c_str());
+    if (r.unresolvedPairs.size() > shown)
+      std::fprintf(stderr, "    ... %zu more\n",
+                   r.unresolvedPairs.size() - shown);
+    for (ConceptId c : r.unresolvedConcepts)
+      std::fprintf(stderr, "    sat status unknown: %s\n",
+                   tbox.conceptName(c).c_str());
+  }
 
   if (o.verify) {
     const TaxonomyIssues issues = verifyStructure(r.taxonomy);
