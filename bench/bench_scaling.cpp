@@ -1,0 +1,205 @@
+// Real-thread scaling bench: the legacy single-mutex pool vs the
+// work-stealing pool, on a group-division-heavy workload (randomCycles=0
+// sends every pair test through runGroupRound's dispatch path, where the
+// executor choice matters most).
+//
+// Unlike the figure benches this one runs on REAL std::threads — it
+// measures the scheduler itself (queue contention, wake-up latency, steal
+// traffic), not the simulated SMP. Each reasoner call burns a small
+// deterministic spin so tasks have genuine cost and per-task scheduling
+// overhead is measurable against it; a few concepts are made much harder
+// than the rest so group costs are skewed — the load shape stealing is
+// built for.
+//
+// Output: a human-readable table on stdout and machine-readable
+// BENCH_scaling.json (threads × backend → wall/busy/steals/tests) for CI
+// trend tracking.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/parallel_classifier.hpp"
+#include "core/plugin.hpp"
+#include "core/real_executor.hpp"
+#include "gen/generator.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/stopwatch.hpp"
+
+namespace owlcl {
+namespace {
+
+// Answers from GroundTruth after a deterministic busy spin. Hard concepts
+// spin ~30× longer, skewing group costs like the paper's QCR-heavy rows.
+class SpinReasoner : public ReasonerPlugin {
+ public:
+  SpinReasoner(const GroundTruth& truth, std::uint64_t baseIters)
+      : truth_(truth), baseIters_(baseIters) {}
+
+  bool isSatisfiable(ConceptId c, std::uint64_t* costNs) override {
+    const std::uint64_t ns = burn(iters(c) / 2);
+    if (costNs != nullptr) *costNs = ns;
+    tests_.fetch_add(1, std::memory_order_relaxed);
+    return truth_.satisfiable(c);
+  }
+
+  bool isSubsumedBy(ConceptId sub, ConceptId sup,
+                    std::uint64_t* costNs) override {
+    const std::uint64_t ns = burn(std::max(iters(sub), iters(sup)));
+    if (costNs != nullptr) *costNs = ns;
+    tests_.fetch_add(1, std::memory_order_relaxed);
+    return truth_.subsumes(sup, sub);
+  }
+
+  std::uint64_t testCount() const override {
+    return tests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t iters(ConceptId c) const {
+    return baseIters_ * (c % 17 == 0 ? 30 : 1);
+  }
+
+  std::uint64_t burn(std::uint64_t iters) {
+    Stopwatch sw;
+    std::uint64_t x = 0x9E3779B97F4A7C15ull + iters;
+    for (std::uint64_t i = 0; i < iters; ++i)
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+    sink_.store(x, std::memory_order_relaxed);  // defeat dead-code elim
+    return static_cast<std::uint64_t>(sw.elapsedNs());
+  }
+
+  const GroundTruth& truth_;
+  const std::uint64_t baseIters_;
+  std::atomic<std::uint64_t> tests_{0};
+  std::atomic<std::uint64_t> sink_{0};
+};
+
+struct RunResult {
+  std::uint64_t wallNs = 0;
+  std::uint64_t busyNs = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t tests = 0;
+};
+
+RunResult runOnce(const GeneratedOntology& g, std::size_t threads,
+                  PoolBackend backend) {
+  // Small per-test spin (~1 µs easy / ~30 µs hard): enough real work that
+  // tasks aren't empty, small enough that per-task scheduling overhead
+  // (the thing under test) is a measurable fraction of the total.
+  SpinReasoner reasoner(g.truth, /*baseIters=*/150);
+  ClassifierConfig config;
+  config.randomCycles = 0;  // group-division-heavy: only runGroupRound
+  config.scheduling = backend == PoolBackend::kWorkStealing
+                          ? SchedulingPolicy::kSteal
+                          : SchedulingPolicy::kRoundRobin;  // legacy default
+  ThreadPool pool(threads, backend);
+  RealExecutor exec(pool);
+  ParallelClassifier classifier(*g.tbox, reasoner, config);
+  Stopwatch sw;
+  const ClassificationResult r = classifier.classify(exec);
+  RunResult out;
+  out.wallNs = static_cast<std::uint64_t>(sw.elapsedNs());
+  out.busyNs = r.busyNs;
+  out.steals = pool.stealCount();
+  out.tests = r.satTests + r.subsumptionTests;
+  return out;
+}
+
+RunResult bestOf(const GeneratedOntology& g, std::size_t threads,
+                 PoolBackend backend, int repeats) {
+  RunResult best;
+  for (int i = 0; i < repeats; ++i) {
+    const RunResult r = runOnce(g, threads, backend);
+    if (best.wallNs == 0 || r.wallNs < best.wallNs) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace owlcl
+
+int main() {
+  using namespace owlcl;
+
+  GenConfig cfg;
+  cfg.name = "scaling-groupdiv";
+  cfg.concepts = 220;
+  cfg.subClassEdges = 300;
+  cfg.attachmentBias = 1.2;  // bushy top: big, uneven groups
+  cfg.seed = 7;
+  const GeneratedOntology g = generateOntology(cfg);
+
+  const std::vector<std::size_t> threadCounts = {1, 2, 4, 8};
+  const int repeats = 3;
+
+  std::printf("scaling bench — %s (%zu concepts), group division only\n",
+              cfg.name.c_str(), cfg.concepts);
+  std::printf("%8s %12s %14s %14s %10s %10s\n", "threads", "backend",
+              "wall_ms", "busy_ms", "steals", "tests");
+
+  struct Row {
+    std::size_t threads;
+    const char* backend;
+    RunResult r;
+  };
+  std::vector<Row> rows;
+  runOnce(g, 2, PoolBackend::kWorkStealing);  // warmup (page-in, allocator)
+  for (std::size_t t : threadCounts) {
+    for (PoolBackend b : {PoolBackend::kMutex, PoolBackend::kWorkStealing}) {
+      const char* name = b == PoolBackend::kMutex ? "mutex" : "steal";
+      const RunResult r = bestOf(g, t, b, repeats);
+      rows.push_back({t, name, r});
+      std::printf("%8zu %12s %14.2f %14.2f %10llu %10llu\n", t, name,
+                  static_cast<double>(r.wallNs) / 1e6,
+                  static_cast<double>(r.busyNs) / 1e6,
+                  static_cast<unsigned long long>(r.steals),
+                  static_cast<unsigned long long>(r.tests));
+    }
+  }
+
+  std::FILE* out = std::fopen("BENCH_scaling.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_scaling.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"scaling\",\n  \"workload\": {\"name\": "
+               "\"%s\", \"concepts\": %zu, \"random_cycles\": 0},\n"
+               "  \"repeats\": %d,\n  \"results\": [\n",
+               cfg.name.c_str(), cfg.concepts, repeats);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"backend\": \"%s\", \"wall_ns\": "
+                 "%llu, \"busy_ns\": %llu, \"steals\": %llu, \"tests\": "
+                 "%llu}%s\n",
+                 row.threads, row.backend,
+                 static_cast<unsigned long long>(row.r.wallNs),
+                 static_cast<unsigned long long>(row.r.busyNs),
+                 static_cast<unsigned long long>(row.r.steals),
+                 static_cast<unsigned long long>(row.r.tests),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_scaling.json\n");
+
+  // Acceptance summary: work-stealing vs the mutex pool at max threads.
+  const auto find = [&rows](std::size_t t, const std::string& b) -> RunResult {
+    for (const Row& row : rows)
+      if (row.threads == t && b == row.backend) return row.r;
+    return {};
+  };
+  const RunResult m8 = find(8, "mutex");
+  const RunResult s8 = find(8, "steal");
+  if (m8.wallNs != 0 && s8.wallNs != 0)
+    std::printf("8 threads: steal %.2f ms vs mutex %.2f ms (%.2fx)\n",
+                static_cast<double>(s8.wallNs) / 1e6,
+                static_cast<double>(m8.wallNs) / 1e6,
+                static_cast<double>(m8.wallNs) /
+                    static_cast<double>(s8.wallNs));
+  return 0;
+}

@@ -29,11 +29,17 @@ namespace owlcl {
 /// worker with the smallest outstanding load *as observable by the
 /// executor* — per-worker queue depth for RealExecutor, per-worker
 /// virtual clock for VirtualExecutor. Implementations must not silently
-/// degrade kLeastLoaded to another discipline.
+/// degrade kLeastLoaded to another discipline. kSteal leaves placement to
+/// the executor's own balancing machinery: on RealExecutor the task lands
+/// on a worker's Chase–Lev deque and migrates via stealing if that worker
+/// falls behind; on the (deterministic) VirtualExecutor it is placed
+/// least-loaded, the quiescent fixed point a work-stealing pool converges
+/// to.
 enum class SchedulingPolicy : std::uint8_t {
   kRoundRobin,   // the paper's round-robin scheduling (Section III-A2)
   kLeastLoaded,  // "getAvailableThread": worker with the least queued work
   kSharedQueue,  // single shared queue; any idle worker takes the task
+  kSteal,        // executor-balanced: work-stealing / simulated equivalent
 };
 
 class Executor {

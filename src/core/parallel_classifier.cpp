@@ -1,6 +1,7 @@
 #include "core/parallel_classifier.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/rng.hpp"
 
@@ -39,10 +40,10 @@ ParallelClassifier::SatResult ParallelClassifier::ensureSat(
 
   std::uint64_t ns = 0;
   if (store_.hasFailures() && store_.failureAttempts(c, c) > 0)
-    retriedTests_.fetch_add(1, std::memory_order_relaxed);
+    retriedTests_.add();
   const TestVerdict v = plugin_.trySatisfiable(c, &ns);
   cost += ns;
-  satTests_.fetch_add(1, std::memory_order_relaxed);
+  satTests_.add();
   if (!v.ok()) {
     noteSatFailure(c);
     return SatResult::kDeferred;
@@ -56,10 +57,10 @@ TestOutcome ParallelClassifier::runClaimedSubsTest(ConceptId x, ConceptId y,
                                                    std::uint64_t& cost) {
   std::uint64_t ns = 0;
   if (store_.hasFailures() && store_.failureAttempts(x, y) > 0)
-    retriedTests_.fetch_add(1, std::memory_order_relaxed);
+    retriedTests_.add();
   const TestVerdict v = plugin_.trySubsumedBy(y, x, &ns);  // subs?(x,y): y ⊑ x?
   cost += ns;
-  subsTests_.fetch_add(1, std::memory_order_relaxed);
+  subsTests_.add();
   if (!v.ok()) {
     noteSubsFailure(x, y);
     return TestOutcome::kFailed;
@@ -72,7 +73,7 @@ TestOutcome ParallelClassifier::runClaimedSubsTest(ConceptId x, ConceptId y,
 }
 
 void ParallelClassifier::noteSubsFailure(ConceptId x, ConceptId y) {
-  failedTests_.fetch_add(1, std::memory_order_relaxed);
+  failedTests_.add();
   const std::size_t attempts =
       store_.recordFailure(x, y, epoch_.load(std::memory_order_relaxed),
                            config_.backoffCapRounds);
@@ -86,7 +87,7 @@ void ParallelClassifier::noteSubsFailure(ConceptId x, ConceptId y) {
 }
 
 void ParallelClassifier::noteSatFailure(ConceptId c) {
-  failedTests_.fetch_add(1, std::memory_order_relaxed);
+  failedTests_.add();
   const std::size_t attempts =
       store_.recordFailure(c, c, epoch_.load(std::memory_order_relaxed),
                            config_.backoffCapRounds);
@@ -103,10 +104,11 @@ void ParallelClassifier::giveUpOnConcept(ConceptId c) {
   // subsumption involving it is entailed anyway) and withdraw every
   // pending pair involving c so the run terminates.
   store_.markConceptUnresolved(c);
-  const std::size_t n = store_.conceptCount();
   for (ConceptId y : store_.possibleRow(c)) store_.markUnresolved(c, y);
-  for (ConceptId x = 0; x < n; ++x)
-    if (x != c && store_.possible(x, c)) store_.markUnresolved(x, c);
+  // Column pass over row words (skipping rows whose O(1) possible-count is
+  // already zero) instead of n individual possible(x, c) probes.
+  for (ConceptId x : store_.possibleColumn(c))
+    if (x != c) store_.markUnresolved(x, c);
 }
 
 void ParallelClassifier::drainPossibleToUnresolved() {
@@ -140,14 +142,14 @@ void ParallelClassifier::pruneAfterStrict(ConceptId super, ConceptId sub) {
     if (!store_.known(y, sub)) {
       const bool clearedForward = store_.claimTest(super, y);
       store_.pruneIndirect(super, y);
-      if (clearedForward) pruned_.fetch_add(1, std::memory_order_relaxed);
+      if (clearedForward) pruned_.add();
     }
     // 2.3.2: super ⊑ y would force super ≡ sub ≡ y, contradicting
     // strictness — record the non-subsumption without a reasoner call.
     // (Sound even when y ≡ sub.)
     const bool clearedBackward = store_.claimTest(y, super);
     store_.recordNonSubsumption(y, super);
-    if (clearedBackward) pruned_.fetch_add(1, std::memory_order_relaxed);
+    if (clearedBackward) pruned_.add();
   }
 }
 
@@ -229,13 +231,14 @@ void ParallelClassifier::runRandomCycle(Executor& exec, std::size_t cycleIndex,
   const std::size_t n = order.size();
   const std::size_t w = exec.workers();
   const std::size_t possibleBefore = store_.remainingPossible();
-  const std::uint64_t testsBefore = satTests_.load(std::memory_order_relaxed) +
-                                    subsTests_.load(std::memory_order_relaxed);
+  const std::uint64_t testsBefore = satTests_.value() + subsTests_.value();
   const std::uint64_t t0 = exec.elapsedNs();
 
   // randomDivision: w contiguous slices of the shuffled order, one per
   // worker (group count == worker count, Section III-A1).
   const CancellationToken& cancel = exec.cancellation();
+  const bool steal = config_.scheduling == SchedulingPolicy::kSteal;
+  const std::size_t chunkPairs = std::max<std::size_t>(config_.stealChunkPairs, 1);
   const std::size_t base = n / w;
   const std::size_t extra = n % w;
   std::size_t begin = 0;
@@ -245,40 +248,64 @@ void ParallelClassifier::runRandomCycle(Executor& exec, std::size_t cycleIndex,
       begin += size;
       continue;  // a group needs at least one pair
     }
-    std::vector<ConceptId> slice(order.begin() + static_cast<std::ptrdiff_t>(begin),
-                                 order.begin() +
-                                     static_cast<std::ptrdiff_t>(begin + size));
+    auto slice = std::make_shared<const std::vector<ConceptId>>(
+        order.begin() + static_cast<std::ptrdiff_t>(begin),
+        order.begin() + static_cast<std::ptrdiff_t>(begin + size));
     begin += size;
-    exec.dispatch(g % w,
-                  [this, slice = std::move(slice), &cancel]() -> std::uint64_t {
+
+    // One chunk covers the pairs whose *leading* index falls in
+    // [iBegin, iEnd) — i.e. pairs (i, j) with iBegin ≤ i < iEnd < j ≤ size.
+    auto runChunk = [this, slice, &cancel](std::size_t iBegin,
+                                           std::size_t iEnd) -> std::uint64_t {
       std::uint64_t cost = 0;
-      for (std::size_t i = 0; i < slice.size(); ++i) {
+      const std::vector<ConceptId>& s = *slice;
+      for (std::size_t i = iBegin; i < iEnd; ++i) {
         if (cancel.cancelled()) break;  // cooperative: stop picking pairs
-        for (std::size_t j = i + 1; j < slice.size(); ++j) {
+        for (std::size_t j = i + 1; j < s.size(); ++j) {
           if (config_.symmetricTests)
-            testPairSymmetric(slice[i], slice[j], cost);
+            testPairSymmetric(s[i], s[j], cost);
           else
-            testOrdered(slice[i], slice[j], cost);
+            testOrdered(s[i], s[j], cost);
         }
       }
       return cost;
-    });
+    };
+
+    if (!steal) {
+      // Verbatim Section III-A1: the whole group goes to worker g.
+      exec.dispatch(g % w, [runChunk, size] { return runChunk(0, size); });
+      continue;
+    }
+    // Work-stealing: split the group's triangular pair set into chunks of
+    // ~stealChunkPairs tests by leading-index range, all unpinned, so an
+    // idle worker can steal part of a heavy group instead of waiting at
+    // the barrier.
+    std::size_t iBegin = 0;
+    while (iBegin + 1 < size) {
+      std::size_t pairs = 0;
+      std::size_t iEnd = iBegin;
+      while (iEnd + 1 < size && pairs < chunkPairs) {
+        pairs += size - 1 - iEnd;  // pairs led by index iEnd
+        ++iEnd;
+      }
+      exec.dispatch(Executor::kAnyWorker,
+                    [runChunk, iBegin, iEnd] { return runChunk(iBegin, iEnd); });
+      iBegin = iEnd;
+    }
   }
   exec.barrier();
 
   result.cycles.push_back(
       {CycleStats::Phase::kRandomDivision, cycleIndex, possibleBefore,
        store_.remainingPossible(), exec.elapsedNs() - t0,
-       satTests_.load(std::memory_order_relaxed) +
-           subsTests_.load(std::memory_order_relaxed) - testsBefore});
+       satTests_.value() + subsTests_.value() - testsBefore});
 }
 
 void ParallelClassifier::runGroupRound(Executor& exec, std::size_t roundIndex,
                                        ClassificationResult& result) {
   const std::size_t n = store_.conceptCount();
   const std::size_t possibleBefore = store_.remainingPossible();
-  const std::uint64_t testsBefore = satTests_.load(std::memory_order_relaxed) +
-                                    subsTests_.load(std::memory_order_relaxed);
+  const std::uint64_t testsBefore = satTests_.value() + subsTests_.value();
   const std::uint64_t t0 = exec.elapsedNs();
 
   // groupDivision: one group G_X per concept with P_X ≠ ∅, dispatched with
@@ -286,15 +313,26 @@ void ParallelClassifier::runGroupRound(Executor& exec, std::size_t roundIndex,
   // the task starts, so pruning performed by earlier groups already
   // shrinks later ones — the paper's "changes performed to P and K before
   // new divisions are created for an idle thread".
+  //
+  // Under kSteal a large G_X is additionally split into *column-range*
+  // chunks (each task snapshots P_X ∩ [yBegin, yEnd) when it runs): a
+  // fixed partition of the candidate space, so every possible pair is
+  // still attempted exactly once per round regardless of how chunks
+  // interleave, while idle workers steal slices of heavy groups. The
+  // chunk count comes from the O(1) per-row counter — no scan.
   const CancellationToken& cancel = exec.cancellation();
+  const bool steal = config_.scheduling == SchedulingPolicy::kSteal;
+  const std::size_t chunkPairs = std::max<std::size_t>(config_.stealChunkPairs, 1);
   for (ConceptId x = 0; x < n; ++x) {
-    if (store_.possibleEmpty(x)) continue;
-    const std::size_t worker = exec.pickWorker(config_.scheduling);
-    exec.dispatch(worker, [this, x, &cancel]() -> std::uint64_t {
+    const std::size_t cnt = store_.possibleCount(x);
+    if (cnt == 0) continue;
+
+    auto runChunk = [this, x, &cancel](std::size_t yBegin,
+                                       std::size_t yEnd) -> std::uint64_t {
       std::uint64_t cost = 0;
       if (cancel.cancelled()) return cost;
       if (ensureSat(x, cost) != SatResult::kSat) return cost;
-      for (ConceptId y : store_.possibleRow(x)) {
+      for (ConceptId y : store_.possibleRowRange(x, yBegin, yEnd)) {
         if (cancel.cancelled()) break;  // cooperative: stop picking pairs
         if (config_.symmetricTests)
           testPairSymmetric(x, y, cost);
@@ -302,15 +340,29 @@ void ParallelClassifier::runGroupRound(Executor& exec, std::size_t roundIndex,
           testOrdered(x, y, cost);
       }
       return cost;
-    });
+    };
+
+    const std::size_t chunks =
+        steal ? std::min((cnt + chunkPairs - 1) / chunkPairs, n) : 1;
+    if (chunks <= 1) {
+      const std::size_t worker = exec.pickWorker(config_.scheduling);
+      exec.dispatch(worker, [runChunk, n] { return runChunk(0, n); });
+      continue;
+    }
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t yBegin = n * c / chunks;
+      const std::size_t yEnd = n * (c + 1) / chunks;
+      exec.dispatch(Executor::kAnyWorker, [runChunk, yBegin, yEnd] {
+        return runChunk(yBegin, yEnd);
+      });
+    }
   }
   exec.barrier();
 
   result.cycles.push_back(
       {CycleStats::Phase::kGroupDivision, roundIndex, possibleBefore,
        store_.remainingPossible(), exec.elapsedNs() - t0,
-       satTests_.load(std::memory_order_relaxed) +
-           subsTests_.load(std::memory_order_relaxed) - testsBefore});
+       satTests_.value() + subsTests_.value() - testsBefore});
 }
 
 void ParallelClassifier::buildHierarchy(Executor& exec,
@@ -375,10 +427,14 @@ void ParallelClassifier::buildHierarchy(Executor& exec,
       for (ConceptId m : members[r]) k |= kbits[m];
       for (ConceptId m : members[r]) k.reset(m);
       std::vector<ConceptId>& out = adj[r];
+      // O(1) bitset membership for the dedup — the linear std::find made
+      // this loop O(deg²) on bushy hierarchies.
+      DynamicBitset seen(n);
       for (std::size_t y : k.setBits()) {
         const ConceptId ry = rep[y];
-        if (ry == r) continue;
-        if (std::find(out.begin(), out.end(), ry) == out.end()) out.push_back(ry);
+        if (ry == r || seen.test(ry)) continue;
+        seen.set(ry);
+        out.push_back(ry);
       }
       return 1000;  // bookkeeping tick; real cost is negligible per row
     });
@@ -526,11 +582,11 @@ ClassificationResult ParallelClassifier::classify(Executor& exec) {
 
   result.elapsedNs = exec.elapsedNs();
   result.busyNs = exec.busyNs();
-  result.satTests = satTests_.load(std::memory_order_relaxed);
-  result.subsumptionTests = subsTests_.load(std::memory_order_relaxed);
-  result.prunedWithoutTest = pruned_.load(std::memory_order_relaxed);
-  result.failedTests = failedTests_.load(std::memory_order_relaxed);
-  result.retriedTests = retriedTests_.load(std::memory_order_relaxed);
+  result.satTests = satTests_.value();
+  result.subsumptionTests = subsTests_.value();
+  result.prunedWithoutTest = pruned_.value();
+  result.failedTests = failedTests_.value();
+  result.retriedTests = retriedTests_.value();
   result.unresolvedPairs = store_.unresolvedPairs();
   std::sort(result.unresolvedPairs.begin(), result.unresolvedPairs.end());
   result.unresolvedConcepts = store_.unresolvedConcepts();

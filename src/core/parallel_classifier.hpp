@@ -41,6 +41,7 @@
 #include "core/pk_store.hpp"
 #include "core/plugin.hpp"
 #include "owl/tbox.hpp"
+#include "parallel/sharded_counter.hpp"
 #include "taxonomy/taxonomy.hpp"
 
 namespace owlcl {
@@ -61,8 +62,15 @@ struct ClassifierConfig {
   /// Extension (ablation): seed K with told atomic-subclass axioms before
   /// phase 1, marking those ordered pairs tested.
   bool toldSeeding = false;
-  /// Group-division dispatch discipline (Section III-A2 uses round-robin).
-  SchedulingPolicy scheduling = SchedulingPolicy::kRoundRobin;
+  /// Group-division dispatch discipline. kSteal (default) hands tasks to
+  /// the executor unpinned and lets work-stealing balance them; the
+  /// paper's round-robin (Section III-A2) and the other disciplines remain
+  /// available for the scheduling ablation.
+  SchedulingPolicy scheduling = SchedulingPolicy::kSteal;
+  /// Under kSteal, large groups are split into chunks of roughly this many
+  /// pair tests so idle workers can steal partial groups. Small enough to
+  /// balance, large enough that per-chunk dispatch cost stays noise.
+  std::size_t stealChunkPairs = 512;
 
   // --- fault tolerance -------------------------------------------------------
   /// Failed plug-in calls per test key before the pair/concept is given up
@@ -162,11 +170,14 @@ class ParallelClassifier {
   ClassifierConfig config_;
   PkStore store_;
 
-  std::atomic<std::uint64_t> satTests_{0};
-  std::atomic<std::uint64_t> subsTests_{0};
-  std::atomic<std::uint64_t> pruned_{0};
-  std::atomic<std::uint64_t> failedTests_{0};
-  std::atomic<std::uint64_t> retriedTests_{0};
+  // Hot-path statistics, sharded over cache-line-padded per-thread slots
+  // (every worker bumps these on every pair test; a single atomic would
+  // bounce its line across all cores). Exact at executor barriers.
+  ShardedCounter satTests_;
+  ShardedCounter subsTests_;
+  ShardedCounter pruned_;
+  ShardedCounter failedTests_;
+  ShardedCounter retriedTests_;
   /// Division-round clock for the retry backoff: incremented after every
   /// random cycle and group round (barrier-separated from the tasks that
   /// read it).

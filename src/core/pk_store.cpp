@@ -6,7 +6,7 @@ namespace owlcl {
 
 PkStore::PkStore(std::size_t conceptCount)
     : n_(conceptCount),
-      p_(conceptCount, conceptCount),
+      p_(conceptCount, conceptCount, /*counted=*/true),
       k_(conceptCount, conceptCount),
       tested_(conceptCount, conceptCount),
       sat_(conceptCount),

@@ -97,6 +97,10 @@ class PkStore {
   bool possible(ConceptId x, ConceptId y) const { return p_.test(x, y); }
   bool known(ConceptId x, ConceptId y) const { return k_.test(x, y); }
 
+  // P is constructed in counted mode, so these three are O(1) / O(shards):
+  // the maintained per-row and sharded global set-bit counters answer
+  // without scanning matrix words (exact at executor barriers, which is
+  // where the classifier reads them — see AtomicBitMatrix).
   std::size_t possibleCount(ConceptId x) const { return p_.countRow(x); }
   bool possibleEmpty(ConceptId x) const { return p_.rowEmpty(x); }
 
@@ -105,6 +109,17 @@ class PkStore {
 
   /// Snapshot of P_X / K_X as index lists.
   std::vector<ConceptId> possibleRow(ConceptId x) const { return p_.rowIndices(x); }
+  /// P_X restricted to candidate subsumees in [yBegin, yEnd) — the chunked
+  /// group-round dispatch reads only its own slice of the row.
+  std::vector<ConceptId> possibleRowRange(ConceptId x, std::size_t yBegin,
+                                          std::size_t yEnd) const {
+    return p_.rowIndicesRange(x, yBegin, yEnd);
+  }
+  /// All X with y ∈ P_X — a column pass: one word probe per row, skipping
+  /// rows whose O(1) counter is already zero.
+  std::vector<ConceptId> possibleColumn(ConceptId y) const {
+    return p_.colIndices(y);
+  }
   std::vector<ConceptId> knownRow(ConceptId x) const { return k_.rowIndices(x); }
   DynamicBitset knownRowBits(ConceptId x) const { return k_.rowSnapshot(x); }
 

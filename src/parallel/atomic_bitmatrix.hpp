@@ -15,6 +15,19 @@
 // claiming worker published before setting it. Plain reads use acquire;
 // counting/scans are snapshots (see rowSnapshot()) and are only used in
 // single-threaded phase boundaries or for monitoring.
+//
+// Counted mode (reset(rows, cols, /*counted=*/true)) maintains O(1)
+// set-bit bookkeeping: a cache-line-padded per-row counter plus a sharded
+// global counter, updated by the *same thread* whose fetch_or/fetch_and
+// actually flipped the bit (the RMW return value decides, so each bit
+// transition pairs with exactly one counter update — double counting is
+// impossible no matter how many workers race). countRow/countAll/rowEmpty
+// then answer without scanning words. The counters are relaxed: a reader
+// racing the writers may see a bit flip before its counter update (or the
+// reverse), so mid-storm values are approximate — but every executor
+// barrier joins the workers, which orders all updates before the read, so
+// counts are EXACT at phase boundaries (the only place the classifier
+// compares them). recountRow/recountAll always scan, for verification.
 #pragma once
 
 #include <atomic>
@@ -31,21 +44,28 @@ class AtomicBitMatrix {
  public:
   using Word = std::uint64_t;
   static constexpr std::size_t kWordBits = 64;
+  static constexpr std::size_t kGlobalShards = 64;  // power of two
 
   AtomicBitMatrix() = default;
-  AtomicBitMatrix(std::size_t rows, std::size_t cols) { reset(rows, cols); }
+  AtomicBitMatrix(std::size_t rows, std::size_t cols, bool counted = false) {
+    reset(rows, cols, counted);
+  }
 
   /// Re-dimensions and zeroes the matrix. Not thread-safe.
-  void reset(std::size_t rows, std::size_t cols) {
+  void reset(std::size_t rows, std::size_t cols, bool counted = false) {
     rows_ = rows;
     cols_ = cols;
+    counted_ = counted;
     wordsPerRow_ = (cols + kWordBits - 1) / kWordBits;
     words_ = std::vector<std::atomic<Word>>(rows * wordsPerRow_);
     for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+    rowCounts_ = std::vector<PaddedCount>(counted ? rows : 0);
+    globalShards_ = std::vector<PaddedCount>(counted ? kGlobalShards : 0);
   }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
+  bool counted() const { return counted_; }
 
   bool test(std::size_t r, std::size_t c) const {
     return (word(r, c).load(std::memory_order_acquire) >> bitIndex(c)) & 1u;
@@ -55,25 +75,35 @@ class AtomicBitMatrix {
   bool testAndSet(std::size_t r, std::size_t c) {
     const Word mask = Word{1} << bitIndex(c);
     const Word old = word(r, c).fetch_or(mask, std::memory_order_acq_rel);
-    return (old & mask) == 0;
+    const bool changed = (old & mask) == 0;
+    if (changed && counted_) bump(r, 1);
+    return changed;
   }
 
   /// Clears bit (r,c); returns true iff this call changed it.
   bool testAndClear(std::size_t r, std::size_t c) {
     const Word mask = Word{1} << bitIndex(c);
     const Word old = word(r, c).fetch_and(~mask, std::memory_order_acq_rel);
-    return (old & mask) != 0;
+    const bool changed = (old & mask) != 0;
+    if (changed && counted_) bump(r, -1);
+    return changed;
   }
 
-  /// Clears the whole row (sequence of relaxed stores; callers use this at
-  /// phase boundaries or under the row's logical ownership).
+  /// Clears the whole row (callers use this at phase boundaries or under
+  /// the row's logical ownership).
   void clearRow(std::size_t r) {
-    for (std::size_t w = 0; w < wordsPerRow_; ++w)
-      words_[r * wordsPerRow_ + w].store(0, std::memory_order_release);
+    std::int64_t removed = 0;
+    for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+      const Word old =
+          words_[r * wordsPerRow_ + w].exchange(0, std::memory_order_acq_rel);
+      removed += std::popcount(old);
+    }
+    if (counted_ && removed != 0) bump(r, -removed);
   }
 
   /// Fills row r with 1s for columns [0, cols), optionally skipping `skip`.
   void fillRow(std::size_t r, std::size_t skip = static_cast<std::size_t>(-1)) {
+    std::int64_t delta = 0;
     for (std::size_t w = 0; w < wordsPerRow_; ++w) {
       Word v = ~Word{0};
       const std::size_t base = w * kWordBits;
@@ -82,12 +112,45 @@ class AtomicBitMatrix {
         v = valid == 0 ? 0 : (~Word{0} >> (kWordBits - valid));
       }
       if (skip / kWordBits == w) v &= ~(Word{1} << (skip % kWordBits));
-      words_[r * wordsPerRow_ + w].store(v, std::memory_order_release);
+      const Word old =
+          words_[r * wordsPerRow_ + w].exchange(v, std::memory_order_acq_rel);
+      delta += std::popcount(v) - std::popcount(old);
     }
+    if (counted_ && delta != 0) bump(r, delta);
   }
 
-  /// Set-bit count of row r (snapshot; exact only in quiescent states).
+  /// Set-bit count of row r. O(1) in counted mode, otherwise a word scan.
+  /// Snapshot semantics either way: exact at quiescence.
   std::size_t countRow(std::size_t r) const {
+    if (counted_) {
+      OWLCL_DEBUG_ASSERT(r < rows_);
+      return clampCount(rowCounts_[r].v.load(std::memory_order_relaxed));
+    }
+    return recountRow(r);
+  }
+
+  bool rowEmpty(std::size_t r) const {
+    if (counted_) return countRow(r) == 0;
+    for (std::size_t w = 0; w < wordsPerRow_; ++w)
+      if (words_[r * wordsPerRow_ + w].load(std::memory_order_acquire) != 0)
+        return false;
+    return true;
+  }
+
+  /// Total set-bit count. O(shards) in counted mode, otherwise a full scan.
+  std::size_t countAll() const {
+    if (counted_) {
+      std::int64_t sum = 0;
+      for (const PaddedCount& s : globalShards_)
+        sum += s.v.load(std::memory_order_relaxed);
+      return clampCount(sum);
+    }
+    return recountAll();
+  }
+
+  /// Always scans the words of row r — the ground truth the maintained
+  /// counter must agree with at quiescence (tested as such).
+  std::size_t recountRow(std::size_t r) const {
     std::size_t c = 0;
     for (std::size_t w = 0; w < wordsPerRow_; ++w)
       c += static_cast<std::size_t>(std::popcount(
@@ -95,40 +158,53 @@ class AtomicBitMatrix {
     return c;
   }
 
-  bool rowEmpty(std::size_t r) const {
-    for (std::size_t w = 0; w < wordsPerRow_; ++w)
-      if (words_[r * wordsPerRow_ + w].load(std::memory_order_acquire) != 0)
-        return false;
-    return true;
-  }
-
-  /// Total set-bit count (snapshot).
-  std::size_t countAll() const {
+  /// Always scans every word (ground truth for countAll()).
+  std::size_t recountAll() const {
     std::size_t c = 0;
     for (const auto& w : words_)
-      c += static_cast<std::size_t>(std::popcount(w.load(std::memory_order_acquire)));
+      c += static_cast<std::size_t>(
+          std::popcount(w.load(std::memory_order_acquire)));
     return c;
   }
 
-  /// Copies row r into a sequential bitset (word-atomic snapshot).
+  /// Copies row r into a sequential bitset (word-atomic snapshot). Whole
+  /// 64-bit words are copied — no per-bit probing.
   DynamicBitset rowSnapshot(std::size_t r) const {
-    DynamicBitset bs(cols_);
     std::vector<DynamicBitset::Word> raw(wordsPerRow_);
     for (std::size_t w = 0; w < wordsPerRow_; ++w)
       raw[w] = words_[r * wordsPerRow_ + w].load(std::memory_order_acquire);
-    for (std::size_t c = 0; c < cols_; ++c)
-      if ((raw[c / kWordBits] >> (c % kWordBits)) & 1u) bs.set(c);
+    DynamicBitset bs(cols_);
+    bs.assignWords(raw.data(), raw.size());
     return bs;
   }
 
   /// Column indices of set bits in row r (snapshot).
   std::vector<std::uint32_t> rowIndices(std::size_t r) const {
+    return rowIndicesRange(r, 0, cols_);
+  }
+
+  /// Column indices of set bits in row r restricted to [colBegin, colEnd).
+  /// Scans only the words overlapping the range — the chunked group-round
+  /// dispatch uses this so each chunk touches its own slice of the row.
+  std::vector<std::uint32_t> rowIndicesRange(std::size_t r,
+                                             std::size_t colBegin,
+                                             std::size_t colEnd) const {
+    OWLCL_DEBUG_ASSERT(colBegin <= colEnd && colEnd <= cols_);
     std::vector<std::uint32_t> out;
-    for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+    if (colBegin >= colEnd) return out;
+    const std::size_t wBegin = colBegin / kWordBits;
+    const std::size_t wEnd = (colEnd + kWordBits - 1) / kWordBits;
+    for (std::size_t w = wBegin; w < wEnd; ++w) {
       Word v = words_[r * wordsPerRow_ + w].load(std::memory_order_acquire);
+      const std::size_t base = w * kWordBits;
+      if (base < colBegin) v &= ~Word{0} << (colBegin - base);
+      if (base + kWordBits > colEnd) {
+        const std::size_t valid = colEnd - base;
+        v &= valid == 0 ? 0 : (~Word{0} >> (kWordBits - valid));
+      }
       while (v != 0) {
         const int b = std::countr_zero(v);
-        out.push_back(static_cast<std::uint32_t>(w * kWordBits +
+        out.push_back(static_cast<std::uint32_t>(base +
                                                  static_cast<std::size_t>(b)));
         v &= v - 1;
       }
@@ -136,7 +212,45 @@ class AtomicBitMatrix {
     return out;
   }
 
+  /// Row indices r with bit (r,c) set (snapshot). One word probe per row;
+  /// in counted mode rows whose counter reads zero are skipped without
+  /// touching the matrix at all (safe for sets that only shrink: the lagged
+  /// counter over-approximates, so a zero is definitive).
+  std::vector<std::uint32_t> colIndices(std::size_t c) const {
+    OWLCL_DEBUG_ASSERT(c < cols_);
+    std::vector<std::uint32_t> out;
+    const std::size_t w = c / kWordBits;
+    const Word mask = Word{1} << bitIndex(c);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (counted_ &&
+          rowCounts_[r].v.load(std::memory_order_relaxed) <= 0)
+        continue;
+      if (words_[r * wordsPerRow_ + w].load(std::memory_order_acquire) & mask)
+        out.push_back(static_cast<std::uint32_t>(r));
+    }
+    return out;
+  }
+
  private:
+  // Padded so concurrent updates to different rows / shards never share a
+  // cache line with each other or with the matrix words.
+  struct alignas(64) PaddedCount {
+    std::atomic<std::int64_t> v{0};
+  };
+
+  void bump(std::size_t r, std::int64_t delta) {
+    rowCounts_[r].v.fetch_add(delta, std::memory_order_relaxed);
+    globalShards_[r & (kGlobalShards - 1)].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  // Counters are signed: a reader racing a set on thread A and a clear of
+  // the same bit on thread B may observe B's decrement before A's
+  // increment. Clamp transient negatives; at quiescence the sum is exact.
+  static std::size_t clampCount(std::int64_t v) {
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+  }
+
   std::atomic<Word>& word(std::size_t r, std::size_t c) {
     OWLCL_DEBUG_ASSERT(r < rows_ && c < cols_);
     return words_[r * wordsPerRow_ + c / kWordBits];
@@ -150,7 +264,10 @@ class AtomicBitMatrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t wordsPerRow_ = 0;
+  bool counted_ = false;
   std::vector<std::atomic<Word>> words_;
+  std::vector<PaddedCount> rowCounts_;     // per-row set-bit count
+  std::vector<PaddedCount> globalShards_;  // global count, sharded by row
 };
 
 }  // namespace owlcl

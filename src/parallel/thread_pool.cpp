@@ -6,62 +6,308 @@
 
 namespace owlcl {
 
-ThreadPool::ThreadPool(std::size_t workerCount) : perWorker_(workerCount) {
+namespace {
+// Identifies the pool worker the current thread belongs to (if any), so
+// submit() from inside a task can take the lock-free Chase–Lev owner path.
+thread_local ThreadPool* tlsPool = nullptr;
+thread_local std::size_t tlsWorker = 0;
+
+// Spin budget before parking. Deliberately tiny: on an oversubscribed
+// host (more workers than cores) long spins steal cycles from the worker
+// that actually holds work, so we yield every iteration and give up fast.
+constexpr int kParkSpins = 32;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workerCount, PoolBackend backend)
+    : backend_(backend) {
   OWLCL_ASSERT(workerCount > 0);
+  perWorker_.reserve(workerCount);
+  for (std::size_t i = 0; i < workerCount; ++i)
+    perWorker_.push_back(std::make_unique<WorkerState>());
   workers_.reserve(workerCount);
   for (std::size_t i = 0; i < workerCount; ++i)
-    workers_.emplace_back([this, i] { workerLoop(i); });
+    workers_.emplace_back([this, i] {
+      if (backend_ == PoolBackend::kWorkStealing)
+        workerLoopSteal(i);
+      else
+        workerLoopMutex(i);
+    });
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+  if (backend_ == PoolBackend::kMutex) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_.store(true, std::memory_order_release);
+    }
+    workCv_.notify_all();
+  } else {
+    stop_.store(true, std::memory_order_seq_cst);
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      // Close the race against a worker between its park predicate check
+      // and its cv wait: taking the sleep mutex orders us after it.
+      std::lock_guard<std::mutex> lock(sleepMu_);
+    }
+    sleepCv_.notify_all();
   }
-  workCv_.notify_all();
   for (auto& t : workers_) t.join();
+  // Tasks submitted during destruction (unsupported, but don't leak).
+  for (auto& w : perWorker_) {
+    while (Task* t = w->deque.popBottom()) delete t;
+    for (Task* t : w->inbox) delete t;
+  }
 }
 
+// --- submission --------------------------------------------------------------
+
 void ThreadPool::submit(Task task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    sharedQueue_.push_back(std::move(task));
-    ++pending_;
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (backend_ == PoolBackend::kMutex) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sharedQueue_.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+    return;
   }
-  workCv_.notify_one();
+  Task* heap = new Task(std::move(task));
+  if (tlsPool == this) {
+    // Owner path: lock-free push onto the submitting worker's own deque.
+    perWorker_[tlsWorker]->deque.pushBottom(heap);
+  } else {
+    // External injection: spread round-robin over the worker inboxes so
+    // a burst of dispatches lands distributed, not convoyed.
+    WorkerState& w = *perWorker_[nextInbox_.fetch_add(
+                                    1, std::memory_order_relaxed) %
+                                perWorker_.size()];
+    std::lock_guard<std::mutex> lock(w.inboxMu);
+    w.inbox.push_back(heap);
+    w.inboxSize.fetch_add(1, std::memory_order_relaxed);
+  }
+  signalWork(/*pinned=*/false);
 }
 
 void ThreadPool::submitTo(std::size_t i, Task task) {
   OWLCL_ASSERT(i < perWorker_.size());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    perWorker_[i].queue.push_back(std::move(task));
-    ++pending_;
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (backend_ == PoolBackend::kMutex) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      perWorker_[i]->queue.push_back(std::move(task));
+    }
+    workCv_.notify_all();
+    return;
   }
-  workCv_.notify_all();
+  WorkerState& w = *perWorker_[i];
+  {
+    std::lock_guard<std::mutex> lock(w.pinnedMu);
+    w.pinned.push_back(std::move(task));
+    w.pinnedSize.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Only worker i can run a pinned task, and notify_one may wake someone
+  // else — wake everyone and let the eventcount re-park the rest.
+  signalWork(/*pinned=*/true);
 }
 
 void ThreadPool::waitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idleCv_.wait(lock, [this] { return pending_ == 0; });
-  if (firstException_ != nullptr) {
-    std::exception_ptr e = std::exchange(firstException_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(e);
+  {
+    std::unique_lock<std::mutex> lock(idleMu_);
+    idleCv_.wait(lock,
+                 [this] { return pending_.load(std::memory_order_acquire) == 0; });
   }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(excMu_);
+    error = std::exchange(firstException_, nullptr);
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 std::size_t ThreadPool::queueDepth(std::size_t i) const {
   OWLCL_ASSERT(i < perWorker_.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  return perWorker_[i].queue.size() + (perWorker_[i].running ? 1 : 0);
+  const WorkerState& w = *perWorker_[i];
+  if (backend_ == PoolBackend::kMutex) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return w.queue.size() + w.running.load(std::memory_order_relaxed);
+  }
+  return w.pinnedSize.load(std::memory_order_relaxed) +
+         w.inboxSize.load(std::memory_order_relaxed) + w.deque.sizeApprox() +
+         w.running.load(std::memory_order_relaxed);
 }
 
-bool ThreadPool::tryPop(std::size_t index, Task& out) {
+std::uint64_t ThreadPool::stealCount() const {
+  std::uint64_t total = 0;
+  for (const auto& w : perWorker_)
+    total += w->steals.load(std::memory_order_relaxed);
+  return total;
+}
+
+// --- shared task bookkeeping -------------------------------------------------
+
+void ThreadPool::execute(WorkerState& self, Task& task) {
+  self.running.store(1, std::memory_order_relaxed);
+  // Contain task failures: the worker survives, later tasks still run,
+  // and the first exception is surfaced by the next waitIdle().
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  self.running.store(0, std::memory_order_relaxed);
+  if (error != nullptr) {
+    std::lock_guard<std::mutex> lock(excMu_);
+    if (firstException_ == nullptr) firstException_ = std::move(error);
+  }
+  finishOne();
+}
+
+void ThreadPool::finishOne() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(idleMu_);
+    idleCv_.notify_all();
+  }
+}
+
+void ThreadPool::runHeapTask(WorkerState& self, Task* task) {
+  Task local = std::move(*task);
+  delete task;
+  execute(self, local);
+}
+
+// --- work-stealing backend ---------------------------------------------------
+
+void ThreadPool::signalWork(bool pinned) {
+  // Eventcount publish: bump the epoch first (seq_cst orders it against
+  // the sleeper's registration), then wake only if someone is parked.
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  std::lock_guard<std::mutex> lock(sleepMu_);
+  if (pinned)
+    sleepCv_.notify_all();
+  else
+    sleepCv_.notify_one();
+}
+
+void ThreadPool::park(std::uint32_t epochSeen) {
+  for (int spin = 0; spin < kParkSpins; ++spin) {
+    if (epoch_.load(std::memory_order_seq_cst) != epochSeen ||
+        stop_.load(std::memory_order_relaxed))
+      return;
+    std::this_thread::yield();
+  }
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(sleepMu_);
+    // The wait predicate re-validates the epoch at entry: if a producer
+    // published between our failed scan and here, we never block. A
+    // producer that misses our sleepers_ increment must (seq_cst total
+    // order) have bumped the epoch before it — which this check sees.
+    sleepCv_.wait(lock, [this, epochSeen] {
+      return epoch_.load(std::memory_order_relaxed) != epochSeen ||
+             stop_.load(std::memory_order_relaxed);
+    });
+  }
+  sleepers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool ThreadPool::runOneSteal(WorkerState& self, std::size_t index) {
+  // 1. Pinned queue — strict affinity, FIFO, owner-only.
+  if (self.pinnedSize.load(std::memory_order_acquire) > 0) {
+    Task task;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(self.pinnedMu);
+      if (!self.pinned.empty()) {
+        task = std::move(self.pinned.front());
+        self.pinned.pop_front();
+        self.pinnedSize.fetch_sub(1, std::memory_order_relaxed);
+        have = true;
+      }
+    }
+    if (have) {
+      execute(self, task);
+      return true;
+    }
+  }
+  // 2. Own deque — the lock-free Chase–Lev owner pop.
+  if (Task* t = self.deque.popBottom()) {
+    runHeapTask(self, t);
+    return true;
+  }
+  // 3. Own inbox: transfer everything into the deque so the surplus is
+  //    stealable while we work. Pushed in reverse so popBottom yields
+  //    submission order (keeps single-worker pools strictly FIFO); a
+  //    thief's top steal takes the newest — order across workers is
+  //    unordered anyway.
+  if (self.inboxSize.load(std::memory_order_acquire) > 0) {
+    std::deque<Task*> grabbed;
+    {
+      std::lock_guard<std::mutex> lock(self.inboxMu);
+      grabbed.swap(self.inbox);
+      self.inboxSize.store(0, std::memory_order_relaxed);
+    }
+    for (auto it = grabbed.rbegin(); it != grabbed.rend(); ++it)
+      self.deque.pushBottom(*it);
+    if (Task* t = self.deque.popBottom()) {
+      runHeapTask(self, t);
+      return true;
+    }
+  }
+  // 4. Steal: other workers' deques first (lock-free), then their
+  //    inboxes (try_lock only — never convoy behind a busy producer).
+  const std::size_t w = perWorker_.size();
+  for (std::size_t off = 1; off < w; ++off) {
+    WorkerState& victim = *perWorker_[(index + off) % w];
+    if (Task* t = victim.deque.steal()) {
+      self.steals.fetch_add(1, std::memory_order_relaxed);
+      runHeapTask(self, t);
+      return true;
+    }
+  }
+  for (std::size_t off = 1; off < w; ++off) {
+    WorkerState& victim = *perWorker_[(index + off) % w];
+    if (victim.inboxSize.load(std::memory_order_acquire) == 0) continue;
+    Task* t = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(victim.inboxMu, std::try_to_lock);
+      if (lock.owns_lock() && !victim.inbox.empty()) {
+        t = victim.inbox.front();
+        victim.inbox.pop_front();
+        victim.inboxSize.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (t != nullptr) {
+      self.steals.fetch_add(1, std::memory_order_relaxed);
+      runHeapTask(self, t);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoopSteal(std::size_t index) {
+  tlsPool = this;
+  tlsWorker = index;
+  WorkerState& self = *perWorker_[index];
+  for (;;) {
+    // Epoch read *before* the scan: any submission that lands during a
+    // failed scan changes the epoch and keeps us from parking past it.
+    const std::uint32_t e = epoch_.load(std::memory_order_seq_cst);
+    if (runOneSteal(self, index)) continue;
+    if (stop_.load(std::memory_order_acquire)) return;
+    park(e);
+  }
+}
+
+// --- mutex backend (legacy; kept for the scheduling ablation) ----------------
+
+bool ThreadPool::tryPopMutex(std::size_t index, Task& out) {
   // Caller holds mu_.
-  if (!perWorker_[index].queue.empty()) {
-    out = std::move(perWorker_[index].queue.front());
-    perWorker_[index].queue.pop_front();
+  if (!perWorker_[index]->queue.empty()) {
+    out = std::move(perWorker_[index]->queue.front());
+    perWorker_[index]->queue.pop_front();
     return true;
   }
   if (!sharedQueue_.empty()) {
@@ -72,36 +318,24 @@ bool ThreadPool::tryPop(std::size_t index, Task& out) {
   return false;
 }
 
-void ThreadPool::workerLoop(std::size_t index) {
+void ThreadPool::workerLoopMutex(std::size_t index) {
+  tlsPool = this;
+  tlsWorker = index;
+  WorkerState& self = *perWorker_[index];
   while (true) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       workCv_.wait(lock, [this, index] {
-        return stop_ || !perWorker_[index].queue.empty() || !sharedQueue_.empty();
+        return stop_.load(std::memory_order_relaxed) ||
+               !perWorker_[index]->queue.empty() || !sharedQueue_.empty();
       });
-      if (!tryPop(index, task)) {
-        if (stop_) return;
+      if (!tryPopMutex(index, task)) {
+        if (stop_.load(std::memory_order_relaxed)) return;
         continue;
       }
-      perWorker_[index].running = true;
     }
-    // Contain task failures: the worker survives, later tasks still run,
-    // and the first exception is surfaced by the next waitIdle().
-    std::exception_ptr error;
-    try {
-      task();
-    } catch (...) {
-      error = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      perWorker_[index].running = false;
-      if (error != nullptr && firstException_ == nullptr)
-        firstException_ = std::move(error);
-      --pending_;
-      if (pending_ == 0) idleCv_.notify_all();
-    }
+    execute(self, task);
   }
 }
 

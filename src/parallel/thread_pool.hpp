@@ -1,49 +1,80 @@
-// Fixed-size worker pool with two dispatch disciplines:
+// Fixed-size worker pool with two interchangeable backends:
 //
-//  * submit(task)        — shared FIFO; any idle worker picks it up
-//                          ("getAvailableThread" of Algorithm 1).
-//  * submitTo(i, task)   — per-worker FIFO; used by the round-robin group
-//                          scheduling of the paper's group-division phase
-//                          (Section III-A2) and by the scheduling ablation.
+//  * PoolBackend::kWorkStealing (default) — per-worker Chase–Lev deques.
+//    Tasks a worker submits from inside a task go lock-free onto the
+//    bottom of its own deque; tasks injected from outside the pool are
+//    spread round-robin over small per-worker inboxes. A worker drains
+//    its own deque, then its inbox, then *steals* from other workers'
+//    deques and inboxes — load balance is emergent, no global lock
+//    exists, and idle workers park on a low-contention eventcount
+//    (spin-then-sleep; producers only touch the sleep mutex when a
+//    sleeper is registered).
+//  * PoolBackend::kMutex — the original single-mutex shared-queue pool,
+//    kept verbatim for the scheduling ablation benches (bench_scaling
+//    measures the convoy it forms under contention).
 //
-// Workers drain their private queue before taking from the shared queue.
+// Submission API (identical across backends):
+//  * submit(task)        — any worker may run it ("getAvailableThread" of
+//                          Algorithm 1); with stealing it may migrate.
+//  * submitTo(i, task)   — *pinned* to worker i, run in FIFO order. Used
+//                          by the round-robin group scheduling of the
+//                          paper's group-division phase (Section III-A2)
+//                          and by the scheduling ablation. Pinned tasks
+//                          are never stolen.
+//
 // waitIdle() blocks until every submitted task has finished — the barrier
 // between classification phases/cycles.
 //
 // Fault containment: a task that throws does NOT terminate the process or
 // kill its worker. The pool captures the *first* exception, keeps running
-// every remaining task (later tasks are never lost), and rethrows the
-// captured exception from the next waitIdle() — so a barrier surfaces the
-// failure to exactly one caller while the pool stays usable afterwards.
+// every remaining task (later tasks are never lost, whether they run on
+// their home worker or a thief), and rethrows the captured exception from
+// the next waitIdle() — so a barrier surfaces the failure to exactly one
+// caller while the pool stays usable afterwards.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "parallel/work_steal_deque.hpp"
+
 namespace owlcl {
+
+enum class PoolBackend : std::uint8_t {
+  kWorkStealing,  // per-worker Chase–Lev deques + stealing (default)
+  kMutex,         // legacy single-mutex shared queue (ablation baseline)
+};
 
 class ThreadPool {
  public:
   using Task = std::function<void()>;
 
-  explicit ThreadPool(std::size_t workerCount);
+  explicit ThreadPool(std::size_t workerCount,
+                      PoolBackend backend = PoolBackend::kWorkStealing);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+  PoolBackend backend() const { return backend_; }
 
-  /// Enqueues on the shared queue.
+  /// Enqueues a stealable task: any worker may execute it. From inside a
+  /// pool task this is a lock-free push onto the submitting worker's own
+  /// deque (the Chase–Lev owner path).
   void submit(Task task);
 
-  /// Enqueues on worker i's private queue (i < size()).
+  /// Enqueues on worker i's pinned queue (i < size()): runs on worker i,
+  /// in FIFO order, and is never stolen.
   void submitTo(std::size_t i, Task task);
 
   /// Blocks until all previously submitted tasks have completed, then
@@ -51,29 +82,71 @@ class ThreadPool {
   /// waitIdle() (clearing it, so the pool remains usable).
   void waitIdle();
 
-  /// Work queued for worker i plus its in-flight task, i.e. how much
-  /// submitTo(i, ...) would wait behind. Tasks on the shared queue are
-  /// not attributed to any worker. Snapshot — exact only while no other
-  /// thread submits or completes work.
+  /// Work attributable to worker i: pinned + locally queued/stealable
+  /// tasks plus its in-flight task. Snapshot — exact only while no other
+  /// thread submits, steals or completes work. (On the mutex backend,
+  /// tasks on the shared queue are not attributed to any worker.)
   std::size_t queueDepth(std::size_t i) const;
 
- private:
-  void workerLoop(std::size_t index);
-  bool tryPop(std::size_t index, Task& out);
+  /// Total number of tasks executed by a worker other than the one they
+  /// were queued on (0 on the mutex backend). Monotonic; racy snapshot.
+  std::uint64_t stealCount() const;
 
-  struct WorkerState {
+ private:
+  struct alignas(64) WorkerState {
+    // --- work-stealing backend ---------------------------------------------
+    WorkStealDeque<Task> deque;      // owner: bottom; thieves: top
+    std::mutex inboxMu;              // guards inbox (externally injected)
+    std::deque<Task*> inbox;
+    std::atomic<std::size_t> inboxSize{0};
+    std::mutex pinnedMu;             // guards pinned (owner-only consumer)
+    std::deque<Task> pinned;
+    std::atomic<std::size_t> pinnedSize{0};
+    std::atomic<std::uint64_t> steals{0};
+    // --- mutex backend ------------------------------------------------------
     std::deque<Task> queue;  // guarded by ThreadPool::mu_
-    bool running = false;    // executing a task (own-queue or shared)
+    // --- shared -------------------------------------------------------------
+    std::atomic<std::size_t> running{0};  // executing a task
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable workCv_;   // task available or stopping
-  std::condition_variable idleCv_;   // pending_ reached zero
-  std::deque<Task> sharedQueue_;
-  std::vector<WorkerState> perWorker_;
-  std::size_t pending_ = 0;  // queued + running tasks
+  // Common task bookkeeping (both backends).
+  void execute(WorkerState& self, Task& task);
+  void finishOne();
+
+  // Work-stealing backend.
+  void workerLoopSteal(std::size_t index);
+  bool runOneSteal(WorkerState& self, std::size_t index);
+  void runHeapTask(WorkerState& self, Task* task);
+  void park(std::uint32_t epochSeen);
+  void signalWork(bool pinned);
+
+  // Mutex backend.
+  void workerLoopMutex(std::size_t index);
+  bool tryPopMutex(std::size_t index, Task& out);
+
+  const PoolBackend backend_;
+
+  // Shared completion / failure state.
+  std::atomic<std::size_t> pending_{0};  // queued + running tasks
+  std::mutex idleMu_;
+  std::condition_variable idleCv_;  // pending_ reached zero
+  std::mutex excMu_;
   std::exception_ptr firstException_;  // first task failure since waitIdle
-  bool stop_ = false;
+  std::atomic<bool> stop_{false};
+
+  // Work-stealing backend: eventcount sleep/wake.
+  std::atomic<std::uint32_t> epoch_{0};   // bumped on every submission
+  std::atomic<std::size_t> sleepers_{0};  // workers parked or parking
+  std::mutex sleepMu_;
+  std::condition_variable sleepCv_;
+  std::atomic<std::size_t> nextInbox_{0};  // round-robin injection cursor
+
+  // Mutex backend.
+  mutable std::mutex mu_;
+  std::condition_variable workCv_;  // task available or stopping
+  std::deque<Task> sharedQueue_;
+
+  std::vector<std::unique_ptr<WorkerState>> perWorker_;
   std::vector<std::thread> workers_;  // last member: joins before state dies
 };
 

@@ -93,6 +93,12 @@ void DynamicBitset::toVector(std::vector<std::uint32_t>& out) const {
     out.push_back(static_cast<std::uint32_t>(i));
 }
 
+void DynamicBitset::assignWords(const Word* src, std::size_t n) {
+  OWLCL_ASSERT(n >= words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] = src[i];
+  trimTail();
+}
+
 void DynamicBitset::trimTail() {
   if (nbits_ % kWordBits != 0 && !words_.empty())
     words_.back() &= ~(~Word{0} << (nbits_ % kWordBits));

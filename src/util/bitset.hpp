@@ -84,6 +84,10 @@ class DynamicBitset {
   const Word* words() const { return words_.data(); }
   std::size_t wordCountUsed() const { return words_.size(); }
 
+  /// Bulk-replace the word storage from `n` raw 64-bit words (bits past
+  /// size() in the last word are trimmed). `n` must cover size() bits.
+  void assignWords(const Word* src, std::size_t n);
+
   static std::size_t wordCount(std::size_t nbits) {
     return (nbits + kWordBits - 1) / kWordBits;
   }

@@ -98,6 +98,157 @@ TEST(AtomicBitMatrix, ConcurrentClaimsAreExclusive) {
   EXPECT_EQ(m.countRow(0), cols);
 }
 
+TEST(AtomicBitMatrix, RowSnapshotCopiesTailWordsExactly) {
+  // 70 columns: the second word is partial — bits past cols() must be
+  // trimmed even though the word-copy path reads whole words.
+  AtomicBitMatrix m(2, 70);
+  m.fillRow(0);
+  const DynamicBitset snap = m.rowSnapshot(0);
+  EXPECT_EQ(snap.size(), 70u);
+  EXPECT_EQ(snap.count(), 70u);
+  for (std::size_t c = 0; c < 70; ++c) EXPECT_TRUE(snap.test(c));
+
+  AtomicBitMatrix s(1, 130);
+  for (std::size_t c : {0u, 63u, 64u, 65u, 127u, 128u, 129u}) s.testAndSet(0, c);
+  const DynamicBitset snap2 = s.rowSnapshot(0);
+  EXPECT_EQ(snap2.count(), 7u);
+  EXPECT_TRUE(snap2.test(129));
+  EXPECT_FALSE(snap2.test(1));
+}
+
+TEST(AtomicBitMatrix, RowIndicesRangeRestrictsToColumns) {
+  AtomicBitMatrix m(1, 300);
+  for (std::size_t c = 0; c < 300; c += 7) m.testAndSet(0, c);
+  const auto all = m.rowIndices(0);
+  const auto lo = m.rowIndicesRange(0, 0, 150);
+  const auto hi = m.rowIndicesRange(0, 150, 300);
+  ASSERT_EQ(lo.size() + hi.size(), all.size());
+  std::vector<std::uint32_t> merged = lo;
+  merged.insert(merged.end(), hi.begin(), hi.end());
+  EXPECT_EQ(merged, all);
+  for (std::uint32_t c : lo) EXPECT_LT(c, 150u);
+  for (std::uint32_t c : hi) EXPECT_GE(c, 150u);
+  // Word-interior boundaries too.
+  const auto mid = m.rowIndicesRange(0, 65, 67);
+  for (std::uint32_t c : mid) {
+    EXPECT_GE(c, 65u);
+    EXPECT_LT(c, 67u);
+  }
+  EXPECT_TRUE(m.rowIndicesRange(0, 100, 100).empty());
+}
+
+TEST(AtomicBitMatrix, ColIndicesFindsExactlyTheRowsWithTheBit) {
+  AtomicBitMatrix m(20, 100, /*counted=*/true);
+  for (std::size_t r = 0; r < 20; r += 3) m.testAndSet(r, 70);
+  m.testAndSet(1, 5);  // row with bits, but not in column 70
+  const auto rows = m.colIndices(70);
+  std::vector<std::uint32_t> expect;
+  for (std::size_t r = 0; r < 20; r += 3)
+    expect.push_back(static_cast<std::uint32_t>(r));
+  EXPECT_EQ(rows, expect);
+  // Clearing a row must make the fast-skip drop it.
+  m.clearRow(0);
+  const auto rows2 = m.colIndices(70);
+  EXPECT_EQ(rows2.size(), expect.size() - 1);
+}
+
+// --- O(1) counter maintenance ------------------------------------------------
+
+TEST(AtomicBitMatrix, CountedModeTracksSingleThreadedMutations) {
+  AtomicBitMatrix m(4, 130, /*counted=*/true);
+  EXPECT_TRUE(m.counted());
+  EXPECT_EQ(m.countAll(), 0u);
+  m.testAndSet(0, 5);
+  m.testAndSet(0, 5);  // lost claim: no double count
+  m.testAndSet(0, 129);
+  EXPECT_EQ(m.countRow(0), 2u);
+  EXPECT_EQ(m.recountRow(0), 2u);
+  m.testAndClear(0, 5);
+  m.testAndClear(0, 5);  // already clear: no double decrement
+  EXPECT_EQ(m.countRow(0), 1u);
+  m.fillRow(1);
+  EXPECT_EQ(m.countRow(1), 130u);
+  m.fillRow(1, /*skip=*/7);  // refill over existing bits: delta, not sum
+  EXPECT_EQ(m.countRow(1), 129u);
+  m.clearRow(1);
+  EXPECT_EQ(m.countRow(1), 0u);
+  EXPECT_TRUE(m.rowEmpty(1));
+  EXPECT_FALSE(m.rowEmpty(0));
+  EXPECT_EQ(m.countAll(), m.recountAll());
+  m.reset(4, 130, /*counted=*/true);
+  EXPECT_EQ(m.countAll(), 0u);
+}
+
+// The acceptance property: after a randomized concurrent set/clear storm
+// quiesces, the maintained counters equal a full recount — per row and
+// globally.
+TEST(AtomicBitMatrix, CountersMatchRecountAfterConcurrentStorm) {
+  const std::size_t rows = 70;  // spans several global shards (64)
+  const std::size_t cols = 257;
+  AtomicBitMatrix m(rows, cols, /*counted=*/true);
+  const int T = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(T);
+  for (int t = 0; t < T; ++t) {
+    threads.emplace_back([&m, t, rows, cols] {
+      // Deterministic per-thread LCG; threads deliberately collide on the
+      // same (row, col) pairs so set/clear race on shared words.
+      std::uint64_t s = 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(t + 1);
+      for (int i = 0; i < 20000; ++i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        const std::size_t r = (s >> 33) % rows;
+        const std::size_t c = (s >> 13) % cols;
+        if ((s >> 7) & 1)
+          m.testAndSet(r, c);
+        else
+          m.testAndClear(r, c);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(m.countRow(r), m.recountRow(r)) << "row " << r;
+    total += m.recountRow(r);
+  }
+  EXPECT_EQ(m.countAll(), total);
+  EXPECT_EQ(m.countAll(), m.recountAll());
+}
+
+// Storm variant with bulk row ops mixed in: fillRow/clearRow maintain the
+// counters by exchange-delta and must agree with a recount too. Each
+// thread owns a disjoint row stripe (bulk ops are row-owner operations in
+// the classifier), while single-bit ops still collide within the stripe.
+TEST(AtomicBitMatrix, CountersMatchRecountAfterBulkOpStorm) {
+  const std::size_t rows = 64;
+  const std::size_t cols = 100;
+  AtomicBitMatrix m(rows, cols, /*counted=*/true);
+  const std::size_t T = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    threads.emplace_back([&m, t, rows, cols, T] {
+      std::uint64_t s = 0xD1B54A32D192ED03ull * (t + 1);
+      for (int i = 0; i < 5000; ++i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        const std::size_t r = (rows / T) * t + ((s >> 33) % (rows / T));
+        const std::size_t c = (s >> 13) % cols;
+        switch ((s >> 7) & 3) {
+          case 0: m.testAndSet(r, c); break;
+          case 1: m.testAndClear(r, c); break;
+          case 2: m.fillRow(r, c); break;
+          default: m.clearRow(r); break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t r = 0; r < rows; ++r)
+    EXPECT_EQ(m.countRow(r), m.recountRow(r)) << "row " << r;
+  EXPECT_EQ(m.countAll(), m.recountAll());
+}
+
 // Concurrency: concurrent set/clear of disjoint bits in the same word do
 // not clobber each other.
 TEST(AtomicBitMatrix, ConcurrentMixedOpsOnSharedWords) {

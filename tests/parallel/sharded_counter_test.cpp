@@ -1,0 +1,36 @@
+#include "parallel/sharded_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace owlcl {
+namespace {
+
+TEST(ShardedCounter, StartsAtZeroAndAdds) {
+  ShardedCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ShardedCounter, ExactAfterConcurrentAdds) {
+  ShardedCounter c;
+  const int threads = 8;
+  const std::uint64_t perThread = 10000;
+  std::vector<std::thread> ts;
+  ts.reserve(threads);
+  for (int t = 0; t < threads; ++t)
+    ts.emplace_back([&c, perThread] {
+      for (std::uint64_t i = 0; i < perThread; ++i) c.add();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(threads) * perThread);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -5,7 +5,10 @@
 #include <atomic>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "parallel/cancellation.hpp"
 
 namespace owlcl {
 namespace {
@@ -155,6 +158,139 @@ TEST(ThreadPool, QueueDepthCountsQueuedAndRunning) {
   release.set_value();
   pool.waitIdle();
   EXPECT_EQ(pool.queueDepth(0), 0u);
+}
+
+// --- work stealing -----------------------------------------------------------
+
+// One producer, w−1 thieves: worker 0 pushes a storm of stealable tasks
+// onto its own deque (the lock-free owner path) and then stays busy until
+// every one of them has run. Worker 0 never returns to its scheduling
+// loop, so each task can only run via a steal.
+TEST(ThreadPool, StealsDrainABlockedProducersDeque) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.backend(), PoolBackend::kWorkStealing);
+  const int n = 500;
+  std::atomic<int> count{0};
+  pool.submitTo(0, [&pool, &count] {
+    for (int i = 0; i < n; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    while (count.load(std::memory_order_acquire) < n) std::this_thread::yield();
+  });
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(pool.stealCount(), static_cast<std::uint64_t>(n));
+}
+
+TEST(ThreadPool, ExceptionInStolenTaskIsContained) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  const int n = 100;
+  // Same producer-pinning trick: every submitted task (including the
+  // throwing ones) is executed by a thief.
+  pool.submitTo(0, [&pool, &count] {
+    for (int i = 0; i < n; ++i) {
+      if (i == 10)
+        pool.submit([&count] {
+          count.fetch_add(1, std::memory_order_relaxed);
+          throw std::runtime_error("stolen task blew up");
+        });
+      else
+        pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    while (count.load(std::memory_order_acquire) < n) std::this_thread::yield();
+  });
+  EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+  // No task was lost to the failure, and the thieves all survived.
+  EXPECT_EQ(count.load(), n);
+  EXPECT_GE(pool.stealCount(), static_cast<std::uint64_t>(n));
+  pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), n + 1);
+}
+
+// Cooperative cancellation mid-storm: tasks poll the token and fast-fail.
+// Stolen or not, every task still *runs* (waitIdle drains the pool), but
+// the ones after the cancel skip their work.
+TEST(ThreadPool, CancellationFastFailsStolenTasks) {
+  ThreadPool pool(4);
+  CancellationToken cancel;
+  std::atomic<int> executed{0};
+  std::atomic<int> worked{0};
+  const int n = 400;
+  pool.submitTo(0, [&] {
+    for (int i = 0; i < n; ++i)
+      pool.submit([&] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (cancel.cancelled()) return;  // fast-fail: no work after cancel
+        if (worked.fetch_add(1, std::memory_order_relaxed) + 1 == 50)
+          cancel.cancel();
+      });
+    while (executed.load(std::memory_order_acquire) < n)
+      std::this_thread::yield();
+  });
+  pool.waitIdle();
+  EXPECT_EQ(executed.load(), n);       // nothing abandoned...
+  EXPECT_LT(worked.load(), n);         // ...but the tail did no work
+  EXPECT_GE(worked.load(), 50);
+  EXPECT_TRUE(cancel.cancelled());
+}
+
+TEST(ThreadPool, ExternalSubmitsSpreadAndComplete) {
+  // submit() from outside the pool takes the inbox path; make sure a storm
+  // of external submissions lands, spreads, and drains.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 2000; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), 2000);
+}
+
+// --- legacy mutex backend ----------------------------------------------------
+// bench_scaling compares the two backends, so the mutex pool must keep
+// honouring the full contract.
+
+TEST(ThreadPoolMutexBackend, RunsAllSubmittedTasks) {
+  ThreadPool pool(4, PoolBackend::kMutex);
+  ASSERT_EQ(pool.backend(), PoolBackend::kMutex);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_EQ(pool.stealCount(), 0u);  // the mutex pool never steals
+}
+
+TEST(ThreadPoolMutexBackend, SubmitToIsFifo) {
+  ThreadPool pool(3, PoolBackend::kMutex);
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i)
+    pool.submitTo(1, [&order, i] { order.push_back(i); });
+  pool.waitIdle();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolMutexBackend, ExceptionContainment) {
+  ThreadPool pool(2, PoolBackend::kMutex);
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+  EXPECT_EQ(count.load(), 10);
+  pool.waitIdle();  // exception cleared
+}
+
+TEST(ThreadPoolMutexBackend, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(2, PoolBackend::kMutex);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.waitIdle();
+  EXPECT_EQ(count.load(), 10);
 }
 
 }  // namespace

@@ -11,7 +11,8 @@
 //   --no-pruning         disable Algorithm 5 pruning
 //   --ordered            ordered (non-symmetric) pair tests
 //   --seed-told          seed K with told atomic subsumptions
-//   --scheduling=rr|ll|sq  group dispatch discipline (default rr)
+//   --scheduling=steal|rr|ll|sq  group dispatch discipline (default steal:
+//                        unpinned tasks balanced by work-stealing)
 //   --backend=tableau|el   reasoner plug-in (el requires an EL ontology)
 //   --output=tree|dot|none taxonomy rendering (default tree)
 //   --verify             run structural verification on the result
@@ -93,7 +94,7 @@ struct Options {
   bool symmetric = true;
   bool seedTold = false;
   bool verify = false;
-  SchedulingPolicy scheduling = SchedulingPolicy::kRoundRobin;
+  SchedulingPolicy scheduling = SchedulingPolicy::kSteal;
   std::string backend = "tableau";
   std::string output = "tree";
   std::size_t maxWorkers = 64;
@@ -168,9 +169,18 @@ Options parseOptions(int argc, char** argv, int first) {
       o.verify = true;
     } else if (const char* v3 = value("--scheduling=")) {
       const std::string s = v3;
-      o.scheduling = s == "ll"   ? SchedulingPolicy::kLeastLoaded
-                     : s == "sq" ? SchedulingPolicy::kSharedQueue
-                                 : SchedulingPolicy::kRoundRobin;
+      if (s == "ll")
+        o.scheduling = SchedulingPolicy::kLeastLoaded;
+      else if (s == "sq")
+        o.scheduling = SchedulingPolicy::kSharedQueue;
+      else if (s == "rr")
+        o.scheduling = SchedulingPolicy::kRoundRobin;
+      else if (s == "steal")
+        o.scheduling = SchedulingPolicy::kSteal;
+      else {
+        std::fprintf(stderr, "unknown scheduling: %s\n", s.c_str());
+        usage();
+      }
     } else if (const char* v4 = value("--backend=")) {
       o.backend = v4;
     } else if (const char* v5 = value("--output=")) {
