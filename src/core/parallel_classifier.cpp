@@ -16,6 +16,25 @@ ParallelClassifier::ParallelClassifier(const TBox& tbox, ReasonerPlugin& plugin,
   OWLCL_ASSERT_MSG(tbox.frozen(), "freeze the TBox before classification");
 }
 
+void ParallelClassifier::settle(SettledKind kind, ConceptId x, ConceptId y) {
+  if (config_.checkpoint != nullptr)
+    config_.checkpoint->recordSettled(kind, x, y,
+                                      epoch_.load(std::memory_order_relaxed));
+}
+
+void ParallelClassifier::notifyBarrier(std::uint64_t completedCycles,
+                                       std::uint64_t completedRounds) {
+  if (config_.checkpoint == nullptr) return;
+  const ClassifierProgress progress{completedCycles, completedRounds,
+                                    epoch_.load(std::memory_order_relaxed)};
+  config_.checkpoint->epochBarrier(progress, [this, progress] {
+    ClassifierCheckpoint c;
+    c.progress = progress;
+    c.store = store_.captureImage();
+    return c;
+  });
+}
+
 ParallelClassifier::SatResult ParallelClassifier::ensureSat(
     ConceptId c, std::uint64_t& cost) {
   const SatStatus st = store_.satStatus(c);
@@ -50,6 +69,7 @@ ParallelClassifier::SatResult ParallelClassifier::ensureSat(
   }
   store_.setSatStatus(c, v.value());
   if (!v.value()) store_.eraseUnsatConcept(c);
+  settle(v.value() ? SettledKind::kSatTrue : SettledKind::kSatFalse, c, c);
   return v.value() ? SatResult::kSat : SatResult::kUnsat;
 }
 
@@ -65,10 +85,13 @@ TestOutcome ParallelClassifier::runClaimedSubsTest(ConceptId x, ConceptId y,
     noteSubsFailure(x, y);
     return TestOutcome::kFailed;
   }
-  if (v.value())
+  if (v.value()) {
     store_.recordSubsumption(x, y);
-  else
+    settle(SettledKind::kSubsumption, x, y);
+  } else {
     store_.recordNonSubsumption(x, y);
+    settle(SettledKind::kNonSubsumption, x, y);
+  }
   return v.outcome;
 }
 
@@ -80,7 +103,7 @@ void ParallelClassifier::noteSubsFailure(ConceptId x, ConceptId y) {
   if (attempts > config_.maxRetries) {
     // Retries exhausted: withdraw the pair (we still hold its claim) so
     // classification terminates; the verdict stays unknown.
-    store_.markUnresolved(x, y);
+    if (store_.markUnresolved(x, y)) settle(SettledKind::kUnresolvedPair, x, y);
   } else {
     store_.releaseClaim(x, y);  // pair stays possible → requeued later
   }
@@ -103,12 +126,15 @@ void ParallelClassifier::giveUpOnConcept(ConceptId c) {
   // edges are ever asserted; if c were actually unsatisfiable, every
   // subsumption involving it is entailed anyway) and withdraw every
   // pending pair involving c so the run terminates.
-  store_.markConceptUnresolved(c);
-  for (ConceptId y : store_.possibleRow(c)) store_.markUnresolved(c, y);
+  if (store_.markConceptUnresolved(c))
+    settle(SettledKind::kUnresolvedConcept, c, c);
+  for (ConceptId y : store_.possibleRow(c))
+    if (store_.markUnresolved(c, y)) settle(SettledKind::kUnresolvedPair, c, y);
   // Column pass over row words (skipping rows whose O(1) possible-count is
   // already zero) instead of n individual possible(x, c) probes.
   for (ConceptId x : store_.possibleColumn(c))
-    if (x != c) store_.markUnresolved(x, c);
+    if (x != c && store_.markUnresolved(x, c))
+      settle(SettledKind::kUnresolvedPair, x, c);
 }
 
 void ParallelClassifier::drainPossibleToUnresolved() {
@@ -116,10 +142,12 @@ void ParallelClassifier::drainPossibleToUnresolved() {
   // be tested. Runs between barriers — no worker holds claims here.
   const std::size_t n = store_.conceptCount();
   for (ConceptId x = 0; x < n; ++x)
-    for (ConceptId y : store_.possibleRow(x)) store_.markUnresolved(x, y);
+    for (ConceptId y : store_.possibleRow(x))
+      if (store_.markUnresolved(x, y)) settle(SettledKind::kUnresolvedPair, x, y);
   for (ConceptId c = 0; c < n; ++c)
-    if (store_.satStatus(c) == SatStatus::kUnknown)
-      store_.markConceptUnresolved(c);
+    if (store_.satStatus(c) == SatStatus::kUnknown &&
+        store_.markConceptUnresolved(c))
+      settle(SettledKind::kUnresolvedConcept, c, c);
 }
 
 void ParallelClassifier::pruneAfterStrict(ConceptId super, ConceptId sub) {
@@ -142,6 +170,7 @@ void ParallelClassifier::pruneAfterStrict(ConceptId super, ConceptId sub) {
     if (!store_.known(y, sub)) {
       const bool clearedForward = store_.claimTest(super, y);
       store_.pruneIndirect(super, y);
+      settle(SettledKind::kPruneIndirect, super, y);
       if (clearedForward) pruned_.add();
     }
     // 2.3.2: super ⊑ y would force super ≡ sub ≡ y, contradicting
@@ -149,6 +178,7 @@ void ParallelClassifier::pruneAfterStrict(ConceptId super, ConceptId sub) {
     // (Sound even when y ≡ sub.)
     const bool clearedBackward = store_.claimTest(y, super);
     store_.recordNonSubsumption(y, super);
+    settle(SettledKind::kNonSubsumption, y, super);
     if (clearedBackward) pruned_.add();
   }
 }
@@ -221,7 +251,10 @@ void ParallelClassifier::seedTold() {
     const ConceptId sub = f.node(ax.lhs).atom;
     const ConceptId sup = f.node(ax.rhs).atom;
     if (sub == sup) continue;
-    if (store_.claimTest(sup, sub)) store_.recordSubsumption(sup, sub);
+    if (store_.claimTest(sup, sub)) {
+      store_.recordSubsumption(sup, sub);
+      settle(SettledKind::kSubsumption, sup, sub);
+    }
   }
 }
 
@@ -505,12 +538,41 @@ void ParallelClassifier::buildHierarchy(Executor& exec,
 }
 
 ClassificationResult ParallelClassifier::classify(Executor& exec) {
+  return run(exec, nullptr);
+}
+
+ClassificationResult ParallelClassifier::resumeClassify(
+    Executor& exec, const ClassifierCheckpoint& from) {
+  return run(exec, &from);
+}
+
+ClassificationResult ParallelClassifier::run(Executor& exec,
+                                             const ClassifierCheckpoint* from) {
   ClassificationResult result;
   const std::size_t n = store_.conceptCount();
   result.initialPossible = n * (n - 1);
 
-  store_.initPossibleAll();
-  if (config_.toldSeeding) seedTold();
+  std::size_t startCycle = 0;
+  std::size_t round = 0;
+  if (from == nullptr) {
+    store_.initPossibleAll();
+    if (config_.toldSeeding) seedTold();
+    // Genesis barrier: with checkpointing enabled the initialized state is
+    // snapshotted before any work runs, so recovery always has a snapshot
+    // to anchor on — even a crash in the first cycle replays the journal
+    // on top of this epoch-0 image.
+    notifyBarrier(0, 0);
+  } else {
+    store_.restoreImage(from->store);
+    epoch_.store(from->progress.epoch, std::memory_order_relaxed);
+    startCycle = std::min<std::size_t>(from->progress.completedCycles,
+                                       config_.randomCycles);
+    round = from->progress.completedRounds;
+    // Re-anchor: the recovered state (snapshot + replayed journal tail)
+    // becomes the newest snapshot, and the journal is already truncated to
+    // its last valid record — post-resume appends extend a clean prefix.
+    notifyBarrier(startCycle, round);
+  }
   if (config_.watchdogBudgetNs != 0) exec.armWatchdog(config_.watchdogBudgetNs);
   const CancellationToken& cancel = exec.cancellation();
 
@@ -521,14 +583,18 @@ ClassificationResult ParallelClassifier::classify(Executor& exec) {
   const std::size_t faultSlack =
       4 * (config_.maxRetries + 1) * (config_.backoffCapRounds + 1) + 4;
 
-  // Phase 1: random division cycles.
+  // Phase 1: random division cycles. On resume the completed cycles are
+  // skipped but their shuffles are replayed, so the RNG cursor — and with
+  // it every later shuffle — matches the uninterrupted run exactly.
   std::vector<ConceptId> order(n);
   for (ConceptId c = 0; c < n; ++c) order[c] = c;
   Xoshiro256 rng(config_.seed);
   for (std::size_t cycle = 0; cycle < config_.randomCycles; ++cycle) {
     shuffle(order, rng);
+    if (cycle < startCycle) continue;  // already covered by the checkpoint
     runRandomCycle(exec, cycle, order, result);
     epoch_.fetch_add(1, std::memory_order_relaxed);  // backoff round clock
+    notifyBarrier(cycle + 1, round);
   }
 
   // Phase 2: group division until R_O = ∅. One round resolves every
@@ -536,12 +602,12 @@ ClassificationResult ParallelClassifier::classify(Executor& exec) {
   // against claim races leaving stragglers, and keeps spinning while
   // failed tests back off — every key either eventually succeeds or
   // exhausts its retries and is withdrawn, so the loop terminates.
-  std::size_t round = 0;
   while (store_.remainingPossible() > 0 && !cancel.cancelled()) {
     runGroupRound(exec, round, result);
     epoch_.fetch_add(1, std::memory_order_relaxed);
     OWLCL_ASSERT_MSG(++round <= n + 1 + faultSlack,
                      "group division failed to converge");
+    notifyBarrier(config_.randomCycles, round);
   }
 
   // Satisfiability completion: unsat-erasure and Algorithm 5 pruning can
@@ -569,6 +635,7 @@ ClassificationResult ParallelClassifier::classify(Executor& exec) {
     epoch_.fetch_add(1, std::memory_order_relaxed);
     OWLCL_ASSERT_MSG(++satPass <= faultSlack,
                      "sat completion failed to converge");
+    notifyBarrier(config_.randomCycles, ++round);
   }
 
   // Graceful degradation: a fired watchdog (or external cancel) leaves

@@ -37,6 +37,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint_hook.hpp"
 #include "core/executor.hpp"
 #include "core/pk_store.hpp"
 #include "core/plugin.hpp"
@@ -82,6 +83,12 @@ struct ClassifierConfig {
   /// virtual for VirtualExecutor); 0 = no watchdog. When it fires, the
   /// run degrades: remaining pairs become unresolved.
   std::uint64_t watchdogBudgetNs = 0;
+
+  // --- crash safety ----------------------------------------------------------
+  /// Optional checkpoint sink (robust/checkpoint.hpp): settled verdicts
+  /// are journaled as they happen and the full state is offered for a
+  /// snapshot at every epoch barrier. Must outlive the classifier run.
+  CheckpointHook* checkpoint = nullptr;
 };
 
 struct CycleStats {
@@ -140,7 +147,23 @@ class ParallelClassifier {
   /// Runs the full three-phase classification on `exec`.
   ClassificationResult classify(Executor& exec);
 
+  /// Resumes a run from recovered checkpoint state (robust/checkpoint.hpp
+  /// recover()): restores the PkStore image, advances the shuffle RNG past
+  /// the completed random cycles (same seed ⇒ identical cursors), and
+  /// continues from the recorded phase position. Work already settled is
+  /// never re-tested (the tested matrix carries the claims); everything
+  /// else proceeds exactly as an uninterrupted run would, so the final
+  /// taxonomy is identical to one computed without the crash.
+  ClassificationResult resumeClassify(Executor& exec,
+                                      const ClassifierCheckpoint& from);
+
  private:
+  ClassificationResult run(Executor& exec, const ClassifierCheckpoint* from);
+
+  // Checkpoint plumbing (no-ops when config_.checkpoint is null).
+  void settle(SettledKind kind, ConceptId x, ConceptId y);
+  void notifyBarrier(std::uint64_t completedCycles,
+                     std::uint64_t completedRounds);
   // Pair/test primitives shared by both division phases.
   enum class SatResult : std::uint8_t { kSat, kUnsat, kDeferred };
   SatResult ensureSat(ConceptId c, std::uint64_t& cost);

@@ -72,21 +72,23 @@ std::size_t PkStore::failureAttempts(ConceptId x, ConceptId y) const {
   return it == retries_.end() ? 0 : it->second.attempts;
 }
 
-void PkStore::markUnresolved(ConceptId x, ConceptId y) {
+bool PkStore::markUnresolved(ConceptId x, ConceptId y) {
   // Claim the test so nobody retries it; the claim may already be held
   // (by this worker's failed attempt) — that is fine. The P bit decides
   // exactly-once recording: only the call that withdraws the pair logs it.
   tested_.testAndSet(x, y);
-  if (!p_.testAndClear(x, y)) return;
+  if (!p_.testAndClear(x, y)) return false;
   std::lock_guard<std::mutex> lock(ledgerMu_);
   unresolvedPairs_.emplace_back(x, y);
+  return true;
 }
 
-void PkStore::markConceptUnresolved(ConceptId c) {
+bool PkStore::markConceptUnresolved(ConceptId c) {
   std::lock_guard<std::mutex> lock(ledgerMu_);
-  if (conceptUnresolvedFlag_[c]) return;
+  if (conceptUnresolvedFlag_[c]) return false;
   conceptUnresolvedFlag_[c] = true;
   unresolvedConcepts_.push_back(c);
+  return true;
 }
 
 std::vector<std::pair<ConceptId, ConceptId>> PkStore::unresolvedPairs() const {
@@ -102,6 +104,55 @@ std::vector<ConceptId> PkStore::unresolvedConcepts() const {
 bool PkStore::conceptUnresolved(ConceptId c) const {
   std::lock_guard<std::mutex> lock(ledgerMu_);
   return conceptUnresolvedFlag_[c];
+}
+
+PkStoreImage PkStore::captureImage() const {
+  PkStoreImage img;
+  img.conceptCount = n_;
+  img.pWords = p_.snapshotWords();
+  img.kWords = k_.snapshotWords();
+  img.testedWords = tested_.snapshotWords();
+  img.sat.resize(n_);
+  for (std::size_t c = 0; c < n_; ++c)
+    img.sat[c] = sat_[c].load(std::memory_order_acquire);
+  img.totalFailures = totalFailures_.load(std::memory_order_relaxed);
+  img.possibleCount = p_.recountAll();  // ground truth, not the counters
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  img.retries.reserve(retries_.size());
+  for (const auto& [key, entry] : retries_)
+    img.retries.push_back({key, entry.attempts, entry.retryAtRound});
+  // Deterministic snapshot bytes: the ledger map iterates in hash order.
+  std::sort(img.retries.begin(), img.retries.end(),
+            [](const RetryImageEntry& a, const RetryImageEntry& b) {
+              return a.key < b.key;
+            });
+  img.unresolvedPairs = unresolvedPairs_;
+  img.unresolvedConcepts = unresolvedConcepts_;
+  return img;
+}
+
+void PkStore::restoreImage(const PkStoreImage& img) {
+  OWLCL_ASSERT_MSG(img.conceptCount == n_,
+                   "checkpoint concept count does not match this ontology");
+  p_.loadWords(img.pWords);
+  k_.loadWords(img.kWords);
+  tested_.loadWords(img.testedWords);
+  OWLCL_ASSERT_MSG(img.sat.size() == n_, "checkpoint sat vector size mismatch");
+  for (std::size_t c = 0; c < n_; ++c)
+    sat_[c].store(img.sat[c], std::memory_order_relaxed);
+  totalFailures_.store(img.totalFailures, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  retries_.clear();
+  for (const RetryImageEntry& e : img.retries)
+    retries_[e.key] = RetryEntry{e.attempts, e.retryAtRound};
+  unresolvedPairs_ = img.unresolvedPairs;
+  unresolvedConcepts_ = img.unresolvedConcepts;
+  conceptUnresolvedFlag_.assign(n_, false);
+  for (ConceptId c : unresolvedConcepts_)
+    if (c < n_) conceptUnresolvedFlag_[c] = true;
+  for (std::size_t c = 0; c < n_; ++c)
+    satClaim_[c].store(conceptUnresolvedFlag_[c] ? 1 : 0,
+                       std::memory_order_relaxed);
 }
 
 }  // namespace owlcl

@@ -34,6 +34,33 @@ namespace owlcl {
 
 enum class SatStatus : std::uint8_t { kUnknown = 0, kSat = 1, kUnsat = 2 };
 
+/// One retry-ledger entry in serialized form (key = ⟨X,Y⟩ packed as
+/// (X << 32) | Y; sat?() failures use the diagonal key ⟨C,C⟩).
+struct RetryImageEntry {
+  std::uint64_t key = 0;
+  std::uint32_t attempts = 0;
+  std::uint64_t retryAtRound = 0;
+};
+
+/// Value-type snapshot of the full PkStore state, taken and restored only
+/// at quiescent points (executor barriers). This is what checkpoint
+/// snapshots serialize; all fields are plain data so the robust layer can
+/// also apply journal records to an image before restoring it.
+struct PkStoreImage {
+  std::uint64_t conceptCount = 0;
+  std::vector<std::uint64_t> pWords;       // P matrix, row-major
+  std::vector<std::uint64_t> kWords;       // K matrix
+  std::vector<std::uint64_t> testedWords;  // tested/claim matrix
+  std::vector<std::uint8_t> sat;           // SatStatus per concept
+  std::vector<RetryImageEntry> retries;
+  std::vector<std::pair<ConceptId, ConceptId>> unresolvedPairs;
+  std::vector<ConceptId> unresolvedConcepts;
+  std::uint64_t totalFailures = 0;
+  /// Σ|P_X| at capture time, from a ground-truth recount — recovery
+  /// cross-checks the restored counters against this.
+  std::uint64_t possibleCount = 0;
+};
+
 class PkStore {
  public:
   explicit PkStore(std::size_t conceptCount);
@@ -152,16 +179,36 @@ class PkStore {
   /// Gives up on test ⟨X,Y⟩: claims it (idempotent), withdraws it from
   /// P_X, and — iff this call performed the withdrawal — records it in the
   /// unresolved set. Safe to call for already-resolved pairs (no-op).
-  void markUnresolved(ConceptId x, ConceptId y);
+  /// Returns true iff this call performed the withdrawal.
+  bool markUnresolved(ConceptId x, ConceptId y);
 
   /// Gives up on sat?(C) (concept-level degradation; the caller also
-  /// withdraws every pending pair involving C). Idempotent.
-  void markConceptUnresolved(ConceptId c);
+  /// withdraws every pending pair involving C). Idempotent; returns true
+  /// iff this call recorded the concept.
+  bool markConceptUnresolved(ConceptId c);
 
   /// Snapshot of the unresolved sets (unordered; callers sort for reports).
   std::vector<std::pair<ConceptId, ConceptId>> unresolvedPairs() const;
   std::vector<ConceptId> unresolvedConcepts() const;
   bool conceptUnresolved(ConceptId c) const;
+
+  // --- checkpointing ---------------------------------------------------------
+  // Quiescent-only (no concurrent mutators): the classifier calls these
+  // between executor barriers, recovery calls them before workers start.
+
+  /// Full state image: matrices, sat statuses, retry ledger, unresolved
+  /// sets, plus a ground-truth |R_O| recount for integrity checks.
+  PkStoreImage captureImage() const;
+
+  /// Replaces the entire store state with `img` (conceptCount must match)
+  /// and rebuilds the O(1) counters by recounting. Sat claims are reset:
+  /// released for undecided concepts (a resumed run may retry them) and
+  /// held for concepts that were given up on (nobody retries those).
+  void restoreImage(const PkStoreImage& img);
+
+  /// True iff the maintained P counters agree with a full recount —
+  /// recovery refuses a snapshot whose restored counters do not verify.
+  bool countersConsistent() const { return p_.countersMatchRecount(); }
 
  private:
   struct RetryEntry {

@@ -65,10 +65,15 @@ class OboParser {
       const std::size_t colon = line.find(':');
       if (colon == std::string_view::npos)
         throw ParseError("expected 'tag: value'", lineNo, 1);
-      stanza.push_back(TagLine{trim(line.substr(0, colon)),
-                               stripBang(line.substr(colon + 1)), lineNo});
+      const std::string_view tag = trim(line.substr(0, colon));
+      if (tag.empty()) throw ParseError("empty tag before ':'", lineNo, 1);
+      stanza.push_back(TagLine{tag, stripBang(line.substr(colon + 1)), lineNo});
     }
     flush();
+    if (stanzas_ == 0 && !trim(text_).empty())
+      throw ParseError(
+          "no [Term] or [Typedef] stanza found (truncated or not OBO?)",
+          lineNo == 0 ? 1 : lineNo, 1);
   }
 
  private:
@@ -81,7 +86,18 @@ class OboParser {
 
   static bool isTrue(std::string_view v) { return v == "true"; }
 
+  /// Tags that reference another entity must carry one: "is_a:" with an
+  /// empty (or comment-only) value is a truncated line, not a reference to
+  /// a concept named "" — reject it with the offending line number.
+  static std::string_view requireValue(const TagLine& t) {
+    if (t.value.empty())
+      throw ParseError("'" + std::string(t.tag) + "' requires a value",
+                       t.lineNo, 1);
+    return t.value;
+  }
+
   void handleTerm(const std::vector<TagLine>& stanza, std::size_t lineNo) {
+    ++stanzas_;
     const std::string_view id = findTag(stanza, "id");
     if (id.empty()) throw ParseError("[Term] without id", lineNo, 1);
     if (isTrue(findTag(stanza, "is_obsolete"))) return;
@@ -92,25 +108,27 @@ class OboParser {
 
     for (const TagLine& t : stanza) {
       if (t.tag == "is_a") {
-        tbox_.addSubClassOf(f.atom(self), f.atom(tbox_.declareConcept(t.value)));
+        tbox_.addSubClassOf(f.atom(self),
+                            f.atom(tbox_.declareConcept(requireValue(t))));
       } else if (t.tag == "relationship") {
         const auto [role, filler] = splitRelationship(t);
         tbox_.addSubClassOf(f.atom(self), f.exists(role, f.atom(filler)));
       } else if (t.tag == "intersection_of") {
         // Either a bare class id or "R X".
-        const std::size_t space = t.value.find(' ');
+        const std::string_view v = requireValue(t);
+        const std::size_t space = v.find(' ');
         if (space == std::string_view::npos) {
-          intersection.push_back(f.atom(tbox_.declareConcept(t.value)));
+          intersection.push_back(f.atom(tbox_.declareConcept(v)));
         } else {
           const auto [role, filler] = splitRelationship(t);
           intersection.push_back(f.exists(role, f.atom(filler)));
         }
       } else if (t.tag == "disjoint_from") {
         tbox_.addDisjointClasses(
-            {f.atom(self), f.atom(tbox_.declareConcept(t.value))});
+            {f.atom(self), f.atom(tbox_.declareConcept(requireValue(t)))});
       } else if (t.tag == "equivalent_to") {
         tbox_.addEquivalentClasses(
-            {f.atom(self), f.atom(tbox_.declareConcept(t.value))});
+            {f.atom(self), f.atom(tbox_.declareConcept(requireValue(t)))});
       } else if (t.tag == "name" || t.tag == "def" || t.tag == "comment") {
         tbox_.addAnnotation(self, std::string(t.value));
       }
@@ -126,12 +144,13 @@ class OboParser {
   }
 
   void handleTypedef(const std::vector<TagLine>& stanza, std::size_t lineNo) {
+    ++stanzas_;
     const std::string_view id = findTag(stanza, "id");
     if (id.empty()) throw ParseError("[Typedef] without id", lineNo, 1);
     const RoleId self = tbox_.declareRole(id);
     for (const TagLine& t : stanza) {
       if (t.tag == "is_a")
-        tbox_.addSubObjectPropertyOf(self, tbox_.declareRole(t.value));
+        tbox_.addSubObjectPropertyOf(self, tbox_.declareRole(requireValue(t)));
       else if (t.tag == "is_transitive" && isTrue(t.value))
         tbox_.addTransitiveObjectProperty(self);
     }
@@ -150,6 +169,7 @@ class OboParser {
 
   std::string_view text_;
   TBox& tbox_;
+  std::size_t stanzas_ = 0;  // [Term] + [Typedef] stanzas handled
 };
 
 }  // namespace
@@ -164,6 +184,8 @@ void parseOboFile(const std::string& path, TBox& tbox) {
   if (!in) throw std::runtime_error("cannot open OBO file: " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
+  if (in.bad())
+    throw std::runtime_error("I/O error reading OBO file: " + path);
   const std::string text = ss.str();
   parseObo(text, tbox);
 }

@@ -41,8 +41,11 @@
 #include "core/sequential.hpp"
 
 // Fault tolerance (guarded plug-in calls, deterministic fault injection)
+// and crash consistency (write-ahead journal + snapshots + resume)
 #include "robust/guarded_plugin.hpp"
 #include "robust/fault_injector.hpp"
+#include "robust/journal.hpp"
+#include "robust/checkpoint.hpp"
 #include "taxonomy/diff.hpp"
 #include "taxonomy/taxonomy.hpp"
 #include "taxonomy/verify.hpp"

@@ -212,6 +212,58 @@ class AtomicBitMatrix {
     return out;
   }
 
+  // --- serialization (checkpointing) ----------------------------------------
+  // Quiescent-only: callers must guarantee no concurrent mutators (the
+  // classifier uses these between executor barriers / before a run).
+
+  /// All matrix words, row-major. The raw material of a snapshot file.
+  std::vector<Word> snapshotWords() const {
+    std::vector<Word> out(words_.size());
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      out[i] = words_[i].load(std::memory_order_acquire);
+    return out;
+  }
+
+  /// Replaces the matrix content with previously snapshotted words and
+  /// rebuilds the counted-mode bookkeeping by recounting (the restored
+  /// counters are exact by construction). Tail bits beyond `cols` are
+  /// masked off defensively — a corrupt snapshot must not inflate counts.
+  void loadWords(const std::vector<Word>& in) {
+    OWLCL_ASSERT_MSG(in.size() == words_.size(),
+                     "word-count mismatch restoring AtomicBitMatrix");
+    const std::size_t tailBits = cols_ % kWordBits;
+    const Word tailMask =
+        tailBits == 0 ? ~Word{0} : (~Word{0} >> (kWordBits - tailBits));
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+        Word v = in[r * wordsPerRow_ + w];
+        if (w + 1 == wordsPerRow_) v &= tailMask;
+        words_[r * wordsPerRow_ + w].store(v, std::memory_order_relaxed);
+      }
+    if (counted_) {
+      for (auto& s : globalShards_) s.v.store(0, std::memory_order_relaxed);
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const auto cnt = static_cast<std::int64_t>(recountRow(r));
+        rowCounts_[r].v.store(cnt, std::memory_order_relaxed);
+        globalShards_[r & (kGlobalShards - 1)].v.fetch_add(
+            cnt, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Quiescent verification that the maintained counters agree with a full
+  /// recount (recovery runs this before trusting a restored matrix).
+  bool countersMatchRecount() const {
+    if (!counted_) return true;
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::size_t actual = recountRow(r);
+      if (countRow(r) != actual) return false;
+      total += actual;
+    }
+    return countAll() == total;
+  }
+
   /// Row indices r with bit (r,c) set (snapshot). One word probe per row;
   /// in counted mode rows whose counter reads zero are skipped without
   /// touching the matrix at all (safe for sets that only shrink: the lagged

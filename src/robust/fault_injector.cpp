@@ -1,5 +1,7 @@
 #include "robust/fault_injector.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <new>
 #include <stdexcept>
@@ -8,6 +10,13 @@
 #include "util/rng.hpp"
 
 namespace owlcl {
+
+void CrashInjector::crash() {
+  // _exit, not abort/exit: no atexit handlers, no stream flushes, no
+  // coverage/sanitizer finalization — indistinguishable from SIGKILL as
+  // far as the checkpoint files are concerned.
+  _exit(137);
+}
 
 namespace {
 

@@ -65,6 +65,71 @@ struct FaultPlan {
   }
 };
 
+// --- process-death fault points (checkpoint subsystem) -----------------------
+// Where the checkpoint/journal layer is allowed to die. Unlike the
+// reasoner faults above, these kill the *process* (immediate _exit with
+// the SIGKILL-style status 137, no destructors, no buffered flushes) —
+// the recovery path must cope with whatever the filesystem kept.
+
+enum class CrashPoint : std::uint8_t {
+  kNone = 0,
+  /// Crash mid-append on the Nth journal record: only the first half of
+  /// the record reaches the file (a torn write recovery must truncate).
+  kTornWrite,
+  /// Crash immediately after the Nth journal append is durable: the
+  /// journal is ahead of every snapshot (recovery must replay the tail).
+  kCrashAfterJournal,
+  /// Crash after the snapshot temp file is written but before the atomic
+  /// rename: the previous snapshot must remain the recovery anchor.
+  kCrashBeforeSnapshotRename,
+  /// Crash right after the Nth epoch barrier finished its checkpoint
+  /// work: clean snapshot on disk, nothing volatile lost.
+  kCrashAtBarrier,
+};
+
+struct CrashPlan {
+  CrashPoint point = CrashPoint::kNone;
+  /// Which occurrence triggers: the Nth journal append (kTornWrite /
+  /// kCrashAfterJournal) or the Nth epoch barrier (kCrashAtBarrier),
+  /// counted from 0. Ignored for kCrashBeforeSnapshotRename (first
+  /// snapshot write after `after` barriers triggers).
+  std::uint64_t after = 0;
+
+  bool enabled() const { return point != CrashPoint::kNone; }
+};
+
+/// Deterministic process-death injector consulted by ResultJournal and
+/// CheckpointManager. The `*Now()` predicates answer "is this the
+/// occurrence the plan targets"; the caller performs any partial write
+/// first and then calls crash().
+class CrashInjector {
+ public:
+  explicit CrashInjector(CrashPlan plan) : plan_(plan) {}
+
+  bool tornWriteNow(std::uint64_t appendOrdinal) const {
+    return plan_.point == CrashPoint::kTornWrite && appendOrdinal == plan_.after;
+  }
+  bool crashAfterAppendNow(std::uint64_t appendOrdinal) const {
+    return plan_.point == CrashPoint::kCrashAfterJournal &&
+           appendOrdinal == plan_.after;
+  }
+  bool crashBeforeRenameNow(std::uint64_t barrierOrdinal) const {
+    return plan_.point == CrashPoint::kCrashBeforeSnapshotRename &&
+           barrierOrdinal >= plan_.after;
+  }
+  bool crashAtBarrierNow(std::uint64_t barrierOrdinal) const {
+    return plan_.point == CrashPoint::kCrashAtBarrier &&
+           barrierOrdinal == plan_.after;
+  }
+
+  /// SIGKILL-equivalent death: no unwinding, no exit handlers, no stream
+  /// flushes. Exit status 137 mirrors a real `kill -9`.
+  [[noreturn]] static void crash();
+
+ private:
+  CrashPlan plan_;
+};
+
 struct FaultInjectorStats {
   std::uint64_t calls = 0;
   std::uint64_t injectedErrors = 0;

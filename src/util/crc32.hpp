@@ -1,0 +1,45 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320) — the integrity check behind
+// the crash-consistency layer: every journal record and snapshot file
+// carries a CRC so recovery can tell a torn or bit-flipped write from a
+// valid one (DESIGN.md §9).
+//
+// Header-only; the 256-entry table is built once on first use.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace owlcl {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Running CRC32: pass the previous return value as `crc` to extend a
+/// checksum over multiple buffers; start (and finish) with the default.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t crc = 0) {
+  const auto& table = detail::crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace owlcl

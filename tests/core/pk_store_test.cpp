@@ -190,5 +190,63 @@ TEST(PkStore, ReleaseClaimMakesTestClaimableAgain) {
   EXPECT_TRUE(s.claimTest(0, 1));
 }
 
+TEST(PkStore, CaptureRestoreImageRoundTrip) {
+  // A store with every kind of state populated: matrices, sat statuses,
+  // retry ledger, unresolved sets.
+  const std::size_t n = 70;
+  PkStore a(n);
+  a.initPossibleAll();
+  a.setSatStatus(0, true);
+  a.setSatStatus(1, false);
+  a.eraseUnsatConcept(1);
+  a.recordSubsumption(2, 3);
+  a.recordNonSubsumption(3, 2);
+  a.claimTest(10, 11);
+  a.recordFailure(4, 5, /*round=*/2, /*cap=*/8);
+  a.recordFailure(4, 5, /*round=*/3, /*cap=*/8);
+  a.recordFailure(6, 6, /*round=*/1, /*cap=*/8);
+  a.markUnresolved(4, 5);
+  a.markConceptUnresolved(6);
+  const PkStoreImage img = a.captureImage();
+  EXPECT_EQ(img.conceptCount, n);
+  EXPECT_EQ(img.possibleCount, a.remainingPossible());
+
+  PkStore b(n);
+  b.initPossibleAll();   // divergent state the restore must fully replace
+  b.recordSubsumption(50, 51);
+  b.restoreImage(img);
+
+  EXPECT_TRUE(b.countersConsistent());
+  EXPECT_EQ(b.remainingPossible(), a.remainingPossible());
+  for (ConceptId x = 0; x < n; ++x) {
+    EXPECT_EQ(b.satStatus(x), a.satStatus(x)) << "concept " << x;
+    for (ConceptId y = 0; y < n; ++y) {
+      ASSERT_EQ(b.possible(x, y), a.possible(x, y)) << x << "," << y;
+      ASSERT_EQ(b.known(x, y), a.known(x, y)) << x << "," << y;
+      ASSERT_EQ(b.tested(x, y), a.tested(x, y)) << x << "," << y;
+    }
+  }
+  EXPECT_EQ(b.totalFailures(), a.totalFailures());
+  EXPECT_EQ(b.failureAttempts(4, 5), 2u);
+  EXPECT_EQ(b.failureAttempts(6, 6), 1u);
+  EXPECT_FALSE(b.retryEligible(4, 5, 0)) << "backoff schedule restored";
+  EXPECT_EQ(b.unresolvedPairs(), a.unresolvedPairs());
+  EXPECT_EQ(b.unresolvedConcepts(), a.unresolvedConcepts());
+  EXPECT_TRUE(b.conceptUnresolved(6));
+  // Sat-claim restore semantics: given-up concepts stay claimed (nobody
+  // retries them), everything else is claimable again.
+  EXPECT_FALSE(b.claimSat(6));
+  EXPECT_TRUE(b.claimSat(7));
+}
+
+TEST(PkStore, MarkUnresolvedReportsWhetherThisCallRecorded) {
+  PkStore s(4);
+  s.initPossibleAll();
+  EXPECT_TRUE(s.markUnresolved(0, 1)) << "first call performs the withdrawal";
+  EXPECT_FALSE(s.markUnresolved(0, 1)) << "second call must report no-op";
+  EXPECT_TRUE(s.markConceptUnresolved(2));
+  EXPECT_FALSE(s.markConceptUnresolved(2));
+}
+
 }  // namespace
 }  // namespace owlcl

@@ -158,6 +158,59 @@ TEST(OboParser, Errors) {
   EXPECT_THROW(parseObo("[Term]\nid: A\nbadline\n", t5), ParseError);
 }
 
+TEST(OboParser, TruncatedInputWithoutStanzaFailsLoudly) {
+  // A header-only fragment (e.g. a download cut off before the first
+  // [Term]) must not silently parse into an empty ontology.
+  TBox t1;
+  EXPECT_THROW(parseObo("format-version: 1.2\nontology: cut\n", t1),
+               ParseError);
+  TBox t2;
+  try {
+    parseObo("format-version: 1.2\n! comment\ndate: today\n", t2);
+    FAIL() << "truncated input accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("stanza"), std::string::npos);
+    EXPECT_GE(e.line(), 1u);
+  }
+  // Genuinely empty input stays acceptable (an empty ontology), but
+  // comment-only content is still content without a stanza.
+  TBox t3;
+  EXPECT_NO_THROW(parseObo("", t3));
+  TBox t4;
+  EXPECT_NO_THROW(parseObo("   \n\n", t4));
+  TBox t5;
+  EXPECT_THROW(parseObo("\n! only comments\n\n", t5), ParseError);
+}
+
+TEST(OboParser, TagWithoutValueReportsLineNumber) {
+  const char* doc = "[Term]\nid: A\nis_a:\n";
+  TBox t;
+  try {
+    parseObo(doc, t);
+    FAIL() << "empty is_a value accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("is_a"), std::string::npos);
+    EXPECT_EQ(e.line(), 3u);
+  }
+  for (const char* bad : {"[Term]\nid: A\nintersection_of: \n",
+                          "[Term]\nid: A\ndisjoint_from:\n",
+                          "[Term]\nid: A\nequivalent_to: ! just a comment\n",
+                          "[Typedef]\nid: r\nis_a:\n"}) {
+    TBox tb;
+    EXPECT_THROW(parseObo(bad, tb), ParseError) << bad;
+  }
+}
+
+TEST(OboParser, EmptyTagBeforeColonRejected) {
+  TBox t;
+  try {
+    parseObo("[Term]\nid: A\n: floating value\n", t);
+    FAIL() << "empty tag accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
 TEST(OboParser, EndToEndClassification) {
   // A miniature OBO anatomy: classify it and check entailed placement
   // through a definition.

@@ -266,5 +266,36 @@ TEST(AtomicBitMatrix, ConcurrentMixedOpsOnSharedWords) {
   for (std::size_t c = 0; c < 64; ++c) EXPECT_EQ(m.test(0, c), c % 2 == 1);
 }
 
+// Serialization (checkpointing): snapshotWords/loadWords round-trip and
+// rebuild the counted-mode bookkeeping exactly.
+TEST(AtomicBitMatrix, SnapshotLoadRoundTripRebuildsCounters) {
+  AtomicBitMatrix a(11, 70, /*counted=*/true);
+  for (std::size_t r = 0; r < 11; ++r)
+    for (std::size_t c = r; c < 70; c += r + 3) a.testAndSet(r, c);
+  const std::vector<AtomicBitMatrix::Word> words = a.snapshotWords();
+
+  AtomicBitMatrix b(11, 70, /*counted=*/true);
+  b.testAndSet(5, 5);  // stale content that the load must replace
+  b.loadWords(words);
+  EXPECT_TRUE(b.countersMatchRecount());
+  EXPECT_EQ(b.countAll(), a.countAll());
+  for (std::size_t r = 0; r < 11; ++r) {
+    EXPECT_EQ(b.countRow(r), a.countRow(r)) << "row " << r;
+    for (std::size_t c = 0; c < 70; ++c)
+      ASSERT_EQ(b.test(r, c), a.test(r, c)) << r << "," << c;
+  }
+}
+
+TEST(AtomicBitMatrix, LoadWordsMasksCorruptTailBits) {
+  // 70 columns → 6 dead bits in each row's last word. A corrupt snapshot
+  // with those bits set must not inflate the restored counts.
+  AtomicBitMatrix a(2, 70, /*counted=*/true);
+  std::vector<AtomicBitMatrix::Word> words = a.snapshotWords();
+  words[1] = ~AtomicBitMatrix::Word{0};  // row 0, word 1: bits 64..127
+  a.loadWords(words);
+  EXPECT_EQ(a.countRow(0), 6u);  // only columns 64..69 are real
+  EXPECT_TRUE(a.countersMatchRecount());
+}
+
 }  // namespace
 }  // namespace owlcl

@@ -1,0 +1,140 @@
+// Kill-and-resume drills against the real CLI binary: the process is
+// killed (SIGKILL-equivalent _exit(137)) at injected crash points in the
+// checkpoint layer — mid-journal-append (torn write), after a durable
+// append, before a snapshot rename, and right after a barrier — and the
+// resumed run must produce a byte-identical taxonomy to an uninterrupted
+// one. Exercises the whole stack: CLI flags, journal recovery, snapshot
+// fallback, and deterministic resume.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gen/generator.hpp"
+#include "owl/printer.hpp"
+
+#ifndef OWLCL_CLI_PATH
+#error "OWLCL_CLI_PATH must be defined to the owlcl binary path"
+#endif
+
+namespace owlcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs a shell command; returns the child's exit status (or -1).
+int run(const std::string& cmd) {
+  const int status = std::system(cmd.c_str());
+  if (status == -1) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class KillResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (fs::path(::testing::TempDir()) / "kill-resume").string();
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+
+    // A generated ontology big enough that every crash point lands
+    // mid-run (a few thousand journal records).
+    GenConfig gc;
+    gc.name = "drill";
+    gc.concepts = 60;
+    gc.subClassEdges = 90;
+    gc.equivalentAxioms = 3;
+    gc.seed = 5;
+    const GeneratedOntology onto = generateOntology(gc);
+    onto_ = base_ + "/drill.ofn";
+    std::ofstream out(onto_);
+    writeFunctionalSyntax(*onto_tbox(onto), out);
+    out.close();  // flush before the subprocess reads the file
+    ASSERT_TRUE(out.good());
+
+    golden_ = base_ + "/golden.txt";
+    const int rc = run(classifyCmd(base_ + "/ckpt-golden", "") + " > " +
+                       golden_ + " 2>/dev/null");
+    ASSERT_EQ(rc, 0);
+    ASSERT_FALSE(slurp(golden_).empty());
+  }
+
+  static const TBox* onto_tbox(const GeneratedOntology& o) {
+    return o.tbox.get();
+  }
+
+  std::string classifyCmd(const std::string& dir,
+                          const std::string& extra) const {
+    return std::string(OWLCL_CLI_PATH) + " classify " + onto_ +
+           " --workers=3 --checkpoint-dir=" + dir + " --output=tree " + extra;
+  }
+
+  void drill(const std::string& name, const std::string& crashSpec) {
+    const std::string dir = base_ + "/ckpt-" + name;
+    const std::string out = base_ + "/" + name + ".txt";
+    const int crashRc =
+        run(classifyCmd(dir, "--inject-crash=" + crashSpec) +
+            " > /dev/null 2>&1");
+    ASSERT_EQ(crashRc, 137) << name << ": crash point never fired";
+    const int resumeRc =
+        run(classifyCmd(dir, "--resume") + " > " + out + " 2>/dev/null");
+    ASSERT_EQ(resumeRc, 0) << name << ": resume failed";
+    EXPECT_EQ(slurp(golden_), slurp(out))
+        << name << ": resumed taxonomy differs from the uninterrupted run";
+  }
+
+  std::string base_;
+  std::string onto_;
+  std::string golden_;
+};
+
+TEST_F(KillResumeTest, TornJournalWrite) {
+  drill("torn", "point=torn-write,after=200");
+}
+
+TEST_F(KillResumeTest, CrashAfterDurableJournalAppend) {
+  drill("after-journal", "point=after-journal,after=500");
+}
+
+TEST_F(KillResumeTest, CrashBeforeSnapshotRename) {
+  drill("before-rename", "point=before-rename,after=1");
+}
+
+TEST_F(KillResumeTest, CrashAtBarrier) {
+  drill("at-barrier", "point=at-barrier,after=2");
+}
+
+TEST_F(KillResumeTest, ResumeAfterCompletedRunIsIdentityOp) {
+  const std::string dir = base_ + "/ckpt-complete";
+  ASSERT_EQ(run(classifyCmd(dir, "") + " > /dev/null 2>&1"), 0);
+  const std::string out = base_ + "/complete-resume.txt";
+  ASSERT_EQ(run(classifyCmd(dir, "--resume") + " > " + out + " 2>/dev/null"),
+            0);
+  EXPECT_EQ(slurp(golden_), slurp(out));
+}
+
+TEST_F(KillResumeTest, ResumeWithoutCheckpointDirFailsCleanly) {
+  EXPECT_EQ(run(std::string(OWLCL_CLI_PATH) + " classify " + onto_ +
+                " --resume > /dev/null 2>&1"),
+            2);
+  // And resume against an empty directory reports a clear error.
+  EXPECT_EQ(run(classifyCmd(base_ + "/ckpt-empty", "--resume") +
+                " > /dev/null 2>&1"),
+            1);
+}
+
+}  // namespace
+}  // namespace owlcl

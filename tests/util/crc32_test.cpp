@@ -1,0 +1,42 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace owlcl {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The IEEE 802.3 check value: CRC32("123456789") = 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, RunningCrcMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t oneShot = crc32(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::uint32_t first = crc32(data.data(), split);
+    EXPECT_EQ(crc32(data.data() + split, data.size() - split, first), oneShot)
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  unsigned char buf[64];
+  for (std::size_t i = 0; i < sizeof(buf); ++i)
+    buf[i] = static_cast<unsigned char>(i * 37 + 11);
+  const std::uint32_t clean = crc32(buf, sizeof(buf));
+  for (std::size_t byte = 0; byte < sizeof(buf); ++byte)
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= static_cast<unsigned char>(1u << bit);
+      EXPECT_NE(crc32(buf, sizeof(buf)), clean);
+      buf[byte] ^= static_cast<unsigned char>(1u << bit);
+    }
+}
+
+}  // namespace
+}  // namespace owlcl

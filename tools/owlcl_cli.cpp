@@ -29,9 +29,21 @@
 //                        timeout fault; sleep-ms adds a real wall-clock sleep
 //                        (use it to exercise --budget-ms).
 //                        e.g. --inject-faults=seed=7,error=0.1,target=0.05,fail-first=9
+//
+// classify checkpoint options (crash-safe long runs, DESIGN.md §9):
+//   --checkpoint-dir=D   enable checkpointing into directory D (journal +
+//                        snapshots; created if missing)
+//   --checkpoint-every-rounds=N  snapshot every N epoch barriers (default 1)
+//   --fsync-policy=never|record|barrier  journal durability (default barrier)
+//   --resume             recover from --checkpoint-dir and continue the run
+//   --inject-crash=point=P,after=N  die (_exit 137) at a checkpoint-layer
+//                        fault point, for the kill-and-resume drills. P is
+//                        torn-write | after-journal | before-rename | at-barrier;
+//                        N is the triggering journal-append / barrier ordinal.
 // sweep options:
 //   --max-workers=N      sweep 1..N on the virtual executor (default 64)
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -104,7 +116,31 @@ struct Options {
   std::size_t maxRetries = 3;
   std::size_t budgetMs = 0;
   FaultPlan faults;
+
+  // Crash-safe checkpointing.
+  std::string checkpointDir;
+  std::size_t checkpointEveryRounds = 1;
+  FsyncPolicy fsyncPolicy = FsyncPolicy::kEveryBarrier;
+  bool resume = false;
+  CrashPlan crash;
 };
+
+/// Strict non-negative integer parse for --flag=N values: the whole token
+/// must be digits within range — "12abc", "-3", "" and overflow all fail
+/// with a clear message instead of the silent-zero atoi behaviour.
+std::size_t parseCount(const char* flag, const char* v) {
+  char* end = nullptr;
+  errno = 0;
+  const long long n = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || n < 0) {
+    std::fprintf(stderr,
+                 "invalid value for %s: '%s' (expected a non-negative "
+                 "integer)\n",
+                 flag, v);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(n);
+}
 
 /// Parses "--inject-faults=seed=7,error=0.1,..." into a FaultPlan.
 FaultPlan parseFaultSpec(const char* spec) {
@@ -147,6 +183,50 @@ FaultPlan parseFaultSpec(const char* spec) {
   return plan;
 }
 
+/// Parses "--inject-crash=point=torn-write,after=3" into a CrashPlan.
+CrashPlan parseCrashSpec(const char* spec) {
+  CrashPlan plan;
+  std::string s = spec;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad --inject-crash item: %s\n", item.c_str());
+      usage();
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "point") {
+      if (val == "torn-write")
+        plan.point = CrashPoint::kTornWrite;
+      else if (val == "after-journal")
+        plan.point = CrashPoint::kCrashAfterJournal;
+      else if (val == "before-rename")
+        plan.point = CrashPoint::kCrashBeforeSnapshotRename;
+      else if (val == "at-barrier")
+        plan.point = CrashPoint::kCrashAtBarrier;
+      else {
+        std::fprintf(stderr, "unknown --inject-crash point: %s\n", val.c_str());
+        usage();
+      }
+    } else if (key == "after") {
+      plan.after = parseCount("--inject-crash after", val.c_str());
+    } else {
+      std::fprintf(stderr, "unknown --inject-crash key: %s\n", key.c_str());
+      usage();
+    }
+  }
+  if (plan.point == CrashPoint::kNone) {
+    std::fprintf(stderr, "--inject-crash needs a point=... item\n");
+    usage();
+  }
+  return plan;
+}
+
 Options parseOptions(int argc, char** argv, int first) {
   Options o;
   for (int i = first; i < argc; ++i) {
@@ -156,9 +236,9 @@ Options parseOptions(int argc, char** argv, int first) {
       return a.compare(0, len, key) == 0 ? a.c_str() + len : nullptr;
     };
     if (const char* v = value("--workers=")) {
-      o.workers = static_cast<std::size_t>(std::atol(v));
+      o.workers = parseCount("--workers", v);
     } else if (const char* v2 = value("--cycles=")) {
-      o.cycles = static_cast<std::size_t>(std::atol(v2));
+      o.cycles = parseCount("--cycles", v2);
     } else if (a == "--no-pruning") {
       o.pruning = false;
     } else if (a == "--ordered") {
@@ -186,21 +266,53 @@ Options parseOptions(int argc, char** argv, int first) {
     } else if (const char* v5 = value("--output=")) {
       o.output = v5;
     } else if (const char* v6 = value("--max-workers=")) {
-      o.maxWorkers = static_cast<std::size_t>(std::atol(v6));
+      o.maxWorkers = parseCount("--max-workers", v6);
     } else if (const char* v7 = value("--deadline-ms=")) {
-      o.deadlineMs = static_cast<std::size_t>(std::atol(v7));
+      o.deadlineMs = parseCount("--deadline-ms", v7);
     } else if (const char* v8 = value("--max-retries=")) {
-      o.maxRetries = static_cast<std::size_t>(std::atol(v8));
+      o.maxRetries = parseCount("--max-retries", v8);
     } else if (const char* v9 = value("--budget-ms=")) {
-      o.budgetMs = static_cast<std::size_t>(std::atol(v9));
+      o.budgetMs = parseCount("--budget-ms", v9);
     } else if (const char* v10 = value("--inject-faults=")) {
       o.faults = parseFaultSpec(v10);
+    } else if (const char* v11 = value("--checkpoint-dir=")) {
+      o.checkpointDir = v11;
+    } else if (const char* v12 = value("--checkpoint-every-rounds=")) {
+      o.checkpointEveryRounds = parseCount("--checkpoint-every-rounds", v12);
+      if (o.checkpointEveryRounds == 0) {
+        std::fprintf(stderr, "--checkpoint-every-rounds must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (const char* v13 = value("--fsync-policy=")) {
+      const std::string s = v13;
+      if (s == "never")
+        o.fsyncPolicy = FsyncPolicy::kNever;
+      else if (s == "record")
+        o.fsyncPolicy = FsyncPolicy::kEveryRecord;
+      else if (s == "barrier")
+        o.fsyncPolicy = FsyncPolicy::kEveryBarrier;
+      else {
+        std::fprintf(stderr, "unknown --fsync-policy: %s\n", s.c_str());
+        usage();
+      }
+    } else if (a == "--resume") {
+      o.resume = true;
+    } else if (const char* v14 = value("--inject-crash=")) {
+      o.crash = parseCrashSpec(v14);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       usage();
     }
   }
   if (o.workers == 0 || o.maxWorkers == 0) usage();
+  if (o.resume && o.checkpointDir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    std::exit(2);
+  }
+  if (o.crash.enabled() && o.checkpointDir.empty()) {
+    std::fprintf(stderr, "--inject-crash requires --checkpoint-dir\n");
+    std::exit(2);
+  }
   return o;
 }
 
@@ -239,6 +351,46 @@ int cmdClassify(const std::string& path, const Options& o) {
   ThreadPool pool(o.workers);
   RealExecutor exec(pool);
 
+  // Checkpointing: fresh runs wipe the directory and snapshot from the
+  // genesis barrier on; --resume recovers snapshot+journal state and hands
+  // it to resumeClassify below. The content hash ties the checkpoint to
+  // this exact ontology (and the seed to this exact shuffle sequence).
+  std::unique_ptr<CrashInjector> crashInjector;
+  std::unique_ptr<CheckpointManager> checkpoints;
+  ClassifierCheckpoint resumeFrom;
+  bool haveResume = false;
+  if (!o.checkpointDir.empty()) {
+    CheckpointConfig cc;
+    cc.dir = o.checkpointDir;
+    cc.everyRounds = o.checkpointEveryRounds;
+    cc.fsyncPolicy = o.fsyncPolicy;
+    checkpoints = std::make_unique<CheckpointManager>(
+        cc, ontologyContentHash(tbox), config.seed);
+    if (o.crash.enabled()) {
+      crashInjector = std::make_unique<CrashInjector>(o.crash);
+      checkpoints->setCrashInjector(crashInjector.get());
+    }
+    std::string err;
+    if (o.resume) {
+      if (!checkpoints->recover(&resumeFrom, &err)) {
+        std::fprintf(stderr, "resume failed: %s\n", err.c_str());
+        return 1;
+      }
+      haveResume = true;
+      std::fprintf(stderr,
+                   "resuming from epoch %llu (%llu cycles, %llu rounds done)\n",
+                   static_cast<unsigned long long>(resumeFrom.progress.epoch),
+                   static_cast<unsigned long long>(
+                       resumeFrom.progress.completedCycles),
+                   static_cast<unsigned long long>(
+                       resumeFrom.progress.completedRounds));
+    } else if (!checkpoints->beginFresh(&err)) {
+      std::fprintf(stderr, "checkpointing unavailable: %s\n", err.c_str());
+      return 1;
+    }
+    config.checkpoint = checkpoints.get();
+  }
+
   // Plug-in chain: backend → [FaultInjector] → [GuardedPlugin] → classifier.
   ReasonerPlugin* plugin = backend.get();
   std::unique_ptr<FaultInjector> injector;
@@ -255,7 +407,9 @@ int cmdClassify(const std::string& path, const Options& o) {
   }
 
   ParallelClassifier classifier(tbox, *plugin, config);
-  const ClassificationResult r = classifier.classify(exec);
+  const ClassificationResult r = haveResume
+                                     ? classifier.resumeClassify(exec, resumeFrom)
+                                     : classifier.classify(exec);
 
   if (o.output == "dot")
     r.taxonomy.writeDot(std::cout, tbox);
@@ -307,6 +461,12 @@ int cmdClassify(const std::string& path, const Options& o) {
       std::fprintf(stderr, "    sat status unknown: %s\n",
                    tbox.conceptName(c).c_str());
   }
+
+  if (checkpoints != nullptr)
+    std::fprintf(stderr, "  checkpoint: %llu journal records, %llu snapshots\n",
+                 static_cast<unsigned long long>(checkpoints->journalAppends()),
+                 static_cast<unsigned long long>(
+                     checkpoints->snapshotsWritten()));
 
   if (o.verify) {
     const TaxonomyIssues issues = verifyStructure(r.taxonomy);
