@@ -10,6 +10,7 @@
 // skew.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -59,6 +60,31 @@ inline SweepResult sweepRow(const PaperOntologyRow& row,
   SweepResult result =
       runSpeedupSweep(row.config.name, *g.tbox, mock, workerCounts, config);
   return result;
+}
+
+/// Wall-clock statistics over repeated timed runs: min is the headline
+/// number (least scheduling noise), mean rides along so CI trend tracking
+/// can spot bimodal behaviour that a min alone hides.
+struct RepeatStats {
+  std::uint64_t wallNsMin = 0;
+  std::uint64_t wallNsMean = 0;
+};
+
+/// Runs `fn` (which returns the run's wall ns) `warmups` discarded times —
+/// page-in, allocator, branch-predictor warm-up — then `repeats` recorded
+/// times, and reports min/mean of the recorded runs.
+template <class Fn>
+RepeatStats repeatWall(int warmups, int repeats, Fn&& fn) {
+  for (int i = 0; i < warmups; ++i) (void)fn();
+  RepeatStats st;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < repeats; ++i) {
+    const std::uint64_t ns = fn();
+    sum += ns;
+    if (st.wallNsMin == 0 || ns < st.wallNsMin) st.wallNsMin = ns;
+  }
+  if (repeats > 0) st.wallNsMean = sum / static_cast<std::uint64_t>(repeats);
+  return st;
 }
 
 inline void printHeader(const char* title) {

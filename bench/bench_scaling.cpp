@@ -1,6 +1,7 @@
 // Real-thread scaling bench: the legacy single-mutex pool vs the
-// work-stealing pool, on a group-division-heavy workload (randomCycles=0
-// sends every pair test through runGroupRound's dispatch path, where the
+// work-stealing pool — plus the work-stealing pool with told-subsumption
+// seeding — on a group-division-heavy workload (randomCycles=0 sends
+// every pair test through runGroupRound's dispatch path, where the
 // executor choice matters most).
 //
 // Unlike the figure benches this one runs on REAL std::threads — it
@@ -9,18 +10,29 @@
 // deterministic spin so tasks have genuine cost and per-task scheduling
 // overhead is measurable against it; a few concepts are made much harder
 // than the rest so group costs are skewed — the load shape stealing is
-// built for.
+// built for. The seeded rows show the word-parallel seeding sweep's
+// effect: told-entailed pairs never reach the test loop, so `tests`
+// drops and `avoid_seed` accounts for the difference.
+//
+// Every run is followed by a countersConsistent() check — the bench
+// doubles as the CI smoke test that the bulk kernels' counter deltas
+// (orRow/andNotRow popcount accounting) agree with a ground-truth
+// recount after a full classification.
 //
 // Output: a human-readable table on stdout and machine-readable
-// BENCH_scaling.json (threads × backend → wall/busy/steals/tests) for CI
-// trend tracking.
+// BENCH_scaling.json (threads × mode → wall min/mean, per-phase ns,
+// steals, tests performed/avoided) for CI trend tracking. `--quick`
+// shrinks the matrix for the CI smoke job.
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/parallel_classifier.hpp"
 #include "core/plugin.hpp"
 #include "core/real_executor.hpp"
@@ -77,86 +89,141 @@ class SpinReasoner : public ReasonerPlugin {
   std::atomic<std::uint64_t> sink_{0};
 };
 
+struct Mode {
+  const char* name;
+  PoolBackend backend;
+  bool seeded;
+};
+
+constexpr Mode kModes[] = {
+    {"mutex", PoolBackend::kMutex, false},
+    {"steal", PoolBackend::kWorkStealing, false},
+    {"steal+seed", PoolBackend::kWorkStealing, true},
+};
+
 struct RunResult {
   std::uint64_t wallNs = 0;
   std::uint64_t busyNs = 0;
   std::uint64_t steals = 0;
-  std::uint64_t tests = 0;
+  std::uint64_t tests = 0;         // reasoner calls (sat + subsumption)
+  std::uint64_t avoidedSeed = 0;   // pairs resolved by told seeding
+  std::uint64_t avoidedPrune = 0;  // pairs resolved by Algorithm 5
+  std::uint64_t randomNs = 0;      // phase 1 barrier-to-barrier total
+  std::uint64_t groupNs = 0;       // phase 2
+  std::uint64_t taxonomyNs = 0;    // phase 3
 };
 
 RunResult runOnce(const GeneratedOntology& g, std::size_t threads,
-                  PoolBackend backend) {
+                  const Mode& mode) {
   // Small per-test spin (~1 µs easy / ~30 µs hard): enough real work that
   // tasks aren't empty, small enough that per-task scheduling overhead
   // (the thing under test) is a measurable fraction of the total.
   SpinReasoner reasoner(g.truth, /*baseIters=*/150);
   ClassifierConfig config;
   config.randomCycles = 0;  // group-division-heavy: only runGroupRound
-  config.scheduling = backend == PoolBackend::kWorkStealing
+  config.toldSeeding = mode.seeded;
+  config.scheduling = mode.backend == PoolBackend::kWorkStealing
                           ? SchedulingPolicy::kSteal
                           : SchedulingPolicy::kRoundRobin;  // legacy default
-  ThreadPool pool(threads, backend);
+  ThreadPool pool(threads, mode.backend);
   RealExecutor exec(pool);
   ParallelClassifier classifier(*g.tbox, reasoner, config);
   Stopwatch sw;
   const ClassificationResult r = classifier.classify(exec);
   RunResult out;
   out.wallNs = static_cast<std::uint64_t>(sw.elapsedNs());
+  if (!classifier.countersConsistent()) {
+    std::fprintf(stderr,
+                 "FATAL: possible-set counters diverged from recount "
+                 "(threads=%zu mode=%s)\n",
+                 threads, mode.name);
+    std::abort();  // CI smoke: the counter invariant is the point
+  }
   out.busyNs = r.busyNs;
   out.steals = pool.stealCount();
-  out.tests = r.satTests + r.subsumptionTests;
+  out.tests = r.testsPerformed();
+  out.avoidedSeed = r.seededWithoutTest;
+  out.avoidedPrune = r.prunedWithoutTest;
+  for (const CycleStats& c : r.cycles) {
+    switch (c.phase) {
+      case CycleStats::Phase::kRandomDivision:
+        out.randomNs += c.elapsedNs;
+        break;
+      case CycleStats::Phase::kGroupDivision:
+        out.groupNs += c.elapsedNs;
+        break;
+      case CycleStats::Phase::kHierarchy:
+        out.taxonomyNs += c.elapsedNs;
+        break;
+    }
+  }
   return out;
 }
 
-RunResult bestOf(const GeneratedOntology& g, std::size_t threads,
-                 PoolBackend backend, int repeats) {
-  RunResult best;
-  for (int i = 0; i < repeats; ++i) {
-    const RunResult r = runOnce(g, threads, backend);
-    if (best.wallNs == 0 || r.wallNs < best.wallNs) best = r;
-  }
-  return best;
+struct Row {
+  std::size_t threads;
+  const char* mode;
+  bool seeded;
+  RunResult best;  // detail fields from the fastest recorded run
+  bench::RepeatStats stats;
+};
+
+Row measure(const GeneratedOntology& g, std::size_t threads, const Mode& mode,
+            int warmups, int repeats) {
+  Row row{threads, mode.name, mode.seeded, {}, {}};
+  row.stats = bench::repeatWall(warmups, repeats, [&] {
+    const RunResult r = runOnce(g, threads, mode);
+    if (row.best.wallNs == 0 || r.wallNs < row.best.wallNs) row.best = r;
+    return r.wallNs;
+  });
+  return row;
 }
 
 }  // namespace
 }  // namespace owlcl
 
-int main() {
+int main(int argc, char** argv) {
   using namespace owlcl;
+
+  // --quick: CI smoke shape — one thread count, one repeat, all three
+  // modes (the countersConsistent() assert and the seeded-tests check
+  // still run; only the timing matrix shrinks).
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
 
   GenConfig cfg;
   cfg.name = "scaling-groupdiv";
-  cfg.concepts = 220;
-  cfg.subClassEdges = 300;
+  cfg.concepts = quick ? 120 : 220;
+  cfg.subClassEdges = quick ? 160 : 300;
   cfg.attachmentBias = 1.2;  // bushy top: big, uneven groups
   cfg.seed = 7;
   const GeneratedOntology g = generateOntology(cfg);
 
-  const std::vector<std::size_t> threadCounts = {1, 2, 4, 8};
-  const int repeats = 3;
+  const std::vector<std::size_t> threadCounts =
+      quick ? std::vector<std::size_t>{2} : std::vector<std::size_t>{1, 2, 4, 8};
+  const int repeats = quick ? 1 : 3;
+  const int warmups = quick ? 0 : 1;
 
-  std::printf("scaling bench — %s (%zu concepts), group division only\n",
-              cfg.name.c_str(), cfg.concepts);
-  std::printf("%8s %12s %14s %14s %10s %10s\n", "threads", "backend",
-              "wall_ms", "busy_ms", "steals", "tests");
+  std::printf("scaling bench — %s (%zu concepts), group division only%s\n",
+              cfg.name.c_str(), cfg.concepts, quick ? " [quick]" : "");
+  std::printf("%8s %12s %12s %12s %10s %10s %10s %10s\n", "threads", "mode",
+              "wall_ms_min", "wall_ms_mean", "steals", "tests", "avoid_seed",
+              "avoid_prune");
 
-  struct Row {
-    std::size_t threads;
-    const char* backend;
-    RunResult r;
-  };
   std::vector<Row> rows;
-  runOnce(g, 2, PoolBackend::kWorkStealing);  // warmup (page-in, allocator)
   for (std::size_t t : threadCounts) {
-    for (PoolBackend b : {PoolBackend::kMutex, PoolBackend::kWorkStealing}) {
-      const char* name = b == PoolBackend::kMutex ? "mutex" : "steal";
-      const RunResult r = bestOf(g, t, b, repeats);
-      rows.push_back({t, name, r});
-      std::printf("%8zu %12s %14.2f %14.2f %10llu %10llu\n", t, name,
-                  static_cast<double>(r.wallNs) / 1e6,
-                  static_cast<double>(r.busyNs) / 1e6,
-                  static_cast<unsigned long long>(r.steals),
-                  static_cast<unsigned long long>(r.tests));
+    for (const Mode& mode : kModes) {
+      Row row = measure(g, t, mode, warmups, repeats);
+      std::printf("%8zu %12s %12.2f %12.2f %10llu %10llu %10llu %10llu\n", t,
+                  row.mode,
+                  static_cast<double>(row.stats.wallNsMin) / 1e6,
+                  static_cast<double>(row.stats.wallNsMean) / 1e6,
+                  static_cast<unsigned long long>(row.best.steals),
+                  static_cast<unsigned long long>(row.best.tests),
+                  static_cast<unsigned long long>(row.best.avoidedSeed),
+                  static_cast<unsigned long long>(row.best.avoidedPrune));
+      rows.push_back(std::move(row));
     }
   }
 
@@ -168,38 +235,67 @@ int main() {
   std::fprintf(out,
                "{\n  \"bench\": \"scaling\",\n  \"workload\": {\"name\": "
                "\"%s\", \"concepts\": %zu, \"random_cycles\": 0},\n"
-               "  \"repeats\": %d,\n  \"results\": [\n",
-               cfg.name.c_str(), cfg.concepts, repeats);
+               "  \"repeats\": %d,\n  \"quick\": %s,\n  \"results\": [\n",
+               cfg.name.c_str(), cfg.concepts, repeats,
+               quick ? "true" : "false");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
-    std::fprintf(out,
-                 "    {\"threads\": %zu, \"backend\": \"%s\", \"wall_ns\": "
-                 "%llu, \"busy_ns\": %llu, \"steals\": %llu, \"tests\": "
-                 "%llu}%s\n",
-                 row.threads, row.backend,
-                 static_cast<unsigned long long>(row.r.wallNs),
-                 static_cast<unsigned long long>(row.r.busyNs),
-                 static_cast<unsigned long long>(row.r.steals),
-                 static_cast<unsigned long long>(row.r.tests),
-                 i + 1 < rows.size() ? "," : "");
+    std::fprintf(
+        out,
+        "    {\"threads\": %zu, \"mode\": \"%s\", \"seeded\": %s, "
+        "\"wall_ns\": %llu, \"wall_ns_min\": %llu, \"wall_ns_mean\": %llu, "
+        "\"busy_ns\": %llu, \"steals\": %llu, \"tests\": %llu, "
+        "\"tests_avoided_seed\": %llu, \"tests_avoided_prune\": %llu, "
+        "\"phase_random_ns\": %llu, \"phase_group_ns\": %llu, "
+        "\"phase_taxonomy_ns\": %llu}%s\n",
+        row.threads, row.mode, row.seeded ? "true" : "false",
+        static_cast<unsigned long long>(row.stats.wallNsMin),
+        static_cast<unsigned long long>(row.stats.wallNsMin),
+        static_cast<unsigned long long>(row.stats.wallNsMean),
+        static_cast<unsigned long long>(row.best.busyNs),
+        static_cast<unsigned long long>(row.best.steals),
+        static_cast<unsigned long long>(row.best.tests),
+        static_cast<unsigned long long>(row.best.avoidedSeed),
+        static_cast<unsigned long long>(row.best.avoidedPrune),
+        static_cast<unsigned long long>(row.best.randomNs),
+        static_cast<unsigned long long>(row.best.groupNs),
+        static_cast<unsigned long long>(row.best.taxonomyNs),
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote BENCH_scaling.json\n");
 
-  // Acceptance summary: work-stealing vs the mutex pool at max threads.
-  const auto find = [&rows](std::size_t t, const std::string& b) -> RunResult {
+  // Acceptance summary. Seeding must strictly reduce reasoner calls on
+  // this told-edge-rich workload — fail loudly if it doesn't (the CI
+  // smoke runs --quick and relies on this exit code).
+  const auto find = [&rows](std::size_t t, const std::string& m) -> RunResult {
     for (const Row& row : rows)
-      if (row.threads == t && b == row.backend) return row.r;
+      if (row.threads == t && m == row.mode) return row.best;
     return {};
   };
-  const RunResult m8 = find(8, "mutex");
-  const RunResult s8 = find(8, "steal");
+  const std::size_t tMax = threadCounts.back();
+  const RunResult m8 = find(tMax, "mutex");
+  const RunResult s8 = find(tMax, "steal");
+  const RunResult d8 = find(tMax, "steal+seed");
   if (m8.wallNs != 0 && s8.wallNs != 0)
-    std::printf("8 threads: steal %.2f ms vs mutex %.2f ms (%.2fx)\n",
+    std::printf("%zu threads: steal %.2f ms vs mutex %.2f ms (%.2fx)\n", tMax,
                 static_cast<double>(s8.wallNs) / 1e6,
                 static_cast<double>(m8.wallNs) / 1e6,
                 static_cast<double>(m8.wallNs) /
                     static_cast<double>(s8.wallNs));
+  if (s8.wallNs != 0 && d8.wallNs != 0) {
+    std::printf(
+        "%zu threads: seeding avoided %llu tests (%llu -> %llu reasoner "
+        "calls)\n",
+        tMax, static_cast<unsigned long long>(d8.avoidedSeed),
+        static_cast<unsigned long long>(s8.tests),
+        static_cast<unsigned long long>(d8.tests));
+    if (d8.tests >= s8.tests || d8.avoidedSeed == 0) {
+      std::fprintf(stderr,
+                   "FATAL: told seeding did not reduce reasoner calls\n");
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/parallel_classifier.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
 
 #include "util/rng.hpp"
@@ -128,13 +129,15 @@ void ParallelClassifier::giveUpOnConcept(ConceptId c) {
   // pending pair involving c so the run terminates.
   if (store_.markConceptUnresolved(c))
     settle(SettledKind::kUnresolvedConcept, c, c);
-  for (ConceptId y : store_.possibleRow(c))
+  store_.forEachPossible(c, [this, c](ConceptId y) {
     if (store_.markUnresolved(c, y)) settle(SettledKind::kUnresolvedPair, c, y);
+  });
   // Column pass over row words (skipping rows whose O(1) possible-count is
   // already zero) instead of n individual possible(x, c) probes.
-  for (ConceptId x : store_.possibleColumn(c))
+  store_.forEachPossibleInColumn(c, [this, c](ConceptId x) {
     if (x != c && store_.markUnresolved(x, c))
       settle(SettledKind::kUnresolvedPair, x, c);
+  });
 }
 
 void ParallelClassifier::drainPossibleToUnresolved() {
@@ -142,8 +145,10 @@ void ParallelClassifier::drainPossibleToUnresolved() {
   // be tested. Runs between barriers — no worker holds claims here.
   const std::size_t n = store_.conceptCount();
   for (ConceptId x = 0; x < n; ++x)
-    for (ConceptId y : store_.possibleRow(x))
-      if (store_.markUnresolved(x, y)) settle(SettledKind::kUnresolvedPair, x, y);
+    store_.forEachPossible(x, [this, x](ConceptId y) {
+      if (store_.markUnresolved(x, y))
+        settle(SettledKind::kUnresolvedPair, x, y);
+    });
   for (ConceptId c = 0; c < n; ++c)
     if (store_.satStatus(c) == SatStatus::kUnknown &&
         store_.markConceptUnresolved(c))
@@ -152,34 +157,69 @@ void ParallelClassifier::drainPossibleToUnresolved() {
 
 void ParallelClassifier::pruneAfterStrict(ConceptId super, ConceptId sub) {
   // Algorithm 5, Situations 2.3.1 + 2.3.2, for O ⊨ sub ⊑ super with
-  // super ⋢ sub. Snapshot K_sub; concurrent growth of K_sub is handled by
-  // whichever worker records those later subsumptions (it reruns pruning).
-  for (ConceptId y : store_.knownRow(sub)) {
-    if (y == super || y == sub) continue;
-    // 2.3.1: y ⊑ sub ⊑ super, so y is an *indirect* subsumee of super —
-    // drop it from P_super (and K_super) without a reasoner call.
-    //
-    // Equivalence guard: if y ≡ sub (sub ∈ K_y), y sits at sub's own level
-    // and is a *direct* subsumee — skip. This also closes a concurrency
-    // hole: two workers strict-testing (super, sub) and (super, y) with
-    // sub ≡ y could otherwise prune each other's K_super records (mutual
-    // destruction). The guard is race-free: each worker's prune candidate
-    // comes from a K snapshot taken after the equivalence's first
-    // direction was recorded, so at least one worker observes the second
-    // direction and skips (the acq_rel bit operations order the reads).
-    if (!store_.known(y, sub)) {
-      const bool clearedForward = store_.claimTest(super, y);
-      store_.pruneIndirect(super, y);
-      settle(SettledKind::kPruneIndirect, super, y);
-      if (clearedForward) pruned_.add();
+  // super ⋢ sub. Snapshot K_sub as raw words; concurrent growth of K_sub
+  // is handled by whichever worker records those later subsumptions (it
+  // reruns pruning). Thread-local scratch keeps this allocation-free
+  // after each thread's first strict outcome.
+  thread_local std::vector<std::uint64_t> ksub;
+  thread_local std::vector<std::uint64_t> mask231;
+  store_.knownRowWordsInto(sub, ksub);
+  mask231.assign(ksub.size(), 0);
+  bool anyIndirect = false;
+  constexpr std::size_t kWordBits = 64;
+  for (std::size_t w = 0; w < ksub.size(); ++w) {
+    std::uint64_t v = ksub[w];
+    while (v != 0) {
+      const std::uint64_t bit = v & (~v + 1);
+      v &= v - 1;
+      const ConceptId y = static_cast<ConceptId>(
+          w * kWordBits + static_cast<std::size_t>(std::countr_zero(bit)));
+      if (y == super || y == sub) continue;
+      // 2.3.2: super ⊑ y would force super ≡ sub ≡ y, contradicting
+      // strictness — record the non-subsumption without a reasoner call.
+      // (Sound even when y ≡ sub.) Inherently per-element: each y owns a
+      // *different* row (y, super), so there is no common row to batch —
+      // see DESIGN.md §10 on why 2.3.2 stays scalar.
+      const bool clearedBackward = store_.claimTest(y, super);
+      store_.recordNonSubsumption(y, super);
+      settle(SettledKind::kNonSubsumption, y, super);
+      if (clearedBackward) pruned_.add();
+      // 2.3.1: y ⊑ sub ⊑ super, so y is an *indirect* subsumee of super —
+      // collect it into a word mask and drop the whole batch from
+      // P_super/K_super below with O(n/64) atomic RMWs.
+      //
+      // Equivalence guard: if y ≡ sub (sub ∈ K_y), y sits at sub's own
+      // level and is a *direct* subsumee — skip. This also closes a
+      // concurrency hole: two workers strict-testing (super, sub) and
+      // (super, y) with sub ≡ y could otherwise prune each other's
+      // K_super records (mutual destruction). The guard is race-free:
+      // each worker's prune candidate comes from a K snapshot taken after
+      // the equivalence's first direction was recorded, so at least one
+      // worker observes the second direction and skips (the acq_rel bit
+      // operations order the reads).
+      if (!store_.known(y, sub)) {
+        mask231[w] |= bit;
+        anyIndirect = true;
+      }
     }
-    // 2.3.2: super ⊑ y would force super ≡ sub ≡ y, contradicting
-    // strictness — record the non-subsumption without a reasoner call.
-    // (Sound even when y ≡ sub.)
-    const bool clearedBackward = store_.claimTest(y, super);
-    store_.recordNonSubsumption(y, super);
-    settle(SettledKind::kNonSubsumption, y, super);
-    if (clearedBackward) pruned_.add();
+  }
+  if (!anyIndirect) return;
+  // All of row super's 2.3.1 transitions in one word sweep: claim tested,
+  // clear P, clear K. The claimed-bit count preserves the scalar path's
+  // pruned_ accounting exactly (only freshly claimed pairs count).
+  const std::size_t claimed =
+      store_.pruneIndirectRow(super, mask231.data(), mask231.size());
+  if (claimed != 0) pruned_.add(claimed);
+  if (config_.checkpoint != nullptr) {
+    for (std::size_t w = 0; w < mask231.size(); ++w) {
+      std::uint64_t v = mask231[w];
+      while (v != 0) {
+        const ConceptId y = static_cast<ConceptId>(
+            w * kWordBits + static_cast<std::size_t>(std::countr_zero(v)));
+        v &= v - 1;
+        settle(SettledKind::kPruneIndirect, super, y);
+      }
+    }
   }
 }
 
@@ -242,20 +282,71 @@ void ParallelClassifier::testOrdered(ConceptId x, ConceptId y,
 }
 
 void ParallelClassifier::seedTold() {
-  // Extension: a told axiom A ⊑ B with both sides atomic is a known
-  // subsumption — record it and mark the ordered pair tested.
+  // Extension: every told axiom A ⊑ B with both sides atomic is a known
+  // subsumption, and so is every *composition* of such axioms — compute
+  // the transitive closure of the told atomic subclass graph (equivalences
+  // arrive pre-expanded into inclusion rings by TBox::freeze()) and seed K
+  // with all of it, so structurally entailed pairs never reach the
+  // division test loops at all. Runs single-threaded before phase 1.
   const ExprFactory& f = tbox_.exprs();
+  const std::size_t n = store_.conceptCount();
+  std::vector<std::vector<ConceptId>> subsOf(n);  // sup → told subsumees
+  bool any = false;
   for (const SubClassAxiom& ax : tbox_.inclusions()) {
     if (f.kind(ax.lhs) != ExprKind::kAtom || f.kind(ax.rhs) != ExprKind::kAtom)
       continue;
     const ConceptId sub = f.node(ax.lhs).atom;
     const ConceptId sup = f.node(ax.rhs).atom;
     if (sub == sup) continue;
-    if (store_.claimTest(sup, sub)) {
-      store_.recordSubsumption(sup, sub);
-      settle(SettledKind::kSubsumption, sup, sub);
+    subsOf[sup].push_back(sub);
+    any = true;
+  }
+  if (!any) return;
+
+  // Word-parallel closure fixpoint: closure[x] ⊇ {sub} ∪ closure[sub] for
+  // every told edge sub ⊑ x. Each pass is one |= (O(n/64) words) per edge;
+  // the pass count is bounded by the told hierarchy depth (cycles — told
+  // equivalence rings — converge too, leaving x ∈ closure[x], which the
+  // sweep strips below). Descending order tends to finish generated
+  // corpora (children declared after parents) in two passes.
+  std::vector<DynamicBitset> closure(n);
+  for (ConceptId x = 0; x < n; ++x) {
+    if (subsOf[x].empty()) continue;
+    closure[x] = DynamicBitset(n);
+    for (ConceptId sub : subsOf[x]) closure[x].set(sub);
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (std::size_t xi = n; xi-- > 0;) {
+      const ConceptId x = static_cast<ConceptId>(xi);
+      if (closure[x].empty()) continue;
+      for (ConceptId sub : subsOf[x]) {
+        if (closure[sub].empty()) continue;
+        if (closure[x].uniteWith(closure[sub])) grew = true;
+      }
     }
   }
+
+  // Seeding sweep: apply each closure row to the store with three word
+  // ops per word (claim tested, set K, clear P) — the word-level
+  // Algorithm-5-style bulk transition. The diagonal is never seeded (a
+  // told equivalence ring puts x into its own closure; X ⊑ X is already
+  // claimed by initPossibleAll). Per-pair journaling only runs when a
+  // checkpoint hook is attached.
+  std::uint64_t seeded = 0;
+  for (ConceptId x = 0; x < n; ++x) {
+    DynamicBitset& row = closure[x];
+    if (row.empty()) continue;
+    row.reset(x);
+    if (row.none()) continue;
+    seeded += store_.seedKnownRow(x, row.words(), row.wordCountUsed());
+    if (config_.checkpoint != nullptr)
+      row.forEachSetBit([this, x](std::size_t y) {
+        settle(SettledKind::kSubsumption, x, static_cast<ConceptId>(y));
+      });
+  }
+  seeded_ = seeded;
 }
 
 void ParallelClassifier::runRandomCycle(Executor& exec, std::size_t cycleIndex,
@@ -365,7 +456,12 @@ void ParallelClassifier::runGroupRound(Executor& exec, std::size_t roundIndex,
       std::uint64_t cost = 0;
       if (cancel.cancelled()) return cost;
       if (ensureSat(x, cost) != SatResult::kSat) return cost;
-      for (ConceptId y : store_.possibleRowRange(x, yBegin, yEnd)) {
+      // Snapshot P_X ∩ [yBegin, yEnd) into a per-worker scratch buffer —
+      // the old vector-returning possibleRowRange() allocated on every
+      // chunk dispatch, which dominated small-group rounds.
+      thread_local std::vector<ConceptId> ybuf;
+      store_.possibleRowRangeInto(x, yBegin, yEnd, ybuf);
+      for (ConceptId y : ybuf) {
         if (cancel.cancelled()) break;  // cooperative: stop picking pairs
         if (config_.symmetricTests)
           testPairSymmetric(x, y, cost);
@@ -427,14 +523,14 @@ void ParallelClassifier::buildHierarchy(Executor& exec,
     return x;
   };
   for (ConceptId x = 0; x < n; ++x) {
-    for (std::size_t y : kbits[x].setBits()) {
-      if (y <= x) continue;
+    kbits[x].forEachSetBit([&](std::size_t y) {
+      if (y <= x) return;
       if (kbits[y].test(x)) {
         const ConceptId rx = find(x);
         const ConceptId ry = find(static_cast<ConceptId>(y));
         if (rx != ry) rep[std::max(rx, ry)] = std::min(rx, ry);
       }
-    }
+    });
   }
   // Flatten before the parallel phase: tasks below read rep[] lock-free.
   for (ConceptId x = 0; x < n; ++x) rep[x] = find(x);
@@ -463,12 +559,12 @@ void ParallelClassifier::buildHierarchy(Executor& exec,
       // O(1) bitset membership for the dedup — the linear std::find made
       // this loop O(deg²) on bushy hierarchies.
       DynamicBitset seen(n);
-      for (std::size_t y : k.setBits()) {
+      k.forEachSetBit([&](std::size_t y) {
         const ConceptId ry = rep[y];
-        if (ry == r || seen.test(ry)) continue;
+        if (ry == r || seen.test(ry)) return;
         seen.set(ry);
         out.push_back(ry);
-      }
+      });
       return 1000;  // bookkeeping tick; real cost is negligible per row
     });
   }
@@ -524,11 +620,11 @@ void ParallelClassifier::buildHierarchy(Executor& exec,
     if (store_.satStatus(x) == SatStatus::kUnsat) tax.assignToBottom(x);
   for (ConceptId r = 0; r < n; ++r) {
     if (nodeOfRep[r] == Taxonomy::kNoNode) continue;
-    for (std::size_t childRep : classK[r].setBits()) {
+    classK[r].forEachSetBit([&](std::size_t childRep) {
       const Taxonomy::NodeId child = nodeOfRep[childRep];
       if (child != Taxonomy::kNoNode && child != nodeOfRep[r])
         tax.addEdge(nodeOfRep[r], child);
-    }
+    });
   }
   tax.finalize();
   result.taxonomy = std::move(tax);
@@ -556,12 +652,14 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
   std::size_t round = 0;
   if (from == nullptr) {
     store_.initPossibleAll();
-    if (config_.toldSeeding) seedTold();
-    // Genesis barrier: with checkpointing enabled the initialized state is
-    // snapshotted before any work runs, so recovery always has a snapshot
-    // to anchor on — even a crash in the first cycle replays the journal
-    // on top of this epoch-0 image.
+    // Genesis barrier *before* seeding: with checkpointing enabled the
+    // initialized state is snapshotted before any journal record exists,
+    // so recovery always has a snapshot to anchor on — a crash mid-seeding
+    // replays the seed records on top of this epoch-0 image (and the
+    // resume path below never re-seeds; unseeded pairs are simply tested,
+    // yielding the identical taxonomy).
     notifyBarrier(0, 0);
+    if (config_.toldSeeding) seedTold();
   } else {
     store_.restoreImage(from->store);
     epoch_.store(from->progress.epoch, std::memory_order_relaxed);
@@ -652,6 +750,7 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
   result.satTests = satTests_.value();
   result.subsumptionTests = subsTests_.value();
   result.prunedWithoutTest = pruned_.value();
+  result.seededWithoutTest = seeded_;
   result.failedTests = failedTests_.value();
   result.retriedTests = retriedTests_.value();
   result.unresolvedPairs = store_.unresolvedPairs();

@@ -60,8 +60,11 @@ struct ClassifierConfig {
   /// one claim. When false, Algorithms 2/3 run verbatim (one direction per
   /// claim, no pruning).
   bool symmetricTests = true;
-  /// Extension (ablation): seed K with told atomic-subclass axioms before
-  /// phase 1, marking those ordered pairs tested.
+  /// Extension (ablation): seed K with the *transitive closure* of the
+  /// told atomic subclass/equivalence axioms before phase 1 — one
+  /// word-level Algorithm-5-style sweep marks every structurally entailed
+  /// ordered pair tested, so those pairs never reach the division test
+  /// loops. Sound: every seeded edge is told-entailed (DESIGN.md §10).
   bool toldSeeding = false;
   /// Group-division dispatch discipline. kSteal (default) hands tasks to
   /// the executor unpinned and lets work-stealing balance them; the
@@ -110,6 +113,15 @@ struct ClassificationResult {
   std::uint64_t satTests = 0;
   std::uint64_t subsumptionTests = 0;
   std::uint64_t prunedWithoutTest = 0;  // pairs resolved by Algorithm 5
+  std::uint64_t seededWithoutTest = 0;  // pairs resolved by told seeding
+
+  /// Reasoner calls actually performed this run.
+  std::uint64_t testsPerformed() const { return satTests + subsumptionTests; }
+  /// Ordered pair tests resolved without a reasoner call (Algorithm 5
+  /// pruning + told-subsumption seeding).
+  std::uint64_t testsAvoided() const {
+    return prunedWithoutTest + seededWithoutTest;
+  }
 
   // --- fault-tolerance report ------------------------------------------------
   std::uint64_t failedTests = 0;   // plug-in calls that returned kFailed
@@ -157,6 +169,11 @@ class ParallelClassifier {
   ClassificationResult resumeClassify(Executor& exec,
                                       const ClassifierCheckpoint& from);
 
+  /// Quiescent-only: true iff the store's maintained O(1) possible-set
+  /// counters agree with a ground-truth recount. Bench/CI smoke hooks call
+  /// this after classify() to pin the bulk-kernel counter invariant.
+  bool countersConsistent() const { return store_.countersConsistent(); }
+
  private:
   ClassificationResult run(Executor& exec, const ClassifierCheckpoint* from);
 
@@ -201,6 +218,9 @@ class ParallelClassifier {
   ShardedCounter pruned_;
   ShardedCounter failedTests_;
   ShardedCounter retriedTests_;
+  /// Ordered pairs resolved by the told-seeding sweep. Written once,
+  /// single-threaded, before phase 1 — no sharding needed.
+  std::uint64_t seeded_ = 0;
   /// Division-round clock for the retry backoff: incremented after every
   /// random cycle and group round (barrier-separated from the tasks that
   /// read it).

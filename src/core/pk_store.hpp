@@ -120,6 +120,36 @@ class PkStore {
     k_.testAndClear(x, y);
   }
 
+  // --- word-granularity bulk transitions -------------------------------------
+  // The mask is `nWords` row-major words over candidate subsumees Y; dead
+  // bits past conceptCount() must be zero. Each call is O(n/64) atomic
+  // word RMWs on the target row — the per-element loops these replace
+  // issued three RMWs per set bit.
+
+  /// Bulk Situation 2.3.1: claims tested(x, y), then removes y from P_x
+  /// and K_x, for every y in `mask` — one fetch_or/fetch_and per word.
+  /// Returns the number of claims this call won (pairs resolved without a
+  /// reasoner test), mirroring the scalar claimTest + pruneIndirect pair.
+  std::size_t pruneIndirectRow(ConceptId x, const std::uint64_t* mask,
+                               std::size_t nWords) {
+    const std::size_t claimed = tested_.orRow(x, mask, nWords);
+    p_.andNotRow(x, mask, nWords);
+    k_.andNotRow(x, mask, nWords);
+    return claimed;
+  }
+
+  /// Bulk recordSubsumption: claims tested(x, y), inserts y into K_x and
+  /// deletes y from P_x for every y in `mask`. The told-seeding sweep uses
+  /// this to apply a whole closure row with three word ops per word.
+  /// Returns the number of claims won (tests avoided by seeding).
+  std::size_t seedKnownRow(ConceptId x, const std::uint64_t* mask,
+                           std::size_t nWords) {
+    const std::size_t claimed = tested_.orRow(x, mask, nWords);
+    k_.orRow(x, mask, nWords);
+    p_.andNotRow(x, mask, nWords);
+    return claimed;
+  }
+
   // --- queries ---------------------------------------------------------------
   bool possible(ConceptId x, ConceptId y) const { return p_.test(x, y); }
   bool known(ConceptId x, ConceptId y) const { return k_.test(x, y); }
@@ -142,13 +172,38 @@ class PkStore {
                                           std::size_t yEnd) const {
     return p_.rowIndicesRange(x, yBegin, yEnd);
   }
+  /// possibleRowRange into a reusable caller buffer (cleared first) — the
+  /// hot dispatch loops pass a thread-local scratch vector so reading a
+  /// group slice allocates nothing in steady state.
+  void possibleRowRangeInto(ConceptId x, std::size_t yBegin, std::size_t yEnd,
+                            std::vector<ConceptId>& out) const {
+    p_.rowIndicesInto(x, yBegin, yEnd, out);
+  }
   /// All X with y ∈ P_X — a column pass: one word probe per row, skipping
   /// rows whose O(1) counter is already zero.
   std::vector<ConceptId> possibleColumn(ConceptId y) const {
     return p_.colIndices(y);
   }
+  /// Allocation-free iteration over P_X (per-word snapshot: `fn` may
+  /// withdraw the very pairs being visited).
+  template <class Fn>
+  void forEachPossible(ConceptId x, Fn&& fn) const {
+    p_.forEachSetBit(x, [&fn](std::size_t y) { fn(static_cast<ConceptId>(y)); });
+  }
+  /// Allocation-free column pass: all X with y ∈ P_X.
+  template <class Fn>
+  void forEachPossibleInColumn(ConceptId y, Fn&& fn) const {
+    p_.forEachSetBitInCol(y,
+                          [&fn](std::size_t x) { fn(static_cast<ConceptId>(x)); });
+  }
   std::vector<ConceptId> knownRow(ConceptId x) const { return k_.rowIndices(x); }
   DynamicBitset knownRowBits(ConceptId x) const { return k_.rowSnapshot(x); }
+  /// Word-atomic snapshot of K_X into a reusable buffer — the raw material
+  /// for the word-level Algorithm 5 mask (pruneAfterStrict builds its
+  /// 2.3.1 mask from this without allocating).
+  void knownRowWordsInto(ConceptId x, std::vector<std::uint64_t>& out) const {
+    k_.rowWordsInto(x, out);
+  }
 
   // --- retry ledger (failed plug-in calls) -----------------------------------
   // Keys are ordered pairs ⟨X,Y⟩ for subs?(X,Y); sat?(C) failures use the

@@ -89,6 +89,97 @@ class AtomicBitMatrix {
     return changed;
   }
 
+  // --- word-granularity bulk kernels ----------------------------------------
+  // One atomic RMW per 64-bit word instead of one per bit: the hot paths
+  // (Algorithm 5 pruning, told-subsumption seeding) apply a whole mask row
+  // at once. Counted-mode deltas come from the popcount of each word's own
+  // before/after transition, so the exactly-one-counter-update-per-bit-flip
+  // invariant is identical to the single-bit ops and bulk/scalar mixes stay
+  // consistent (tested under TSan). Orderings are acq_rel like testAndSet /
+  // testAndClear: a worker that observes a bulk-set bit also observes every
+  // write the setting worker published before the RMW.
+  //
+  // `mask` holds `nWords` row-major words; nWords may be shorter than the
+  // row (missing words are treated as zero). Bits in the last mask word
+  // past cols() must be zero — a set dead bit would corrupt the counters.
+
+  /// row |= mask. Returns the number of bits this call newly set.
+  std::size_t orRow(std::size_t r, const Word* mask, std::size_t nWords) {
+    OWLCL_DEBUG_ASSERT(r < rows_ && nWords <= wordsPerRow_);
+    std::int64_t added = 0;
+    for (std::size_t w = 0; w < nWords; ++w) {
+      const Word m = mask[w];
+      if (m == 0) continue;
+      OWLCL_DEBUG_ASSERT((m & ~validMaskForWord(w)) == 0);
+      const Word old =
+          words_[r * wordsPerRow_ + w].fetch_or(m, std::memory_order_acq_rel);
+      added += std::popcount(m & ~old);
+    }
+    if (counted_ && added != 0) bump(r, added);
+    return static_cast<std::size_t>(added);
+  }
+
+  /// row &= ~mask. Returns the number of bits this call newly cleared.
+  std::size_t andNotRow(std::size_t r, const Word* mask, std::size_t nWords) {
+    OWLCL_DEBUG_ASSERT(r < rows_ && nWords <= wordsPerRow_);
+    std::int64_t removed = 0;
+    for (std::size_t w = 0; w < nWords; ++w) {
+      const Word m = mask[w];
+      if (m == 0) continue;
+      const Word old =
+          words_[r * wordsPerRow_ + w].fetch_and(~m, std::memory_order_acq_rel);
+      removed += std::popcount(m & old);
+    }
+    if (counted_ && removed != 0) bump(r, -removed);
+    return static_cast<std::size_t>(removed);
+  }
+
+  /// Allocation-free set-bit iteration over row r. Each word is loaded
+  /// once (acquire) and its bits decoded from that local copy, so `fn` may
+  /// clear bits of the row being iterated without invalidating the walk
+  /// (per-word snapshot semantics, same as rowIndices).
+  template <class Fn>
+  void forEachSetBit(std::size_t r, Fn&& fn) const {
+    OWLCL_DEBUG_ASSERT(r < rows_);
+    for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+      Word v = words_[r * wordsPerRow_ + w].load(std::memory_order_acquire);
+      const std::size_t base = w * kWordBits;
+      while (v != 0) {
+        fn(base + static_cast<std::size_t>(std::countr_zero(v)));
+        v &= v - 1;
+      }
+    }
+  }
+
+  /// Row indices with bit (r,c) set, like colIndices but without the
+  /// return-vector allocation: one word probe per row, counted-mode rows
+  /// with a zero counter skipped (safe for shrink-only sets — the lagged
+  /// counter over-approximates, so zero is definitive).
+  template <class Fn>
+  void forEachSetBitInCol(std::size_t c, Fn&& fn) const {
+    OWLCL_DEBUG_ASSERT(c < cols_);
+    const std::size_t w = c / kWordBits;
+    const Word mask = Word{1} << bitIndex(c);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (counted_ && rowCounts_[r].v.load(std::memory_order_relaxed) <= 0)
+        continue;
+      if (words_[r * wordsPerRow_ + w].load(std::memory_order_acquire) & mask)
+        fn(r);
+    }
+  }
+
+  /// Word-atomic snapshot of row r into a caller-owned buffer (resized to
+  /// wordsPerRow()). The allocation-free sibling of rowSnapshot(): hot
+  /// loops reuse a thread-local buffer across calls.
+  void rowWordsInto(std::size_t r, std::vector<Word>& out) const {
+    OWLCL_DEBUG_ASSERT(r < rows_);
+    out.resize(wordsPerRow_);
+    for (std::size_t w = 0; w < wordsPerRow_; ++w)
+      out[w] = words_[r * wordsPerRow_ + w].load(std::memory_order_acquire);
+  }
+
+  std::size_t wordsPerRow() const { return wordsPerRow_; }
+
   /// Clears the whole row (callers use this at phase boundaries or under
   /// the row's logical ownership).
   void clearRow(std::size_t r) {
@@ -189,9 +280,19 @@ class AtomicBitMatrix {
   std::vector<std::uint32_t> rowIndicesRange(std::size_t r,
                                              std::size_t colBegin,
                                              std::size_t colEnd) const {
-    OWLCL_DEBUG_ASSERT(colBegin <= colEnd && colEnd <= cols_);
     std::vector<std::uint32_t> out;
-    if (colBegin >= colEnd) return out;
+    rowIndicesInto(r, colBegin, colEnd, out);
+    return out;
+  }
+
+  /// rowIndicesRange into a caller-owned buffer (cleared first): the hot
+  /// dispatch loops reuse a thread-local buffer so reading a row slice
+  /// allocates nothing in steady state.
+  void rowIndicesInto(std::size_t r, std::size_t colBegin, std::size_t colEnd,
+                      std::vector<std::uint32_t>& out) const {
+    OWLCL_DEBUG_ASSERT(colBegin <= colEnd && colEnd <= cols_);
+    out.clear();
+    if (colBegin >= colEnd) return;
     const std::size_t wBegin = colBegin / kWordBits;
     const std::size_t wEnd = (colEnd + kWordBits - 1) / kWordBits;
     for (std::size_t w = wBegin; w < wEnd; ++w) {
@@ -209,7 +310,6 @@ class AtomicBitMatrix {
         v &= v - 1;
       }
     }
-    return out;
   }
 
   // --- serialization (checkpointing) ----------------------------------------
@@ -301,6 +401,15 @@ class AtomicBitMatrix {
   // increment. Clamp transient negatives; at quiescence the sum is exact.
   static std::size_t clampCount(std::int64_t v) {
     return v > 0 ? static_cast<std::size_t>(v) : 0;
+  }
+
+  /// Mask of the bits of word w that map to real columns (all-ones except
+  /// for the partial tail word).
+  Word validMaskForWord(std::size_t w) const {
+    const std::size_t base = w * kWordBits;
+    if (base + kWordBits <= cols_) return ~Word{0};
+    const std::size_t valid = cols_ > base ? cols_ - base : 0;
+    return valid == 0 ? 0 : (~Word{0} >> (kWordBits - valid));
   }
 
   std::atomic<Word>& word(std::size_t r, std::size_t c) {

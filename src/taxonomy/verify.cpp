@@ -21,21 +21,31 @@ namespace {
 
 using NodeId = Taxonomy::NodeId;
 
-/// All nodes reachable strictly below `from` (children edges).
-DynamicBitset reachableBelow(const Taxonomy& tax, NodeId from) {
-  DynamicBitset seen(tax.nodeCount());
-  std::vector<NodeId> stack{from};
-  while (!stack.empty()) {
-    const NodeId cur = stack.back();
-    stack.pop_back();
-    for (NodeId ch : tax.node(cur).children) {
-      if (!seen.test(ch)) {
-        seen.set(ch);
-        stack.push_back(ch);
-      }
+/// Strict descendants (children-edge reachability) of *every* node at
+/// once: desc[id] ⊇ {ch} ∪ desc[ch] for each child edge, iterated as a
+/// word-parallel uniteWith fixpoint. Replaces the per-query DFS that made
+/// the acyclicity check O(n²) and the transitive-reduction check O(n³)
+/// node visits; each fixpoint pass is O(edges · n/64) words and the pass
+/// count is bounded by the hierarchy depth (a cycle — which this verifier
+/// must tolerate, it's what it detects — converges too, leaving
+/// desc[id].test(id) set as the cycle witness).
+std::vector<DynamicBitset> descendantsBelow(const Taxonomy& tax) {
+  const std::size_t nn = tax.nodeCount();
+  std::vector<DynamicBitset> desc(nn);
+  for (NodeId id = 0; id < nn; ++id) {
+    desc[id] = DynamicBitset(nn);
+    for (NodeId ch : tax.node(id).children) desc[id].set(ch);
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (std::size_t i = nn; i-- > 0;) {
+      const NodeId id = static_cast<NodeId>(i);
+      for (NodeId ch : tax.node(id).children)
+        if (desc[id].uniteWith(desc[ch])) grew = true;
     }
   }
-  return seen;
+  return desc;
 }
 
 }  // namespace
@@ -86,26 +96,37 @@ TaxonomyIssues verifyStructure(const Taxonomy& tax) {
     if (owner[c] == -1)
       issues.problems.push_back(strprintf("concept %u unplaced", c));
 
-  // Acyclicity + ⊤-reachability + ⊥-reachability.
-  const DynamicBitset belowTop = reachableBelow(tax, Taxonomy::kTopNode);
+  // Acyclicity + ⊤-reachability + ⊥-reachability, all answered from one
+  // memoized descendants computation.
+  const std::vector<DynamicBitset> desc = descendantsBelow(tax);
+  const DynamicBitset& belowTop = desc[Taxonomy::kTopNode];
   for (NodeId id = 0; id < nn; ++id) {
-    if (reachableBelow(tax, id).test(id))
+    if (desc[id].test(id))
       issues.problems.push_back(strprintf("cycle through node %u", id));
     if (id != Taxonomy::kTopNode && !belowTop.test(id))
       issues.problems.push_back(strprintf("node %u unreachable from top", id));
     if (id != Taxonomy::kBottomNode &&
-        !reachableBelow(tax, id).test(Taxonomy::kBottomNode))
+        !desc[id].test(Taxonomy::kBottomNode))
       issues.problems.push_back(
           strprintf("node %u does not reach bottom", id));
   }
 
   // Transitive reduction: no edge that another child-path already implies.
+  // Word-parallel: an edge id→ch is redundant iff ch lies in some *other*
+  // child's descendant set, i.e. in ∪_{c ∈ children} desc[c] (a ch that
+  // appears only in its own desc[ch] is a cycle, reported above). The
+  // witness scan runs only for the rare offending edge.
+  DynamicBitset viaChildren(nn);
   for (NodeId id = 0; id < nn; ++id) {
     const auto& children = tax.node(id).children;
+    if (children.size() < 2) continue;
+    viaChildren.resetAll();
+    for (NodeId ch : children) viaChildren |= desc[ch];
     for (NodeId ch : children) {
+      if (!viaChildren.test(ch)) continue;
       for (NodeId other : children) {
         if (other == ch) continue;
-        if (reachableBelow(tax, other).test(ch)) {
+        if (desc[other].test(ch)) {
           issues.problems.push_back(strprintf(
               "edge %u->%u redundant (also reachable via %u)", id, ch, other));
           break;

@@ -4,6 +4,7 @@
 // the shared P/K sets lives in parallel/atomic_bitmatrix.hpp.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -63,6 +64,19 @@ class DynamicBitset {
   DynamicBitset& operator&=(const DynamicBitset& o);
   DynamicBitset& operator-=(const DynamicBitset& o);  ///< set difference
 
+  /// Word-parallel union that reports growth: true iff any bit was added.
+  /// The told-closure fixpoint iterates this until no row grows.
+  bool uniteWith(const DynamicBitset& o) {
+    OWLCL_DEBUG_ASSERT(nbits_ == o.nbits_);
+    Word changed = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const Word before = words_[w];
+      words_[w] = before | o.words_[w];
+      changed |= words_[w] ^ before;
+    }
+    return changed != 0;
+  }
+
   bool operator==(const DynamicBitset& o) const {
     return nbits_ == o.nbits_ && words_ == o.words_;
   }
@@ -95,6 +109,22 @@ class DynamicBitset {
   /// Iterate set bits: `for (auto i : bs.setBits()) ...`
   class SetBitRange;
   SetBitRange setBits() const;
+
+  /// Word-level set-bit iteration: one load + countr_zero chain per word
+  /// instead of a findNext() rescan per bit. The classifier's hierarchy
+  /// loops use this — it is the sequential twin of
+  /// AtomicBitMatrix::forEachSetBit.
+  template <class Fn>
+  void forEachSetBit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word v = words_[w];
+      const std::size_t base = w * kWordBits;
+      while (v != 0) {
+        fn(base + static_cast<std::size_t>(std::countr_zero(v)));
+        v &= v - 1;
+      }
+    }
+  }
 
  private:
   // Keep bits past nbits_ zero so count()/compare stay exact.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace owlcl {
 namespace {
 
@@ -246,6 +249,66 @@ TEST(PkStore, MarkUnresolvedReportsWhetherThisCallRecorded) {
   EXPECT_FALSE(s.markUnresolved(0, 1)) << "second call must report no-op";
   EXPECT_TRUE(s.markConceptUnresolved(2));
   EXPECT_FALSE(s.markConceptUnresolved(2));
+}
+
+// --- word-granularity bulk transitions --------------------------------------
+
+TEST(PkStore, PruneIndirectRowMatchesScalarSequence) {
+  const std::size_t n = 70;  // partial tail word
+  PkStore bulk(n), scalar(n);
+  bulk.initPossibleAll();
+  scalar.initPossibleAll();
+  // Pre-resolve a few pairs so some mask bits are already tested/cleared.
+  for (ConceptId y : {3u, 40u, 66u}) {
+    bulk.claimTest(5, y);
+    bulk.recordSubsumption(5, y);
+    scalar.claimTest(5, y);
+    scalar.recordSubsumption(5, y);
+  }
+  std::vector<std::uint64_t> mask((n + 63) / 64, 0);
+  std::size_t scalarClaims = 0;
+  for (ConceptId y : {2u, 3u, 40u, 65u, 69u}) {
+    mask[y / 64] |= std::uint64_t{1} << (y % 64);
+    if (scalar.claimTest(5, y)) ++scalarClaims;
+    scalar.pruneIndirect(5, y);
+  }
+  const std::size_t bulkClaims = bulk.pruneIndirectRow(5, mask.data(),
+                                                       mask.size());
+  EXPECT_EQ(bulkClaims, scalarClaims);
+  EXPECT_TRUE(bulk.countersConsistent());
+  for (ConceptId y = 0; y < n; ++y) {
+    ASSERT_EQ(bulk.possible(5, y), scalar.possible(5, y)) << y;
+    ASSERT_EQ(bulk.known(5, y), scalar.known(5, y)) << y;
+    ASSERT_EQ(bulk.tested(5, y), scalar.tested(5, y)) << y;
+  }
+}
+
+TEST(PkStore, SeedKnownRowMatchesScalarSequence) {
+  const std::size_t n = 70;
+  PkStore bulk(n), scalar(n);
+  bulk.initPossibleAll();
+  scalar.initPossibleAll();
+  // One pair already tested: the seed must not claim (or count) it again.
+  bulk.claimTest(7, 12);
+  bulk.recordNonSubsumption(7, 12);
+  scalar.claimTest(7, 12);
+  scalar.recordNonSubsumption(7, 12);
+  std::vector<std::uint64_t> mask((n + 63) / 64, 0);
+  std::size_t scalarClaims = 0;
+  for (ConceptId y : {1u, 12u, 63u, 64u, 69u}) {
+    mask[y / 64] |= std::uint64_t{1} << (y % 64);
+    if (scalar.claimTest(7, y)) ++scalarClaims;
+    scalar.recordSubsumption(7, y);
+  }
+  const std::size_t bulkClaims = bulk.seedKnownRow(7, mask.data(), mask.size());
+  EXPECT_EQ(bulkClaims, scalarClaims);
+  EXPECT_EQ(bulkClaims, 4u);  // (7,12) was already claimed
+  EXPECT_TRUE(bulk.countersConsistent());
+  for (ConceptId y = 0; y < n; ++y) {
+    ASSERT_EQ(bulk.possible(7, y), scalar.possible(7, y)) << y;
+    ASSERT_EQ(bulk.known(7, y), scalar.known(7, y)) << y;
+    ASSERT_EQ(bulk.tested(7, y), scalar.tested(7, y)) << y;
+  }
 }
 
 }  // namespace

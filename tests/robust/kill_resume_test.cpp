@@ -117,6 +117,36 @@ TEST_F(KillResumeTest, CrashAtBarrier) {
   drill("at-barrier", "point=at-barrier,after=2");
 }
 
+// Seeded drill: --seed-told journals thousands of seed records right
+// after the genesis snapshot; a crash mid-run must replay them (and the
+// later verdicts) on top of the epoch-0 image. Both the uninterrupted
+// seeded run and the crash+resume run must be byte-identical to the
+// unseeded golden — seeding changes which pairs are *tested*, never the
+// resulting taxonomy.
+TEST_F(KillResumeTest, SeededRunMatchesGoldenAndSurvivesCrash) {
+  // Uninterrupted seeded run == unseeded golden.
+  const std::string seededOut = base_ + "/seeded.txt";
+  ASSERT_EQ(run(classifyCmd(base_ + "/ckpt-seeded", "--seed-told") + " > " +
+                seededOut + " 2>/dev/null"),
+            0);
+  EXPECT_EQ(slurp(golden_), slurp(seededOut))
+      << "told seeding changed the taxonomy";
+
+  // Crash early — while the journal is dominated by seed records — and
+  // resume. The resume path never re-seeds; replay carries the seeds.
+  const std::string dir = base_ + "/ckpt-seeded-crash";
+  const std::string out = base_ + "/seeded-crash.txt";
+  const int crashRc =
+      run(classifyCmd(dir, "--seed-told --inject-crash=point=after-journal,after=50") +
+          " > /dev/null 2>&1");
+  ASSERT_EQ(crashRc, 137) << "crash point never fired";
+  ASSERT_EQ(run(classifyCmd(dir, "--seed-told --resume") + " > " + out +
+                " 2>/dev/null"),
+            0);
+  EXPECT_EQ(slurp(golden_), slurp(out))
+      << "seeded resume differs from the uninterrupted run";
+}
+
 TEST_F(KillResumeTest, ResumeAfterCompletedRunIsIdentityOp) {
   const std::string dir = base_ + "/ckpt-complete";
   ASSERT_EQ(run(classifyCmd(dir, "") + " > /dev/null 2>&1"), 0);

@@ -418,12 +418,13 @@ int cmdClassify(const std::string& path, const Options& o) {
 
   std::fprintf(stderr,
                "classified %zu concepts in %.1f ms (%zu workers, backend %s)\n"
-               "  %llu sat + %llu subsumption tests, %llu pruned, "
+               "  %llu sat + %llu subsumption tests, %llu pruned, %llu seeded, "
                "%zu taxonomy nodes, depth %zu\n",
                tbox.conceptCount(), sw.elapsedMs(), o.workers,
                o.backend.c_str(), static_cast<unsigned long long>(r.satTests),
                static_cast<unsigned long long>(r.subsumptionTests),
                static_cast<unsigned long long>(r.prunedWithoutTest),
+               static_cast<unsigned long long>(r.seededWithoutTest),
                r.taxonomy.nodeCount(), r.taxonomy.depth());
 
   if (r.failedTests > 0 || r.cancelled) {
