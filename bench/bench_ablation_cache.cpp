@@ -1,0 +1,250 @@
+// Cross-worker subsumption-avoidance ablation: the real tableau backend
+// classifying a decorated generated ontology in three modes —
+//
+//   private       per-worker sat caches only (the pre-PR baseline)
+//   shared        + cross-worker lock-free sat-verdict cache
+//   shared+merge  + pseudo-model merging fast path
+//
+// Unlike bench_scaling (mock reasoner, scheduler under test) this bench
+// runs the actual Tableau engine, so the reasoner-level counters are the
+// payload: cross_cache_hits / merge_refuted quantify how many engine
+// evaluations the avoidance layer eliminated, and reasoner_sat_calls is
+// the ground-truth work metric the wall clock follows.
+//
+// Every mode's taxonomy is rendered to a string and byte-compared against
+// the private-cache baseline — the bench doubles as the CI proof that the
+// fast path never changes a verdict. On the multi-worker config the run
+// FATALs (for the --quick CI smoke) unless the layer demonstrably avoided
+// work: crossCacheHits + mergeRefuted > 0 and shared-mode sat calls
+// strictly below private-mode.
+//
+// Output: human-readable table on stdout, BENCH_ablation_cache.json
+// (threads × mode → wall, engine counters, per-worker stats, shared-cache
+// internals) for CI trend tracking.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parallel_classifier.hpp"
+#include "core/real_executor.hpp"
+#include "gen/generator.hpp"
+#include "parallel/thread_pool.hpp"
+#include "reasoner/tableau_reasoner.hpp"
+#include "util/stopwatch.hpp"
+
+namespace owlcl {
+namespace {
+
+struct Mode {
+  const char* name;
+  bool sharedCache;
+  bool mergeModels;
+};
+
+constexpr Mode kModes[] = {
+    {"private", false, false},
+    {"shared", true, false},
+    {"shared+merge", true, true},
+};
+
+struct RunResult {
+  std::uint64_t wallNs = 0;
+  std::uint64_t tests = 0;  // classifier-level sat + subs tests
+  std::uint64_t reasonerSatCalls = 0;
+  std::uint64_t reasonerCacheHits = 0;
+  std::uint64_t reasonerClashes = 0;
+  std::uint64_t crossCacheHits = 0;
+  std::uint64_t mergeRefuted = 0;
+  ConcurrentSatCache::Stats cache;
+  std::vector<ReasonerStats> perWorker;
+  std::string taxonomy;
+};
+
+GenConfig workload(bool quick) {
+  // Existential/universal decorations + role hierarchy + transitivity:
+  // the tableau recursion then shares successor labels across concepts,
+  // which is exactly what the cross-worker cache deduplicates.
+  GenConfig cfg;
+  cfg.name = "ablation-cache";
+  cfg.concepts = quick ? 90 : 180;
+  cfg.subClassEdges = quick ? 120 : 260;
+  cfg.roles = 6;
+  cfg.existentialAxioms = quick ? 40 : 90;
+  cfg.universalAxioms = quick ? 18 : 40;
+  cfg.equivalentAxioms = 4;
+  cfg.disjointAxioms = 2;
+  cfg.unsatConcepts = 3;
+  cfg.roleHierarchy = true;
+  cfg.transitiveRoles = true;
+  cfg.attachmentBias = 0.8;
+  cfg.seed = 11;
+  return cfg;
+}
+
+RunResult runOnce(const GenConfig& cfg, std::size_t threads,
+                  const Mode& mode) {
+  // Fresh ontology per run: buildKb() freezes the TBox and each reasoner
+  // owns its preprocessing; generation is deterministic per config.
+  const GeneratedOntology g = generateOntology(cfg);
+  TableauReasonerConfig tc;
+  tc.sharedCache = mode.sharedCache;
+  tc.mergeModels = mode.mergeModels;
+  TableauReasoner reasoner(*g.tbox, tc);
+
+  ClassifierConfig config;
+  config.randomCycles = 1;
+  ThreadPool pool(threads);
+  RealExecutor exec(pool);
+  ParallelClassifier classifier(*g.tbox, reasoner, config);
+  Stopwatch sw;
+  const ClassificationResult r = classifier.classify(exec);
+
+  RunResult out;
+  out.wallNs = static_cast<std::uint64_t>(sw.elapsedNs());
+  out.tests = r.testsPerformed();
+  out.reasonerSatCalls = r.reasonerSatCalls;
+  out.reasonerCacheHits = r.reasonerCacheHits;
+  out.reasonerClashes = r.reasonerClashes;
+  out.crossCacheHits = r.crossCacheHits;
+  out.mergeRefuted = r.mergeRefuted;
+  out.cache = reasoner.sharedCacheStats();
+  out.perWorker = reasoner.perWorkerReasonerStats();
+  std::ostringstream tree;
+  r.taxonomy.print(tree, *g.tbox);
+  out.taxonomy = tree.str();
+  return out;
+}
+
+}  // namespace
+}  // namespace owlcl
+
+int main(int argc, char** argv) {
+  using namespace owlcl;
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const GenConfig cfg = workload(quick);
+  const std::vector<std::size_t> threadCounts =
+      quick ? std::vector<std::size_t>{4} : std::vector<std::size_t>{1, 4, 8};
+
+  std::printf(
+      "cache ablation — %s (%zu concepts), tableau backend%s\n"
+      "%8s %14s %12s %10s %12s %12s %12s %12s\n",
+      cfg.name.c_str(), cfg.concepts, quick ? " [quick]" : "", "threads",
+      "mode", "wall_ms", "tests", "sat_calls", "cache_hits", "cross_hits",
+      "merge_ref");
+
+  struct Row {
+    std::size_t threads;
+    const char* mode;
+    RunResult r;
+  };
+  std::vector<Row> rows;
+  bool parityOk = true;
+  for (std::size_t t : threadCounts) {
+    std::string baseline;
+    for (const Mode& mode : kModes) {
+      RunResult r = runOnce(cfg, t, mode);
+      std::printf("%8zu %14s %12.2f %10llu %12llu %12llu %12llu %12llu\n", t,
+                  mode.name, static_cast<double>(r.wallNs) / 1e6,
+                  static_cast<unsigned long long>(r.tests),
+                  static_cast<unsigned long long>(r.reasonerSatCalls),
+                  static_cast<unsigned long long>(r.reasonerCacheHits),
+                  static_cast<unsigned long long>(r.crossCacheHits),
+                  static_cast<unsigned long long>(r.mergeRefuted));
+      if (baseline.empty()) {
+        baseline = r.taxonomy;
+      } else if (r.taxonomy != baseline) {
+        std::fprintf(stderr,
+                     "FATAL: taxonomy diverged from private-cache baseline "
+                     "(threads=%zu mode=%s)\n",
+                     t, mode.name);
+        parityOk = false;
+      }
+      rows.push_back({t, mode.name, std::move(r)});
+    }
+  }
+  if (!parityOk) return 1;
+  std::printf("taxonomy parity: all modes byte-identical per thread count\n");
+
+  std::FILE* out = std::fopen("BENCH_ablation_cache.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_ablation_cache.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"ablation_cache\",\n  \"workload\": "
+               "{\"name\": \"%s\", \"concepts\": %zu},\n  \"quick\": %s,\n"
+               "  \"results\": [\n",
+               cfg.name.c_str(), cfg.concepts, quick ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        out,
+        "    {\"threads\": %zu, \"mode\": \"%s\", \"wall_ns\": %llu, "
+        "\"tests\": %llu, \"reasoner_sat_calls\": %llu, "
+        "\"reasoner_cache_hits\": %llu, \"reasoner_clashes\": %llu, "
+        "\"cross_cache_hits\": %llu, \"merge_refuted\": %llu, "
+        "\"cache_inserts\": %llu, \"cache_rejected_full\": %llu, "
+        "\"cache_rejected_long\": %llu, \"per_worker\": [",
+        row.threads, row.mode, static_cast<unsigned long long>(row.r.wallNs),
+        static_cast<unsigned long long>(row.r.tests),
+        static_cast<unsigned long long>(row.r.reasonerSatCalls),
+        static_cast<unsigned long long>(row.r.reasonerCacheHits),
+        static_cast<unsigned long long>(row.r.reasonerClashes),
+        static_cast<unsigned long long>(row.r.crossCacheHits),
+        static_cast<unsigned long long>(row.r.mergeRefuted),
+        static_cast<unsigned long long>(row.r.cache.inserts),
+        static_cast<unsigned long long>(row.r.cache.rejectedFull),
+        static_cast<unsigned long long>(row.r.cache.rejectedLong));
+    for (std::size_t w = 0; w < row.r.perWorker.size(); ++w)
+      std::fprintf(out,
+                   "{\"sat_calls\": %llu, \"cache_hits\": %llu, "
+                   "\"clashes\": %llu, \"cross_cache_hits\": %llu}%s",
+                   static_cast<unsigned long long>(row.r.perWorker[w].satCalls),
+                   static_cast<unsigned long long>(row.r.perWorker[w].cacheHits),
+                   static_cast<unsigned long long>(row.r.perWorker[w].clashes),
+                   static_cast<unsigned long long>(
+                       row.r.perWorker[w].crossCacheHits),
+                   w + 1 < row.r.perWorker.size() ? ", " : "");
+    std::fprintf(out, "]}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_ablation_cache.json\n");
+
+  // Acceptance asserts on the largest (multi-worker) thread count: the
+  // layer must demonstrably avoid engine work, not just match verdicts.
+  const auto find = [&rows](std::size_t t, const std::string& m) {
+    for (const Row& row : rows)
+      if (row.threads == t && m == row.mode) return row.r;
+    return RunResult{};
+  };
+  const std::size_t tMax = threadCounts.back();
+  const RunResult priv = find(tMax, "private");
+  const RunResult shared = find(tMax, "shared");
+  const RunResult merge = find(tMax, "shared+merge");
+  std::printf(
+      "%zu threads: sat calls private %llu -> shared %llu -> shared+merge "
+      "%llu (%llu cross hits, %llu merge-refuted)\n",
+      tMax, static_cast<unsigned long long>(priv.reasonerSatCalls),
+      static_cast<unsigned long long>(shared.reasonerSatCalls),
+      static_cast<unsigned long long>(merge.reasonerSatCalls),
+      static_cast<unsigned long long>(shared.crossCacheHits),
+      static_cast<unsigned long long>(merge.mergeRefuted));
+  if (shared.crossCacheHits + merge.mergeRefuted == 0) {
+    std::fprintf(stderr, "FATAL: avoidance layer never fired\n");
+    return 1;
+  }
+  if (shared.reasonerSatCalls >= priv.reasonerSatCalls) {
+    std::fprintf(stderr,
+                 "FATAL: shared cache did not reduce engine sat calls\n");
+    return 1;
+  }
+  return 0;
+}

@@ -111,6 +111,13 @@ struct RunResult {
   std::uint64_t randomNs = 0;      // phase 1 barrier-to-barrier total
   std::uint64_t groupNs = 0;       // phase 2
   std::uint64_t taxonomyNs = 0;    // phase 3
+  // Engine-level numbers (all zero for SpinReasoner, which has no engine;
+  // kept in the JSON schema so trend tooling matches bench_ablation_cache).
+  std::uint64_t reasonerSatCalls = 0;
+  std::uint64_t reasonerCacheHits = 0;
+  std::uint64_t reasonerClashes = 0;
+  std::uint64_t crossCacheHits = 0;
+  std::uint64_t mergeRefuted = 0;
 };
 
 RunResult runOnce(const GeneratedOntology& g, std::size_t threads,
@@ -144,6 +151,11 @@ RunResult runOnce(const GeneratedOntology& g, std::size_t threads,
   out.tests = r.testsPerformed();
   out.avoidedSeed = r.seededWithoutTest;
   out.avoidedPrune = r.prunedWithoutTest;
+  out.reasonerSatCalls = r.reasonerSatCalls;
+  out.reasonerCacheHits = r.reasonerCacheHits;
+  out.reasonerClashes = r.reasonerClashes;
+  out.crossCacheHits = r.crossCacheHits;
+  out.mergeRefuted = r.mergeRefuted;
   for (const CycleStats& c : r.cycles) {
     switch (c.phase) {
       case CycleStats::Phase::kRandomDivision:
@@ -247,7 +259,10 @@ int main(int argc, char** argv) {
         "\"busy_ns\": %llu, \"steals\": %llu, \"tests\": %llu, "
         "\"tests_avoided_seed\": %llu, \"tests_avoided_prune\": %llu, "
         "\"phase_random_ns\": %llu, \"phase_group_ns\": %llu, "
-        "\"phase_taxonomy_ns\": %llu}%s\n",
+        "\"phase_taxonomy_ns\": %llu, "
+        "\"reasoner_sat_calls\": %llu, \"reasoner_cache_hits\": %llu, "
+        "\"reasoner_clashes\": %llu, \"cross_cache_hits\": %llu, "
+        "\"merge_refuted\": %llu}%s\n",
         row.threads, row.mode, row.seeded ? "true" : "false",
         static_cast<unsigned long long>(row.stats.wallNsMin),
         static_cast<unsigned long long>(row.stats.wallNsMin),
@@ -260,6 +275,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(row.best.randomNs),
         static_cast<unsigned long long>(row.best.groupNs),
         static_cast<unsigned long long>(row.best.taxonomyNs),
+        static_cast<unsigned long long>(row.best.reasonerSatCalls),
+        static_cast<unsigned long long>(row.best.reasonerCacheHits),
+        static_cast<unsigned long long>(row.best.reasonerClashes),
+        static_cast<unsigned long long>(row.best.crossCacheHits),
+        static_cast<unsigned long long>(row.best.mergeRefuted),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

@@ -753,6 +753,14 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
   result.seededWithoutTest = seeded_;
   result.failedTests = failedTests_.value();
   result.retriedTests = retriedTests_.value();
+  // Engine-level numbers (zero for plug-ins without engine internals).
+  // Workers are joined by the phase barriers above, so the read is exact.
+  const ReasonerStats rs = plugin_.reasonerStats();
+  result.reasonerSatCalls = rs.satCalls;
+  result.reasonerCacheHits = rs.cacheHits;
+  result.reasonerClashes = rs.clashes;
+  result.crossCacheHits = rs.crossCacheHits;
+  result.mergeRefuted = rs.mergeRefuted;
   result.unresolvedPairs = store_.unresolvedPairs();
   std::sort(result.unresolvedPairs.begin(), result.unresolvedPairs.end());
   result.unresolvedConcepts = store_.unresolvedConcepts();

@@ -123,6 +123,13 @@ struct ClassificationResult {
     return prunedWithoutTest + seededWithoutTest;
   }
 
+  // --- reasoner-engine report (plug-ins exposing engine internals) -----------
+  std::uint64_t reasonerSatCalls = 0;   // engine label evaluations
+  std::uint64_t reasonerCacheHits = 0;  // private memo hits
+  std::uint64_t reasonerClashes = 0;
+  std::uint64_t crossCacheHits = 0;  // shared sat-cache verdicts reused
+  std::uint64_t mergeRefuted = 0;    // subs tests refuted by model merging
+
   // --- fault-tolerance report ------------------------------------------------
   std::uint64_t failedTests = 0;   // plug-in calls that returned kFailed
   std::uint64_t retriedTests = 0;  // calls that were retries of failed keys

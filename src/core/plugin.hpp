@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <new>
 #include <stdexcept>
+#include <vector>
 
 #include "owl/ids.hpp"
 
@@ -51,6 +52,20 @@ struct TestVerdict {
   static TestVerdict failed(FailureKind kind) {
     return {TestOutcome::kFailed, kind};
   }
+};
+
+/// Engine-level statistics a plug-in may expose (all zero for plug-ins —
+/// mocks, remote reasoners — that have no engine internals to report).
+/// satCalls/cacheHits/clashes describe the decision procedure itself;
+/// crossCacheHits counts verdicts reused from a cross-worker shared cache
+/// and mergeRefuted counts subsumption tests refuted by pseudo-model
+/// merging without running the engine at all.
+struct ReasonerStats {
+  std::uint64_t satCalls = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t clashes = 0;
+  std::uint64_t crossCacheHits = 0;
+  std::uint64_t mergeRefuted = 0;
 };
 
 class ReasonerPlugin {
@@ -92,6 +107,17 @@ class ReasonerPlugin {
   /// Total number of sat + subsumption tests served (approximate under
   /// concurrency; used for statistics only).
   virtual std::uint64_t testCount() const = 0;
+
+  /// Aggregated engine statistics (quiescent reads only — call between
+  /// executor barriers). Decorator plug-ins must forward to the inner
+  /// reasoner so the numbers survive guarding/fault-injection layers.
+  virtual ReasonerStats reasonerStats() const { return {}; }
+
+  /// Per-worker engine statistics, one entry per internal workspace (order
+  /// unspecified). Empty for plug-ins without per-thread engine state.
+  virtual std::vector<ReasonerStats> perWorkerReasonerStats() const {
+    return {};
+  }
 };
 
 }  // namespace owlcl

@@ -29,6 +29,7 @@
 
 // Reasoners
 #include "elcore/el_reasoner.hpp"
+#include "reasoner/pseudo_model.hpp"
 #include "reasoner/tableau_reasoner.hpp"
 
 // Parallel classification (the paper's architecture)
@@ -53,6 +54,7 @@
 // Substrates
 #include "parallel/atomic_bitmatrix.hpp"
 #include "parallel/cancellation.hpp"
+#include "parallel/concurrent_cache.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/bitset.hpp"
 #include "util/rng.hpp"

@@ -1,0 +1,195 @@
+// ConcurrentSatCache — a sharded, insert-only concurrent hash map from
+// canonical tableau labels to satisfiability verdicts, shared by every
+// worker's Tableau workspace so a verdict derived on one thread
+// short-circuits the same evaluation on every other thread.
+//
+// Design (DESIGN.md §11):
+//   - Open addressing over fixed-capacity 64-byte slots; the key hash
+//     picks a bounded probe window (the shard stripe) inside the table. A
+//     slot holds an 8-byte atomic meta word plus the key inline (up to
+//     kMaxKeyLen ExprIds). Longer labels
+//     are simply not shared — deep labels are rare and per-worker caches
+//     still memoise them.
+//   - Lock-free reads: a lookup acquire-loads the meta word; the publish
+//     protocol (empty → busy via CAS, plain key stores, release-store of
+//     the ready meta) guarantees the key bytes are fully visible whenever
+//     the meta reads as ready. The meta word embeds a 52-bit hash
+//     fingerprint + key length, but a hit is only declared after a full
+//     key comparison — a fingerprint collision can cost a compare, never
+//     a wrong verdict.
+//   - Insert-only, bounded: slots are never updated or evicted. An insert
+//     probes a bounded window inside one shard and is *rejected* when the
+//     window is full — the cache degrades to the private-cache baseline
+//     instead of growing or blocking. Entries are immutable once ready,
+//     so "stale" reads cannot exist; a concurrent miss is always safe
+//     (the caller just runs the tableau).
+//   - Duplicate inserts of the same key are harmless: verdicts are
+//     deterministic functions of the label, so both writers store the
+//     same value and the first one wins the slot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/sharded_counter.hpp"
+
+namespace owlcl {
+
+class ConcurrentSatCache {
+ public:
+  enum class Verdict : std::uint8_t { kMiss = 0, kUnsat = 1, kSat = 2 };
+
+  /// Longest key (in 32-bit ids) a slot can hold inline.
+  static constexpr std::size_t kMaxKeyLen = 14;
+  /// Probe window per insert/lookup; bounds the cost of a full shard.
+  static constexpr std::size_t kProbeWindow = 32;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;        // slots won (first writer)
+    std::uint64_t duplicates = 0;     // key already present
+    std::uint64_t rejectedFull = 0;   // probe window exhausted
+    std::uint64_t rejectedLong = 0;   // key longer than kMaxKeyLen
+  };
+
+  /// `slots` is rounded up to a power of two (min 1024). Each slot is 64
+  /// bytes, so memory is 64 * slots.
+  explicit ConcurrentSatCache(std::size_t slots)
+      : slots_(roundCapacity(slots)), mask_(slots_.size() - 1) {}
+
+  ConcurrentSatCache(const ConcurrentSatCache&) = delete;
+  ConcurrentSatCache& operator=(const ConcurrentSatCache&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Lock-free lookup. kMiss is always a safe answer.
+  Verdict lookup(const std::uint32_t* key, std::size_t len) const {
+    if (len == 0 || len > kMaxKeyLen) return Verdict::kMiss;
+    const std::uint64_t h = hashKey(key, len);
+    std::size_t idx = slotBase(h);
+    for (std::size_t probe = 0; probe < kProbeWindow; ++probe, idx = next(idx)) {
+      const Slot& s = slots_[idx];
+      const std::uint64_t m = s.meta.load(std::memory_order_acquire);
+      // Writers claim slots in probe order and never release them, so an
+      // empty slot proves the key is not further along this window.
+      if (m == kEmptyMeta) break;
+      if (m == kBusyMeta) continue;  // mid-publish; the key may be beyond
+      if (!metaMatches(m, h, len) || !keyEquals(s, key, len)) continue;
+      hits_.add();
+      return (m & kSatBit) != 0 ? Verdict::kSat : Verdict::kUnsat;
+    }
+    misses_.add();
+    return Verdict::kMiss;
+  }
+
+  /// Publishes a verdict. Returns false when the key cannot be stored
+  /// (too long, or the probe window is full) — never blocks, never evicts.
+  bool insert(const std::uint32_t* key, std::size_t len, bool satisfiable) {
+    if (len == 0 || len > kMaxKeyLen) {
+      rejectedLong_.add();
+      return false;
+    }
+    const std::uint64_t h = hashKey(key, len);
+    const std::uint64_t ready = readyMeta(h, len, satisfiable);
+    std::size_t idx = slotBase(h);
+    for (std::size_t probe = 0; probe < kProbeWindow; ++probe, idx = next(idx)) {
+      Slot& s = slots_[idx];
+      std::uint64_t m = s.meta.load(std::memory_order_acquire);
+      while (m == kEmptyMeta) {
+        if (s.meta.compare_exchange_weak(m, kBusyMeta,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          for (std::size_t i = 0; i < len; ++i) s.key[i] = key[i];
+          s.meta.store(ready, std::memory_order_release);
+          inserts_.add();
+          return true;
+        }
+        // CAS failed: m now holds the observed meta; re-dispatch below.
+      }
+      if (m == kBusyMeta) continue;  // another writer owns this slot
+      if (metaMatches(m, h, len) && keyEquals(s, key, len)) {
+        duplicates_.add();  // deterministic verdicts: first writer wins
+        return true;
+      }
+    }
+    rejectedFull_.add();
+    return false;
+  }
+
+  Stats stats() const {
+    return {hits_.value(),         misses_.value(),      inserts_.value(),
+            duplicates_.value(),   rejectedFull_.value(),
+            rejectedLong_.value()};
+  }
+
+ private:
+  // Meta word: 0 = empty, 1 = busy (writer copying the key). Ready metas
+  // always have kReadyBit set: fingerprint in the high 52 bits, the key
+  // length in bits [11:4], the verdict in bit 0.
+  static constexpr std::uint64_t kEmptyMeta = 0;
+  static constexpr std::uint64_t kBusyMeta = 1;
+  static constexpr std::uint64_t kReadyBit = 0x4;
+  static constexpr std::uint64_t kSatBit = 0x1;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> meta{kEmptyMeta};
+    std::uint32_t key[kMaxKeyLen];
+  };
+  static_assert(sizeof(Slot) == 64, "one slot per cache line");
+
+  static std::uint64_t readyMeta(std::uint64_t h, std::size_t len, bool sat) {
+    return (h & ~0xFFFULL) | (static_cast<std::uint64_t>(len) << 4) |
+           kReadyBit | (sat ? kSatBit : 0);
+  }
+  static bool metaMatches(std::uint64_t m, std::uint64_t h, std::size_t len) {
+    return (m & ~0xFFFULL) == (h & ~0xFFFULL) && ((m >> 4) & 0xFF) == len;
+  }
+  static bool keyEquals(const Slot& s, const std::uint32_t* key,
+                        std::size_t len) {
+    for (std::size_t i = 0; i < len; ++i)
+      if (s.key[i] != key[i]) return false;
+    return true;
+  }
+
+  /// FNV-1a over the ids with a splitmix64 finalizer: the tableau's VecHash
+  /// alone clusters low bits for short labels, and both the shard index and
+  /// the fingerprint must be well mixed.
+  static std::uint64_t hashKey(const std::uint32_t* key, std::size_t len) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= key[i];
+      h *= 1099511628211ULL;
+    }
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBULL;
+    h ^= h >> 31;
+    return h;
+  }
+
+  static std::size_t roundCapacity(std::size_t slots) {
+    std::size_t cap = 1024;
+    while (cap < slots) cap <<= 1;
+    return cap;
+  }
+
+  std::size_t slotBase(std::uint64_t h) const {
+    return static_cast<std::size_t>(h) & mask_;
+  }
+  std::size_t next(std::size_t idx) const { return (idx + 1) & mask_; }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  mutable ShardedCounter hits_;
+  mutable ShardedCounter misses_;
+  ShardedCounter inserts_;
+  ShardedCounter duplicates_;
+  ShardedCounter rejectedFull_;
+  ShardedCounter rejectedLong_;
+};
+
+}  // namespace owlcl

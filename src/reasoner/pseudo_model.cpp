@@ -1,0 +1,109 @@
+#include "reasoner/pseudo_model.hpp"
+
+#include <algorithm>
+
+#include "reasoner/kb.hpp"
+
+namespace owlcl {
+
+namespace {
+
+void sortUnique(std::vector<std::uint32_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// Sorted-range disjointness.
+bool disjoint(const std::vector<std::uint32_t>& a,
+              const std::vector<std::uint32_t>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib)
+      ++ia;
+    else if (*ib < *ia)
+      ++ib;
+    else
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PseudoModel extractPseudoModel(const ReasonerKb& kb,
+                               const std::vector<ExprId>& rootLabel) {
+  const ExprFactory& f = kb.tbox->exprs();
+  const RoleBox& rb = kb.tbox->roles();
+  PseudoModel pm;
+  for (ExprId e : rootLabel) {
+    const ExprNode node = f.node(e);
+    switch (node.kind) {
+      case ExprKind::kAtom:
+        pm.pos.push_back(node.atom);
+        break;
+      case ExprKind::kNot: {
+        const ExprId inner = f.children(e)[0];
+        if (f.kind(inner) != ExprKind::kAtom) return {};  // not NNF: bail
+        pm.neg.push_back(f.node(inner).atom);
+        break;
+      }
+      case ExprKind::kExists:
+        pm.existsRoles.push_back(node.role);
+        break;
+      case ExprKind::kAtLeast:
+        if (node.number > 0) pm.existsRoles.push_back(node.role);
+        break;
+      case ExprKind::kForall:
+        pm.forallRoles.push_back(node.role);
+        break;
+      case ExprKind::kAtMost:
+        pm.atmostRoles.push_back(node.role);
+        break;
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+      case ExprKind::kTop:
+        break;  // already expanded / inert at a complete clash-free node
+      default:
+        return {};  // ⊥ or unknown kind: refuse to summarise
+    }
+  }
+  // Close ∃-edges under super-roles so merge checks see every role the
+  // edge counts for (covers ∀/∀⁺ propagation and ≤ counting over
+  // super-roles without a RoleBox lookup at merge time).
+  std::vector<RoleId> closed;
+  for (RoleId r : pm.existsRoles)
+    for (std::size_t s : rb.superRoles(r).setBits())
+      closed.push_back(static_cast<RoleId>(s));
+  pm.existsRoles = std::move(closed);
+  sortUnique(pm.pos);
+  sortUnique(pm.neg);
+  sortUnique(pm.existsRoles);
+  sortUnique(pm.forallRoles);
+  sortUnique(pm.atmostRoles);
+  pm.valid = true;
+  return pm;
+}
+
+bool pseudoModelsMergable(const PseudoModel& a, const PseudoModel& b) {
+  if (!a.valid || !b.valid) return false;
+  // Atomic interaction: the union root must stay clash-free, so the atom
+  // sets may not clash cross-wise. Same-polarity overlap is fine — both
+  // sides already expanded the shared member (unfolding, ⊓/⊔ choices,
+  // global constraints), and the union keeps a single copy. A cross-side
+  // complementary *complex* pair bottoms out, by structural induction over
+  // NNF, in either an atomic clash (caught here) or an ∃/∀ or ≥/≤ pair
+  // over one role (caught by the signature checks below).
+  if (!disjoint(a.pos, b.neg) || !disjoint(a.neg, b.pos)) return false;
+  // Role interaction: an ∃-edge of one side that counts for (a super-role
+  // of itself matching) a ∀ or ≤ of the other could force new constraints
+  // into a successor or exceed a bound. existsRoles is super-closed, so a
+  // plain intersection covers r ⊑* s.
+  if (!disjoint(a.existsRoles, b.forallRoles)) return false;
+  if (!disjoint(a.existsRoles, b.atmostRoles)) return false;
+  if (!disjoint(b.existsRoles, a.forallRoles)) return false;
+  if (!disjoint(b.existsRoles, a.atmostRoles)) return false;
+  return true;
+}
+
+}  // namespace owlcl

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "reasoner/pseudo_model.hpp"
+
 namespace owlcl {
 
 Tableau::Tableau(const ReasonerKb& kb) : kb_(kb), f_(kb.tbox->exprs()) {
@@ -10,10 +12,25 @@ Tableau::Tableau(const ReasonerKb& kb) : kb_(kb), f_(kb.tbox->exprs()) {
 
 void Tableau::clearCaches() {
   satCache_.clear();
+  stats_ = {};
 }
 
 bool Tableau::isSatisfiable(std::vector<ExprId> init) {
   const bool result = satRec(std::move(init));
+  OWLCL_DEBUG_ASSERT(taintStack_.empty());
+  return result;
+}
+
+bool Tableau::isSatisfiable(std::vector<ExprId> init, PseudoModel* rootModel) {
+  extract_ = rootModel;
+  bool result;
+  try {
+    result = satRec(std::move(init));
+  } catch (...) {
+    extract_ = nullptr;
+    throw;
+  }
+  extract_ = nullptr;
   OWLCL_DEBUG_ASSERT(taintStack_.empty());
   return result;
 }
@@ -28,9 +45,24 @@ bool Tableau::satRec(std::vector<ExprId> init) {
   canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
   if (std::binary_search(canon.begin(), canon.end(), f_.bottom())) return false;
 
-  if (auto it = satCache_.find(canon); it != satCache_.end()) {
-    ++stats_.cacheHits;
-    return it->second;
+  // A pseudo-model extraction forces the root evaluation to run (skipping
+  // both caches) so a completed root label exists to summarise; recursion
+  // below the root still uses them.
+  const bool extracting = extract_ != nullptr && taintStack_.empty();
+  if (!extracting) {
+    if (auto it = satCache_.find(canon); it != satCache_.end()) {
+      ++stats_.cacheHits;
+      return it->second;
+    }
+    if (shared_ != nullptr) {
+      const auto v = shared_->lookup(canon.data(), canon.size());
+      if (v != ConcurrentSatCache::Verdict::kMiss) {
+        ++stats_.crossCacheHits;
+        const bool sat = v == ConcurrentSatCache::Verdict::kSat;
+        satCache_.emplace(canon, sat);  // memoise locally: cheaper re-hits
+        return sat;
+      }
+    }
   }
   if (auto it = openDepth_.find(canon); it != openDepth_.end()) {
     // Anywhere equality-blocking: assume satisfiable, taint every frame
@@ -63,13 +95,22 @@ bool Tableau::satRec(std::vector<ExprId> init) {
   }
   if (result) result = propositionalSearch(fr);
 
+  // On a successful extracting root run, fr.label is the propositionally
+  // complete clash-free assignment propositionalSearch stopped on.
+  if (extracting && result) *extract_ = extractPseudoModel(kb_, fr.label);
+
   openDepth_.erase(canon);
   const bool tainted = taintStack_.back();
   taintStack_.pop_back();
 
   // Unsat results never depend on the optimistic blocking assumption (it
   // only over-approximates satisfiability), so they are always cacheable.
-  if (!result || !tainted) satCache_.emplace(std::move(canon), result);
+  // The shared cache publishes under the exact same rule: a tainted SAT is
+  // a thread-local assumption, everything else is a fact about the KB.
+  if (!result || !tainted) {
+    if (shared_ != nullptr) shared_->insert(canon.data(), canon.size(), result);
+    satCache_.emplace(std::move(canon), result);
+  }
   return result;
 }
 

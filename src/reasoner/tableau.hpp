@@ -30,9 +30,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include "parallel/concurrent_cache.hpp"
 #include "reasoner/kb.hpp"
 
 namespace owlcl {
+
+struct PseudoModel;
 
 struct TableauStats {
   std::uint64_t satCalls = 0;     // recursive label evaluations
@@ -41,6 +44,7 @@ struct TableauStats {
   std::uint64_t expansions = 0;   // label additions (cost proxy)
   std::uint64_t branches = 0;     // ⊔ / choose / merge choice points
   std::uint64_t clashes = 0;
+  std::uint64_t crossCacheHits = 0;  // shared-cache verdicts reused
 };
 
 class Tableau {
@@ -51,10 +55,25 @@ class Tableau {
   /// closure expressions (typically {X} or {X, ¬Y}).
   bool isSatisfiable(std::vector<ExprId> init);
 
+  /// As above, but on a satisfiable result additionally extracts the root
+  /// pseudo-model into *rootModel. The root evaluation bypasses the sat
+  /// caches (so the completed root label actually exists to summarise —
+  /// the recursion below it still uses them), and a root result is never
+  /// tainted (taints only reach frames *above* the blocked one), so the
+  /// extracted summary always describes a genuine model.
+  bool isSatisfiable(std::vector<ExprId> init, PseudoModel* rootModel);
+
+  /// Attaches a cross-worker verdict cache (may be nullptr to detach).
+  /// Lookups consult it after the private cache; verdicts are published
+  /// under the same taint rule that gates private memoisation.
+  void attachSharedCache(ConcurrentSatCache* shared) { shared_ = shared; }
+
   const TableauStats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
 
-  /// Drops the memoisation tables (used by the cache ablation bench).
+  /// Drops the memoisation tables and zeroes the statistics, so ablation
+  /// runs over one workspace don't leak hit counts across modes. An
+  /// attached shared cache is external state and is left untouched.
   void clearCaches();
 
  private:
@@ -116,6 +135,8 @@ class Tableau {
   const ReasonerKb& kb_;
   const ExprFactory& f_;
   TableauStats stats_;
+  ConcurrentSatCache* shared_ = nullptr;  // cross-worker cache (optional)
+  PseudoModel* extract_ = nullptr;        // root-model out-param (optional)
 
   // Memoisation across all queries of this workspace.
   std::unordered_map<std::vector<ExprId>, bool, VecHash> satCache_;

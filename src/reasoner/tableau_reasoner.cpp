@@ -1,23 +1,80 @@
 #include "reasoner/tableau_reasoner.hpp"
 
+#include <algorithm>
+
 #include "util/stopwatch.hpp"
 
 namespace owlcl {
+
+TableauReasoner::TableauReasoner(TBox& tbox, TableauReasonerConfig config)
+    : kb_(buildKb(tbox)), config_(config) {
+  if (config_.sharedCache) {
+    std::size_t slots = config_.sharedCacheSlots;
+    if (slots == 0)
+      slots = std::min<std::size_t>(
+          std::max<std::size_t>(kb_.atomExpr.size() * 64, 4096), 1ULL << 20);
+    sharedCache_ = std::make_unique<ConcurrentSatCache>(slots);
+  }
+  if (config_.mergeModels)
+    models_ = std::make_unique<SharedModelStore>(kb_.atomExpr.size());
+}
 
 Tableau& TableauReasoner::workspace() {
   const std::thread::id id = std::this_thread::get_id();
   std::lock_guard<std::mutex> lock(wsMu_);
   auto it = workspaces_.find(id);
-  if (it == workspaces_.end())
+  if (it == workspaces_.end()) {
     it = workspaces_.emplace(id, std::make_unique<Tableau>(kb_)).first;
+    if (sharedCache_) it->second->attachSharedCache(sharedCache_.get());
+  }
   return *it->second;
+}
+
+const PseudoModel* TableauReasoner::modelFor(ConceptId c, bool negated,
+                                             Tableau& t) {
+  if (const PseudoModel* m = models_->find(c, negated)) return m;
+  if (!models_->claim(c, negated)) return nullptr;  // built elsewhere/absent
+  PseudoModel pm;
+  bool sat = false;
+  try {
+    sat = t.isSatisfiable({negated ? kb_.negAtomExpr[c] : kb_.atomExpr[c]},
+                          &pm);
+  } catch (...) {
+    models_->abandon(c, negated);  // never leave a slot stuck in building
+    throw;
+  }
+  if (sat && pm.valid) {
+    models_->publish(c, negated, std::move(pm));
+    return models_->find(c, negated);
+  }
+  models_->abandon(c, negated);
+  return nullptr;
 }
 
 bool TableauReasoner::isSatisfiable(ConceptId c, std::uint64_t* costNs) {
   tests_.fetch_add(1, std::memory_order_relaxed);
   Tableau& t = workspace();
   Stopwatch sw;
-  const bool result = t.isSatisfiable({kb_.atomExpr[c]});
+  bool result;
+  // With model merging on, the first sat test of a concept doubles as the
+  // pseudo-model build for {c} (the classifier ensures sat before any
+  // subsumption test touches a concept, so models are usually warm).
+  if (models_ && models_->find(c, false) == nullptr &&
+      models_->claim(c, false)) {
+    PseudoModel pm;
+    try {
+      result = t.isSatisfiable({kb_.atomExpr[c]}, &pm);
+    } catch (...) {
+      models_->abandon(c, false);
+      throw;
+    }
+    if (result && pm.valid)
+      models_->publish(c, false, std::move(pm));
+    else
+      models_->abandon(c, false);
+  } else {
+    result = t.isSatisfiable({kb_.atomExpr[c]});
+  }
   if (costNs != nullptr) *costNs = static_cast<std::uint64_t>(sw.elapsedNs());
   return result;
 }
@@ -27,6 +84,20 @@ bool TableauReasoner::isSubsumedBy(ConceptId sub, ConceptId sup,
   tests_.fetch_add(1, std::memory_order_relaxed);
   Tableau& t = workspace();
   Stopwatch sw;
+  if (models_) {
+    // Model-merging fast path: if the models of {sub} and {¬sup} merge,
+    // their union is a model of {sub, ¬sup} — sound non-subsumption with
+    // no tableau run. A missing model or failed merge just falls through.
+    const PseudoModel* msub = modelFor(sub, false, t);
+    const PseudoModel* mneg = msub != nullptr ? modelFor(sup, true, t) : nullptr;
+    if (msub != nullptr && mneg != nullptr &&
+        pseudoModelsMergable(*msub, *mneg)) {
+      mergeRefuted_.fetch_add(1, std::memory_order_relaxed);
+      if (costNs != nullptr)
+        *costNs = static_cast<std::uint64_t>(sw.elapsedNs());
+      return false;
+    }
+  }
   // sub ⊑ sup  ⟺  sub ⊓ ¬sup unsatisfiable.
   const bool result =
       !t.isSatisfiable({kb_.atomExpr[sub], kb_.negAtomExpr[sup]});
@@ -45,8 +116,36 @@ TableauStats TableauReasoner::aggregatedStats() const {
     agg.expansions += s.expansions;
     agg.branches += s.branches;
     agg.clashes += s.clashes;
+    agg.crossCacheHits += s.crossCacheHits;
   }
   return agg;
+}
+
+ReasonerStats TableauReasoner::reasonerStats() const {
+  const TableauStats agg = aggregatedStats();
+  ReasonerStats rs;
+  rs.satCalls = agg.satCalls;
+  rs.cacheHits = agg.cacheHits;
+  rs.clashes = agg.clashes;
+  rs.crossCacheHits = agg.crossCacheHits;
+  rs.mergeRefuted = mergeRefuted_.load(std::memory_order_relaxed);
+  return rs;
+}
+
+std::vector<ReasonerStats> TableauReasoner::perWorkerReasonerStats() const {
+  std::vector<ReasonerStats> out;
+  std::lock_guard<std::mutex> lock(wsMu_);
+  out.reserve(workspaces_.size());
+  for (const auto& [id, ws] : workspaces_) {
+    const TableauStats& s = ws->stats();
+    ReasonerStats rs;
+    rs.satCalls = s.satCalls;
+    rs.cacheHits = s.cacheHits;
+    rs.clashes = s.clashes;
+    rs.crossCacheHits = s.crossCacheHits;
+    out.push_back(rs);  // mergeRefuted is reasoner-global, not per-worker
+  }
+  return out;
 }
 
 }  // namespace owlcl

@@ -3,6 +3,14 @@
 // one engine workspace per calling thread (each workspace keeps its own
 // sat/unsat caches, so classification workers never contend on reasoner
 // state; the shared ReasonerKb is immutable).
+//
+// Two optional cross-worker layers sit on top of the private workspaces
+// (DESIGN.md §11):
+//   - a shared lock-free sat-verdict cache attached to every workspace,
+//     so a label evaluated by one worker short-circuits all others;
+//   - a shared pseudo-model store driving the model-merging fast path,
+//     which refutes most negative subsumption tests without any tableau
+//     run at all.
 #pragma once
 
 #include <atomic>
@@ -10,16 +18,29 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/plugin.hpp"
+#include "parallel/concurrent_cache.hpp"
+#include "reasoner/pseudo_model.hpp"
 #include "reasoner/tableau.hpp"
 
 namespace owlcl {
 
+struct TableauReasonerConfig {
+  /// Share one lock-free verdict cache across all worker workspaces.
+  bool sharedCache = false;
+  /// Slot budget for the shared cache; 0 sizes it from the ontology
+  /// (64 slots per named concept, clamped to [4096, 2^20]).
+  std::size_t sharedCacheSlots = 0;
+  /// Pseudo-model merging fast path for subsumption tests.
+  bool mergeModels = false;
+};
+
 class TableauReasoner : public ReasonerPlugin {
  public:
   /// Preprocesses (and freezes) `tbox`. The TBox must outlive the reasoner.
-  explicit TableauReasoner(TBox& tbox) : kb_(buildKb(tbox)) {}
+  explicit TableauReasoner(TBox& tbox, TableauReasonerConfig config = {});
 
   bool isSatisfiable(ConceptId c, std::uint64_t* costNs = nullptr) override;
   bool isSubsumedBy(ConceptId sub, ConceptId sup,
@@ -27,17 +48,37 @@ class TableauReasoner : public ReasonerPlugin {
   std::uint64_t testCount() const override {
     return tests_.load(std::memory_order_relaxed);
   }
+  ReasonerStats reasonerStats() const override;
+  std::vector<ReasonerStats> perWorkerReasonerStats() const override;
 
   const ReasonerKb& kb() const { return kb_; }
+  const TableauReasonerConfig& config() const { return config_; }
 
   /// Aggregated engine statistics across all thread workspaces.
   TableauStats aggregatedStats() const;
 
+  /// Shared-cache statistics (zero-initialised when the cache is off).
+  ConcurrentSatCache::Stats sharedCacheStats() const {
+    return sharedCache_ ? sharedCache_->stats() : ConcurrentSatCache::Stats{};
+  }
+  /// Subsumption tests refuted by pseudo-model merging alone.
+  std::uint64_t mergeRefutedCount() const {
+    return mergeRefuted_.load(std::memory_order_relaxed);
+  }
+
  private:
   Tableau& workspace();
+  /// Ready pseudo-model for {c} (negated=false) or {¬c} (negated=true),
+  /// building it with `t` if this thread wins the claim; nullptr when the
+  /// slot is absent or being built elsewhere.
+  const PseudoModel* modelFor(ConceptId c, bool negated, Tableau& t);
 
   ReasonerKb kb_;
+  TableauReasonerConfig config_;
+  std::unique_ptr<ConcurrentSatCache> sharedCache_;
+  std::unique_ptr<SharedModelStore> models_;
   std::atomic<std::uint64_t> tests_{0};
+  std::atomic<std::uint64_t> mergeRefuted_{0};
   mutable std::mutex wsMu_;
   std::unordered_map<std::thread::id, std::unique_ptr<Tableau>> workspaces_;
 };

@@ -151,6 +151,12 @@ class FaultInjector : public ReasonerPlugin {
                     std::uint64_t* costNs = nullptr) override;
 
   std::uint64_t testCount() const override { return inner_.testCount(); }
+  ReasonerStats reasonerStats() const override {
+    return inner_.reasonerStats();
+  }
+  std::vector<ReasonerStats> perWorkerReasonerStats() const override {
+    return inner_.perWorkerReasonerStats();
+  }
 
   FaultInjectorStats stats() const;
 

@@ -80,6 +80,12 @@ class GuardedPlugin : public ReasonerPlugin {
                             std::uint64_t* costNs = nullptr) override;
 
   std::uint64_t testCount() const override { return inner_.testCount(); }
+  ReasonerStats reasonerStats() const override {
+    return inner_.reasonerStats();
+  }
+  std::vector<ReasonerStats> perWorkerReasonerStats() const override {
+    return inner_.perWorkerReasonerStats();
+  }
 
   GuardStats stats() const;
   std::uint64_t deadlineNs() const { return config_.deadlineNs; }

@@ -2,6 +2,10 @@
 // expected shapes (guards the examples/ directory against rot).
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <sstream>
+#include <string>
+
 #include "core/parallel_classifier.hpp"
 #include "core/real_executor.hpp"
 #include "elcore/el_reasoner.hpp"
@@ -20,6 +24,40 @@ ClassificationResult classify(TBox& tbox) {
   ThreadPool pool(2);
   RealExecutor exec(pool);
   return classifier.classify(exec);
+}
+
+// Classifies a freshly parsed copy of an example ontology under the given
+// avoidance mode and renders the taxonomy (each reasoner freezes its TBox,
+// so every mode parses its own).
+std::string classifyModeTaxonomy(
+    const std::function<void(TBox&)>& parse, bool sharedCache,
+    bool mergeModels, std::uint64_t* avoided = nullptr) {
+  TBox tbox;
+  parse(tbox);
+  TableauReasonerConfig tc;
+  tc.sharedCache = sharedCache;
+  tc.mergeModels = mergeModels;
+  TableauReasoner reasoner(tbox, tc);
+  ParallelClassifier classifier(tbox, reasoner);
+  ThreadPool pool(4);
+  RealExecutor exec(pool);
+  const ClassificationResult r = classifier.classify(exec);
+  if (avoided != nullptr) *avoided = r.crossCacheHits + r.mergeRefuted;
+  std::ostringstream tree;
+  r.taxonomy.print(tree, tbox);
+  return tree.str();
+}
+
+// Shared cache + pseudo-model merging must reproduce the plain taxonomy
+// byte for byte on the real example ontologies, and the fast path must
+// actually fire there (these are the workloads the ablation bench reports).
+void expectAvoidanceParity(const std::function<void(TBox&)>& parse) {
+  const std::string plain = classifyModeTaxonomy(parse, false, false);
+  ASSERT_FALSE(plain.empty());
+  std::uint64_t avoided = 0;
+  EXPECT_EQ(classifyModeTaxonomy(parse, true, false), plain);
+  EXPECT_EQ(classifyModeTaxonomy(parse, true, true, &avoided), plain);
+  EXPECT_GT(avoided, 0u);
 }
 
 TEST(ExampleData, UniversityOfn) {
@@ -67,6 +105,19 @@ TEST(ExampleData, AnatomyObo) {
   EXPECT_FALSE(r.taxonomy.subsumes(id("HeartComponent"), id("UBERON:0004141")));
   const TaxonomyIssues issues = verifyStructure(r.taxonomy);
   EXPECT_TRUE(issues.ok()) << issues.summary();
+}
+
+TEST(ExampleData, UniversityOfnAvoidanceParity) {
+  expectAvoidanceParity([](TBox& tbox) {
+    parseFunctionalSyntaxFile(
+        std::string(OWLCL_EXAMPLE_DATA_DIR) + "/university.ofn", tbox);
+  });
+}
+
+TEST(ExampleData, AnatomyOboAvoidanceParity) {
+  expectAvoidanceParity([](TBox& tbox) {
+    parseOboFile(std::string(OWLCL_EXAMPLE_DATA_DIR) + "/anatomy.obo", tbox);
+  });
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+#include "parallel/concurrent_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace owlcl {
+namespace {
+
+using Verdict = ConcurrentSatCache::Verdict;
+
+std::vector<std::uint32_t> keyFor(std::uint32_t i, std::size_t len) {
+  std::vector<std::uint32_t> k(len);
+  for (std::size_t j = 0; j < len; ++j)
+    k[j] = i * 2654435761u + static_cast<std::uint32_t>(j) * 40503u;
+  return k;
+}
+
+TEST(ConcurrentSatCache, InsertLookupRoundTrip) {
+  ConcurrentSatCache cache(4096);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const auto k = keyFor(i, 1 + i % ConcurrentSatCache::kMaxKeyLen);
+    ASSERT_TRUE(cache.insert(k.data(), k.size(), i % 2 == 0));
+  }
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const auto k = keyFor(i, 1 + i % ConcurrentSatCache::kMaxKeyLen);
+    EXPECT_EQ(cache.lookup(k.data(), k.size()),
+              i % 2 == 0 ? Verdict::kSat : Verdict::kUnsat);
+  }
+  EXPECT_EQ(cache.stats().inserts, 500u);
+  EXPECT_EQ(cache.stats().hits, 500u);
+}
+
+TEST(ConcurrentSatCache, MissOnUnknownKey) {
+  ConcurrentSatCache cache(1024);
+  const auto k = keyFor(1, 4);
+  EXPECT_EQ(cache.lookup(k.data(), k.size()), Verdict::kMiss);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ConcurrentSatCache, DuplicateInsertKeepsFirstVerdict) {
+  ConcurrentSatCache cache(1024);
+  const auto k = keyFor(7, 3);
+  ASSERT_TRUE(cache.insert(k.data(), k.size(), true));
+  ASSERT_TRUE(cache.insert(k.data(), k.size(), true));  // duplicate ok
+  EXPECT_EQ(cache.lookup(k.data(), k.size()), Verdict::kSat);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.stats().duplicates, 1u);
+}
+
+TEST(ConcurrentSatCache, OverlongKeyRejectedNotStored) {
+  ConcurrentSatCache cache(1024);
+  const auto k = keyFor(3, ConcurrentSatCache::kMaxKeyLen + 1);
+  EXPECT_FALSE(cache.insert(k.data(), k.size(), true));
+  EXPECT_EQ(cache.lookup(k.data(), k.size()), Verdict::kMiss);
+  EXPECT_EQ(cache.stats().rejectedLong, 1u);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+}
+
+TEST(ConcurrentSatCache, EmptyKeyRejected) {
+  ConcurrentSatCache cache(1024);
+  std::uint32_t dummy = 0;
+  EXPECT_FALSE(cache.insert(&dummy, 0, true));
+  EXPECT_EQ(cache.lookup(&dummy, 0), Verdict::kMiss);
+}
+
+TEST(ConcurrentSatCache, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ConcurrentSatCache(1).capacity(), 1024u);
+  EXPECT_EQ(ConcurrentSatCache(1025).capacity(), 2048u);
+  EXPECT_EQ(ConcurrentSatCache(4096).capacity(), 4096u);
+}
+
+// Saturation: a tiny cache must reject inserts instead of evicting or
+// growing, and every verdict that *was* stored must remain correct.
+TEST(ConcurrentSatCache, SaturationRejectsButNeverLies) {
+  ConcurrentSatCache cache(1024);  // minimum capacity
+  std::vector<bool> stored(20000, false);
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    const auto k = keyFor(i, 1 + i % ConcurrentSatCache::kMaxKeyLen);
+    stored[i] = cache.insert(k.data(), k.size(), i % 3 == 0);
+  }
+  EXPECT_GT(cache.stats().rejectedFull, 0u);
+  EXPECT_GT(cache.stats().inserts, 0u);
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    const auto k = keyFor(i, 1 + i % ConcurrentSatCache::kMaxKeyLen);
+    const Verdict v = cache.lookup(k.data(), k.size());
+    if (stored[i])
+      EXPECT_EQ(v, i % 3 == 0 ? Verdict::kSat : Verdict::kUnsat) << i;
+    else
+      EXPECT_EQ(v, Verdict::kMiss) << i;
+  }
+}
+
+// ---- concurrency storms (run these under TSan in CI) -----------------------
+
+// Distinct keys per thread, concurrent readers: any non-miss answer must
+// be the key's deterministic verdict.
+TEST(ConcurrentSatCacheStorm, ConcurrentInsertAndLookup) {
+  ConcurrentSatCache cache(1 << 16);
+  constexpr std::uint32_t kKeys = 4000;
+  const auto verdictOf = [](std::uint32_t i) { return i % 2 == 0; };
+  std::atomic<bool> wrong{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint32_t i = 0; i < kKeys; ++i) {
+        // Interleave: writers cover the key space twice in opposite
+        // directions while everyone reads everything.
+        const std::uint32_t w =
+            t % 2 == 0 ? i : kKeys - 1 - i;
+        const auto k = keyFor(w, 1 + w % ConcurrentSatCache::kMaxKeyLen);
+        cache.insert(k.data(), k.size(), verdictOf(w));
+        const std::uint32_t q = (w * 7919u) % kKeys;
+        const auto kq = keyFor(q, 1 + q % ConcurrentSatCache::kMaxKeyLen);
+        const Verdict v = cache.lookup(kq.data(), kq.size());
+        if (v != Verdict::kMiss &&
+            v != (verdictOf(q) ? Verdict::kSat : Verdict::kUnsat))
+          wrong.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_FALSE(wrong.load());
+  // Quiescent: every key is stored (capacity is ample) and readable.
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    const auto k = keyFor(i, 1 + i % ConcurrentSatCache::kMaxKeyLen);
+    EXPECT_EQ(cache.lookup(k.data(), k.size()),
+              verdictOf(i) ? Verdict::kSat : Verdict::kUnsat);
+  }
+}
+
+// All threads race to insert the SAME keys (the classification pattern:
+// many workers deriving the same label's verdict simultaneously).
+TEST(ConcurrentSatCacheStorm, SameKeyInsertRace) {
+  ConcurrentSatCache cache(1 << 14);
+  constexpr std::uint32_t kKeys = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint32_t i = 0; i < kKeys; ++i) {
+        const auto k = keyFor(i, 1 + i % ConcurrentSatCache::kMaxKeyLen);
+        cache.insert(k.data(), k.size(), i % 2 == 0);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const auto s = cache.stats();
+  // At least one winner per key; a same-key race can briefly win two slots
+  // (the loser of slot i cannot read a busy slot's key and moves on), which
+  // is benign — both hold the same deterministic verdict.
+  EXPECT_GE(s.inserts, kKeys);
+  EXPECT_EQ(s.inserts + s.duplicates + s.rejectedFull, 8u * kKeys);
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    const auto k = keyFor(i, 1 + i % ConcurrentSatCache::kMaxKeyLen);
+    EXPECT_EQ(cache.lookup(k.data(), k.size()),
+              i % 2 == 0 ? Verdict::kSat : Verdict::kUnsat);
+  }
+}
+
+// Saturation under contention: rejects must be clean (no torn slots).
+TEST(ConcurrentSatCacheStorm, ConcurrentSaturation) {
+  ConcurrentSatCache cache(1024);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint32_t i = 0; i < 8000; ++i) {
+        const std::uint32_t w = static_cast<std::uint32_t>(t) * 100000u + i;
+        const auto k = keyFor(w, 1 + w % ConcurrentSatCache::kMaxKeyLen);
+        cache.insert(k.data(), k.size(), w % 2 == 0);
+        cache.lookup(k.data(), k.size());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_GT(cache.stats().rejectedFull, 0u);
+  // Every slot that was won must hold a coherent, readable entry.
+  std::size_t readable = 0;
+  for (int t = 0; t < 8; ++t) {
+    for (std::uint32_t i = 0; i < 8000; ++i) {
+      const std::uint32_t w = static_cast<std::uint32_t>(t) * 100000u + i;
+      const auto k = keyFor(w, 1 + w % ConcurrentSatCache::kMaxKeyLen);
+      const Verdict v = cache.lookup(k.data(), k.size());
+      if (v == Verdict::kMiss) continue;
+      ++readable;
+      EXPECT_EQ(v, w % 2 == 0 ? Verdict::kSat : Verdict::kUnsat);
+    }
+  }
+  EXPECT_EQ(readable, cache.stats().inserts);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -1,0 +1,221 @@
+#include "reasoner/pseudo_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "owl/parser.hpp"
+#include "reasoner/tableau.hpp"
+#include "reasoner/tableau_reasoner.hpp"
+
+namespace owlcl {
+namespace {
+
+// ---- pseudoModelsMergable unit behaviour -----------------------------------
+
+PseudoModel model(std::vector<ConceptId> pos, std::vector<ConceptId> neg,
+                  std::vector<RoleId> exists = {},
+                  std::vector<RoleId> foralls = {},
+                  std::vector<RoleId> atmosts = {}) {
+  PseudoModel m;
+  m.valid = true;
+  m.pos = std::move(pos);
+  m.neg = std::move(neg);
+  m.existsRoles = std::move(exists);
+  m.forallRoles = std::move(foralls);
+  m.atmostRoles = std::move(atmosts);
+  return m;
+}
+
+TEST(PseudoModelMerge, DisjointAtomsMerge) {
+  EXPECT_TRUE(pseudoModelsMergable(model({0, 1}, {2}), model({3}, {4})));
+}
+
+TEST(PseudoModelMerge, SharedPositiveAtomStillMerges) {
+  // Same-polarity overlap is not a clash: both sides already expanded it.
+  EXPECT_TRUE(pseudoModelsMergable(model({0, 1}, {}), model({1, 2}, {})));
+}
+
+TEST(PseudoModelMerge, CrossPolarityClashRefuses) {
+  EXPECT_FALSE(pseudoModelsMergable(model({0}, {}), model({}, {0})));
+  EXPECT_FALSE(pseudoModelsMergable(model({}, {5}), model({5}, {})));
+}
+
+TEST(PseudoModelMerge, ExistsVsForallInteractionRefuses) {
+  // a has an r-edge (role 2), b constrains r-successors: refuse both ways.
+  EXPECT_FALSE(
+      pseudoModelsMergable(model({0}, {}, {2}), model({1}, {}, {}, {2})));
+  EXPECT_FALSE(
+      pseudoModelsMergable(model({0}, {}, {}, {2}), model({1}, {}, {2})));
+}
+
+TEST(PseudoModelMerge, ExistsVsAtMostInteractionRefuses) {
+  EXPECT_FALSE(
+      pseudoModelsMergable(model({0}, {}, {3}), model({1}, {}, {}, {}, {3})));
+}
+
+TEST(PseudoModelMerge, IndependentRoleSignaturesMerge) {
+  EXPECT_TRUE(pseudoModelsMergable(model({0}, {}, {1}, {2}, {3}),
+                                   model({4}, {}, {5}, {6}, {7})));
+}
+
+TEST(PseudoModelMerge, InvalidModelNeverMerges) {
+  PseudoModel invalid;  // valid == false
+  EXPECT_FALSE(pseudoModelsMergable(invalid, model({0}, {})));
+  EXPECT_FALSE(pseudoModelsMergable(model({0}, {}), invalid));
+}
+
+// ---- extraction from real tableau runs -------------------------------------
+
+struct Fixture {
+  TBox tbox;
+  std::unique_ptr<TableauReasoner> r;
+
+  explicit Fixture(const std::string& doc, TableauReasonerConfig tc = {}) {
+    parseFunctionalSyntax(doc, tbox);
+    r = std::make_unique<TableauReasoner>(tbox, tc);
+  }
+
+  PseudoModel extract(const char* name) {
+    Tableau t(r->kb());
+    PseudoModel pm;
+    const bool sat =
+        t.isSatisfiable({r->kb().atomExpr[tbox.findConcept(name)]}, &pm);
+    EXPECT_TRUE(sat);
+    return pm;
+  }
+  bool has(const std::vector<ConceptId>& v, const char* name) {
+    return std::binary_search(v.begin(), v.end(), tbox.findConcept(name));
+  }
+};
+
+TEST(PseudoModelExtract, CollectsToldAtomsAndRoles) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(A ObjectSomeValuesFrom(r C))
+      SubClassOf(A ObjectAllValuesFrom(s D))
+      SubClassOf(A ObjectComplementOf(E))
+    ))");
+  const PseudoModel pm = f.extract("A");
+  ASSERT_TRUE(pm.valid);
+  EXPECT_TRUE(f.has(pm.pos, "A"));
+  EXPECT_TRUE(f.has(pm.pos, "B"));  // told parent unfolded into the root
+  EXPECT_TRUE(f.has(pm.neg, "E"));
+  EXPECT_EQ(pm.existsRoles.size(), 1u);
+  EXPECT_EQ(pm.forallRoles.size(), 1u);
+  EXPECT_TRUE(pm.atmostRoles.empty());
+}
+
+TEST(PseudoModelExtract, ExistsRolesClosedUnderSuperRoles) {
+  Fixture f(R"(
+    Ontology(
+      SubObjectPropertyOf(r s)
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+    ))");
+  const PseudoModel pm = f.extract("A");
+  ASSERT_TRUE(pm.valid);
+  // The r-edge also counts as an s-edge: both roles in the signature.
+  EXPECT_EQ(pm.existsRoles.size(), 2u);
+}
+
+TEST(PseudoModelExtract, QcrRolesCaptured) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectMinCardinality(2 r B))
+      SubClassOf(A ObjectMaxCardinality(3 s B))
+    ))");
+  const PseudoModel pm = f.extract("A");
+  ASSERT_TRUE(pm.valid);
+  EXPECT_EQ(pm.existsRoles.size(), 1u);  // ≥ 2 r.B is an r-edge
+  EXPECT_EQ(pm.atmostRoles.size(), 1u);
+}
+
+TEST(PseudoModelExtract, RootIsNeverTainted) {
+  // B ⊑ ∃r.A, A ⊑ ∃r.B: the recursion blocks on the root label, tainting
+  // the inner frame — but the root itself completes untainted, so its
+  // model is extractable and genuine.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+      SubClassOf(B ObjectSomeValuesFrom(r A))
+    ))");
+  const PseudoModel pm = f.extract("A");
+  ASSERT_TRUE(pm.valid);
+  EXPECT_TRUE(f.has(pm.pos, "A"));
+  EXPECT_EQ(pm.existsRoles.size(), 1u);
+}
+
+// ---- the fast path end to end ----------------------------------------------
+
+TEST(PseudoModelFastPath, RefutesObviousNonSubsumption) {
+  TableauReasonerConfig tc;
+  tc.mergeModels = true;
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(C D)
+    ))", tc);
+  const ConceptId a = f.tbox.findConcept("A");
+  const ConceptId c = f.tbox.findConcept("C");
+  // Warm the positive models the way the classifier does (sat first).
+  EXPECT_TRUE(f.r->isSatisfiable(a));
+  EXPECT_TRUE(f.r->isSatisfiable(c));
+  EXPECT_FALSE(f.r->isSubsumedBy(a, c));  // A ⊑ C? no — and mergable
+  EXPECT_EQ(f.r->mergeRefutedCount(), 1u);
+}
+
+TEST(PseudoModelFastPath, NeverRefutesActualSubsumption) {
+  TableauReasonerConfig tc;
+  tc.mergeModels = true;
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(B C)
+      SubClassOf(D ObjectSomeValuesFrom(r A))
+      SubClassOf(E ObjectAllValuesFrom(r C))
+    ))", tc);
+  // Every entailed subsumption must still be found with the fast path on.
+  EXPECT_TRUE(f.r->isSubsumedBy(f.tbox.findConcept("A"),
+                                f.tbox.findConcept("B")));
+  EXPECT_TRUE(f.r->isSubsumedBy(f.tbox.findConcept("A"),
+                                f.tbox.findConcept("C")));
+  EXPECT_FALSE(f.r->isSubsumedBy(f.tbox.findConcept("B"),
+                                 f.tbox.findConcept("A")));
+}
+
+TEST(PseudoModelFastPath, RoleInteractionFallsBackToTableau) {
+  // D ⊑ ∃r.A and E ⊑ ∀s.¬A with r ⊑ s: the merge check must refuse
+  // (r counts as an s-edge) and the tableau must decide D ⋢ E correctly
+  // — D ⊓ ¬E is satisfiable, but only because ¬E needs no ∀.
+  TableauReasonerConfig tc;
+  tc.mergeModels = true;
+  Fixture f(R"(
+    Ontology(
+      SubObjectPropertyOf(r s)
+      SubClassOf(D ObjectSomeValuesFrom(r A))
+      EquivalentClasses(E ObjectAllValuesFrom(s ObjectComplementOf(A)))
+    ))", tc);
+  const ConceptId d = f.tbox.findConcept("D");
+  const ConceptId e = f.tbox.findConcept("E");
+  EXPECT_FALSE(f.r->isSubsumedBy(d, e));  // D has an r(⊑s)-edge into A
+  EXPECT_FALSE(f.r->isSubsumedBy(e, d));
+  // And the genuine interaction: D ⊓ E is unsatisfiable-free... D ⊓ E
+  // forces A and ¬A in the successor, so D ⊑ ¬E does NOT hold generally
+  // but sat({D, E}) is false — check via subsumption of D under ¬E proxy:
+  // nothing to assert beyond verdict parity with a plain reasoner.
+  TBox tbox2;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubObjectPropertyOf(r s)
+      SubClassOf(D ObjectSomeValuesFrom(r A))
+      EquivalentClasses(E ObjectAllValuesFrom(s ObjectComplementOf(A)))
+    ))", tbox2);
+  TableauReasoner plain(tbox2);
+  EXPECT_EQ(f.r->isSubsumedBy(d, e),
+            plain.isSubsumedBy(tbox2.findConcept("D"), tbox2.findConcept("E")));
+}
+
+}  // namespace
+}  // namespace owlcl

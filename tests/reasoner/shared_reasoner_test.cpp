@@ -1,0 +1,123 @@
+// Differential testing of the cross-worker avoidance layer: a reasoner
+// with the shared sat-cache and/or pseudo-model merging enabled must give
+// exactly the same verdicts as the plain per-worker-cache reasoner, on
+// every satisfiability and subsumption query we can throw at it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "reasoner/tableau_reasoner.hpp"
+
+namespace owlcl {
+namespace {
+
+GenConfig diffConfig(std::uint64_t seed) {
+  GenConfig cfg;
+  cfg.name = "shared-diff";
+  cfg.concepts = 32;
+  cfg.subClassEdges = 48;
+  cfg.roles = 4;
+  cfg.existentialAxioms = 16;
+  cfg.universalAxioms = 8;
+  cfg.equivalentAxioms = 3;
+  cfg.disjointAxioms = 3;
+  cfg.unsatConcepts = 2;
+  cfg.roleHierarchy = true;
+  cfg.transitiveRoles = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+GenConfig qcrConfig(std::uint64_t seed) {
+  GenConfig cfg = diffConfig(seed);
+  cfg.name = "shared-diff-qcr";
+  cfg.qcrAxioms = 12;
+  cfg.qcrBundle = 2;
+  return cfg;
+}
+
+// Generation is deterministic per config, and each TableauReasoner freezes
+// its own TBox copy, so regenerate per mode rather than sharing one TBox.
+struct ModeRun {
+  GeneratedOntology g;
+  std::unique_ptr<TableauReasoner> r;
+
+  ModeRun(const GenConfig& cfg, bool sharedCache, bool mergeModels)
+      : g(generateOntology(cfg)) {
+    TableauReasonerConfig tc;
+    tc.sharedCache = sharedCache;
+    tc.mergeModels = mergeModels;
+    r = std::make_unique<TableauReasoner>(*g.tbox, tc);
+  }
+};
+
+void expectVerdictParity(const GenConfig& cfg, bool sharedCache,
+                         bool mergeModels) {
+  ModeRun plain(cfg, false, false);
+  ModeRun fast(cfg, sharedCache, mergeModels);
+  const std::size_t n = plain.g.tbox->conceptCount();
+  ASSERT_EQ(fast.g.tbox->conceptCount(), n);
+  for (ConceptId c = 0; c < n; ++c)
+    ASSERT_EQ(plain.r->isSatisfiable(c), fast.r->isSatisfiable(c))
+        << "sat(" << plain.g.tbox->conceptName(c) << ")";
+  for (ConceptId sub = 0; sub < n; ++sub) {
+    for (ConceptId sup = 0; sup < n; ++sup) {
+      if (sub == sup) continue;
+      ASSERT_EQ(plain.r->isSubsumedBy(sub, sup),
+                fast.r->isSubsumedBy(sub, sup))
+          << plain.g.tbox->conceptName(sub) << " ⊑ "
+          << plain.g.tbox->conceptName(sup);
+    }
+  }
+}
+
+class SharedCacheDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SharedCacheDifferential, SharedCacheOnly) {
+  expectVerdictParity(diffConfig(GetParam()), /*sharedCache=*/true,
+                      /*mergeModels=*/false);
+}
+
+TEST_P(SharedCacheDifferential, SharedCachePlusMerge) {
+  expectVerdictParity(diffConfig(GetParam()), /*sharedCache=*/true,
+                      /*mergeModels=*/true);
+}
+
+TEST_P(SharedCacheDifferential, MergeOnQcrOntology) {
+  // ≤/≥ restrictions exercise the atmost-role side of the merge check.
+  expectVerdictParity(qcrConfig(GetParam()), /*sharedCache=*/true,
+                      /*mergeModels=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedCacheDifferential,
+                         ::testing::Values(3, 17, 29));
+
+// The merge fast path must actually fire on these workloads — a silent
+// always-fall-through would pass the parity tests vacuously.
+TEST(SharedCacheDifferential, MergeFastPathFires) {
+  ModeRun fast(diffConfig(3), /*sharedCache=*/true, /*mergeModels=*/true);
+  const std::size_t n = fast.g.tbox->conceptCount();
+  for (ConceptId sub = 0; sub < n; ++sub)
+    for (ConceptId sup = 0; sup < n; ++sup)
+      if (sub != sup) fast.r->isSubsumedBy(sub, sup);
+  EXPECT_GT(fast.r->mergeRefutedCount(), 0u);
+}
+
+// Tainted results must stay out of the shared cache: an ontology built
+// around blocking cycles still gives identical verdicts when two reasoner
+// instances share nothing but this process.
+TEST(SharedCacheDifferential, BlockingHeavyOntology) {
+  GenConfig cfg = diffConfig(41);
+  cfg.name = "shared-diff-cyclic";
+  cfg.existentialAxioms = 30;  // more ∃-cycles ⇒ more blocking ⇒ more taint
+  cfg.universalAxioms = 14;
+  expectVerdictParity(cfg, /*sharedCache=*/true, /*mergeModels=*/true);
+}
+
+}  // namespace
+}  // namespace owlcl

@@ -388,5 +388,83 @@ TEST(Tableau, StatsAccumulate) {
   EXPECT_GT(s.expansions, 0u);
 }
 
+// ---- the taint rule gating memoisation --------------------------------------
+//
+// A ⊑ ∃r.B, B ⊑ ∃r.A: sat({A}) recurses A → B → A, blocks on the open
+// root and taints the {B} frame. The tainted SAT for {B} must NOT be
+// memoised (it rests on the optimistic blocking assumption), while the
+// untainted root {A} must be.
+
+TEST(Tableau, TaintedSatNotMemoised) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+      SubClassOf(B ObjectSomeValuesFrom(r A))
+    ))");
+  Tableau t(f.r->kb());
+  const auto atom = [&](const char* name) {
+    return f.r->kb().atomExpr[f.tbox.findConcept(name)];
+  };
+  EXPECT_TRUE(t.isSatisfiable({atom("A")}));
+
+  // Re-query {B}: a cache hit here would mean the tainted SAT leaked into
+  // the memo table. It must re-evaluate ({B} miss → eval, successor {A}
+  // hits), i.e. two sat calls and exactly one cache hit.
+  TableauStats before = t.stats();
+  EXPECT_TRUE(t.isSatisfiable({atom("B")}));
+  EXPECT_EQ(t.stats().satCalls - before.satCalls, 2u);
+  EXPECT_EQ(t.stats().cacheHits - before.cacheHits, 1u);
+
+  // That re-evaluation ran with an empty stack, so {B} is now untainted
+  // and memoised: the third query is a single cache hit.
+  before = t.stats();
+  EXPECT_TRUE(t.isSatisfiable({atom("B")}));
+  EXPECT_EQ(t.stats().satCalls - before.satCalls, 1u);
+  EXPECT_EQ(t.stats().cacheHits - before.cacheHits, 1u);
+}
+
+// D ⊑ ∃r.E, E ⊑ ∃r.D ⊓ ∃r.U, U ⊑ Q ⊓ ¬Q: evaluating {E} both blocks on
+// the open {D} (tainting the frame) and fails on the unsat successor {U}.
+// The tainted UNSAT must still be memoised — unsatisfiability never
+// depends on the optimistic assumption.
+TEST(Tableau, TaintedUnsatStillMemoised) {
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(D ObjectSomeValuesFrom(r E))
+      SubClassOf(E ObjectIntersectionOf(ObjectSomeValuesFrom(r D)
+                                        ObjectSomeValuesFrom(r U)))
+      SubClassOf(U ObjectIntersectionOf(Q ObjectComplementOf(Q)))
+    ))");
+  Tableau t(f.r->kb());
+  const auto atom = [&](const char* name) {
+    return f.r->kb().atomExpr[f.tbox.findConcept(name)];
+  };
+  EXPECT_FALSE(t.isSatisfiable({atom("D")}));
+
+  const TableauStats before = t.stats();
+  EXPECT_FALSE(t.isSatisfiable({atom("E")}));
+  EXPECT_EQ(t.stats().satCalls - before.satCalls, 1u);
+  EXPECT_EQ(t.stats().cacheHits - before.cacheHits, 1u);
+}
+
+TEST(Tableau, ClearCachesResetsStats) {
+  Fixture f("Ontology(SubClassOf(A ObjectUnionOf(B C)))");
+  Tableau t(f.r->kb());
+  const ExprId a = f.r->kb().atomExpr[f.tbox.findConcept("A")];
+  EXPECT_TRUE(t.isSatisfiable({a}));
+  EXPECT_TRUE(t.isSatisfiable({a}));
+  ASSERT_GT(t.stats().satCalls, 0u);
+  ASSERT_GT(t.stats().cacheHits, 0u);
+
+  t.clearCaches();
+  EXPECT_EQ(t.stats().satCalls, 0u);
+  EXPECT_EQ(t.stats().cacheHits, 0u);
+
+  // And the memo table really is gone: the next query re-evaluates.
+  EXPECT_TRUE(t.isSatisfiable({a}));
+  EXPECT_GT(t.stats().satCalls, 0u);
+  EXPECT_EQ(t.stats().cacheHits, 0u);
+}
+
 }  // namespace
 }  // namespace owlcl

@@ -14,6 +14,11 @@
 //   --scheduling=steal|rr|ll|sq  group dispatch discipline (default steal:
 //                        unpinned tasks balanced by work-stealing)
 //   --backend=tableau|el   reasoner plug-in (el requires an EL ontology)
+//   --shared-cache       share one lock-free sat-verdict cache across all
+//                        worker tableaux (tableau backend only)
+//   --merge-models       pseudo-model merging fast path for subsumption
+//                        tests (tableau backend only)
+//   --stats              print aggregate + per-worker reasoner statistics
 //   --output=tree|dot|none taxonomy rendering (default tree)
 //   --verify             run structural verification on the result
 //
@@ -106,6 +111,9 @@ struct Options {
   bool symmetric = true;
   bool seedTold = false;
   bool verify = false;
+  bool sharedCache = false;
+  bool mergeModels = false;
+  bool stats = false;
   SchedulingPolicy scheduling = SchedulingPolicy::kSteal;
   std::string backend = "tableau";
   std::string output = "tree";
@@ -247,6 +255,12 @@ Options parseOptions(int argc, char** argv, int first) {
       o.seedTold = true;
     } else if (a == "--verify") {
       o.verify = true;
+    } else if (a == "--shared-cache") {
+      o.sharedCache = true;
+    } else if (a == "--merge-models") {
+      o.mergeModels = true;
+    } else if (a == "--stats") {
+      o.stats = true;
     } else if (const char* v3 = value("--scheduling=")) {
       const std::string s = v3;
       if (s == "ll")
@@ -316,27 +330,35 @@ Options parseOptions(int argc, char** argv, int first) {
   return o;
 }
 
-std::unique_ptr<ReasonerPlugin> makeBackend(const std::string& name,
-                                            TBox& tbox) {
-  if (name == "el") {
+std::unique_ptr<ReasonerPlugin> makeBackend(const Options& o, TBox& tbox) {
+  if (o.backend == "el") {
     if (!isElTBox(tbox)) {
       std::fprintf(stderr,
                    "--backend=el requires an EL ontology (this one is %s)\n",
                    computeMetrics(tbox).expressivity.c_str());
       std::exit(1);
     }
+    if (o.sharedCache || o.mergeModels)
+      std::fprintf(stderr,
+                   "note: --shared-cache/--merge-models only apply to "
+                   "--backend=tableau; ignored\n");
     tbox.freeze();
     return std::make_unique<ElBackend>(tbox);
   }
-  if (name == "tableau") return std::make_unique<TableauReasoner>(tbox);
-  std::fprintf(stderr, "unknown backend: %s\n", name.c_str());
+  if (o.backend == "tableau") {
+    TableauReasonerConfig tc;
+    tc.sharedCache = o.sharedCache;
+    tc.mergeModels = o.mergeModels;
+    return std::make_unique<TableauReasoner>(tbox, tc);
+  }
+  std::fprintf(stderr, "unknown backend: %s\n", o.backend.c_str());
   usage();
 }
 
 int cmdClassify(const std::string& path, const Options& o) {
   TBox tbox;
   load(path, tbox);
-  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o.backend, tbox);
+  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o, tbox);
 
   ClassifierConfig config;
   config.randomCycles = o.cycles;
@@ -426,6 +448,33 @@ int cmdClassify(const std::string& path, const Options& o) {
                static_cast<unsigned long long>(r.prunedWithoutTest),
                static_cast<unsigned long long>(r.seededWithoutTest),
                r.taxonomy.nodeCount(), r.taxonomy.depth());
+  if (r.crossCacheHits > 0 || r.mergeRefuted > 0)
+    std::fprintf(stderr,
+                 "  avoidance: %llu cross-cache hits, %llu merge-refuted\n",
+                 static_cast<unsigned long long>(r.crossCacheHits),
+                 static_cast<unsigned long long>(r.mergeRefuted));
+
+  if (o.stats) {
+    const ReasonerStats agg = plugin->reasonerStats();
+    std::fprintf(stderr,
+                 "  reasoner: %llu sat calls, %llu cache hits, %llu clashes, "
+                 "%llu cross-cache hits, %llu merge-refuted\n",
+                 static_cast<unsigned long long>(agg.satCalls),
+                 static_cast<unsigned long long>(agg.cacheHits),
+                 static_cast<unsigned long long>(agg.clashes),
+                 static_cast<unsigned long long>(agg.crossCacheHits),
+                 static_cast<unsigned long long>(agg.mergeRefuted));
+    const std::vector<ReasonerStats> perWorker =
+        plugin->perWorkerReasonerStats();
+    for (std::size_t i = 0; i < perWorker.size(); ++i)
+      std::fprintf(stderr,
+                   "    worker %zu: %llu sat calls, %llu cache hits, "
+                   "%llu clashes, %llu cross-cache hits\n",
+                   i, static_cast<unsigned long long>(perWorker[i].satCalls),
+                   static_cast<unsigned long long>(perWorker[i].cacheHits),
+                   static_cast<unsigned long long>(perWorker[i].clashes),
+                   static_cast<unsigned long long>(perWorker[i].crossCacheHits));
+  }
 
   if (r.failedTests > 0 || r.cancelled) {
     std::fprintf(stderr,
@@ -496,7 +545,7 @@ int cmdMetrics(const std::string& path) {
 int cmdSweep(const std::string& path, const Options& o) {
   TBox tbox;
   load(path, tbox);
-  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o.backend, tbox);
+  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o, tbox);
   ClassifierConfig config;
   config.randomCycles = o.cycles;
   const SweepResult r = runSpeedupSweep(path, tbox, *backend,
