@@ -118,6 +118,9 @@ struct RunResult {
   std::uint64_t reasonerClashes = 0;
   std::uint64_t crossCacheHits = 0;
   std::uint64_t mergeRefuted = 0;
+  std::uint64_t cacheInserts = 0;       // shared sat-cache slots won
+  std::uint64_t cacheRejectedFull = 0;  // probe-window saturation sheds
+  std::uint64_t cacheRejectedLong = 0;  // oversize-label sheds
 };
 
 RunResult runOnce(const GeneratedOntology& g, std::size_t threads,
@@ -156,6 +159,9 @@ RunResult runOnce(const GeneratedOntology& g, std::size_t threads,
   out.reasonerClashes = r.reasonerClashes;
   out.crossCacheHits = r.crossCacheHits;
   out.mergeRefuted = r.mergeRefuted;
+  out.cacheInserts = r.cacheInserts;
+  out.cacheRejectedFull = r.cacheRejectedFull;
+  out.cacheRejectedLong = r.cacheRejectedLong;
   for (const CycleStats& c : r.cycles) {
     switch (c.phase) {
       case CycleStats::Phase::kRandomDivision:
@@ -262,7 +268,8 @@ int main(int argc, char** argv) {
         "\"phase_taxonomy_ns\": %llu, "
         "\"reasoner_sat_calls\": %llu, \"reasoner_cache_hits\": %llu, "
         "\"reasoner_clashes\": %llu, \"cross_cache_hits\": %llu, "
-        "\"merge_refuted\": %llu}%s\n",
+        "\"merge_refuted\": %llu, \"cache_inserts\": %llu, "
+        "\"cache_rejected_full\": %llu, \"cache_rejected_long\": %llu}%s\n",
         row.threads, row.mode, row.seeded ? "true" : "false",
         static_cast<unsigned long long>(row.stats.wallNsMin),
         static_cast<unsigned long long>(row.stats.wallNsMin),
@@ -280,6 +287,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(row.best.reasonerClashes),
         static_cast<unsigned long long>(row.best.crossCacheHits),
         static_cast<unsigned long long>(row.best.mergeRefuted),
+        static_cast<unsigned long long>(row.best.cacheInserts),
+        static_cast<unsigned long long>(row.best.cacheRejectedFull),
+        static_cast<unsigned long long>(row.best.cacheRejectedLong),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

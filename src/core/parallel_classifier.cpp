@@ -25,6 +25,10 @@ void ParallelClassifier::settle(SettledKind kind, ConceptId x, ConceptId y) {
 
 void ParallelClassifier::notifyBarrier(std::uint64_t completedCycles,
                                        std::uint64_t completedRounds) {
+  // Progress cursor for captureCheckpoint(): always tracked, even without
+  // a checkpoint hook attached.
+  progressCycles_.store(completedCycles, std::memory_order_relaxed);
+  progressRounds_.store(completedRounds, std::memory_order_relaxed);
   if (config_.checkpoint == nullptr) return;
   const ClassifierProgress progress{completedCycles, completedRounds,
                                     epoch_.load(std::memory_order_relaxed)};
@@ -34,6 +38,19 @@ void ParallelClassifier::notifyBarrier(std::uint64_t completedCycles,
     c.store = store_.captureImage();
     return c;
   });
+}
+
+void ParallelClassifier::advanceEpoch() {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  signalProgress();
+}
+
+void ParallelClassifier::signalProgress() const {
+  // Empty critical section: pairs the notify with waiters whose predicate
+  // reads the atomics, so a wake between predicate check and wait is
+  // impossible.
+  { std::lock_guard<std::mutex> lock(epochMu_); }
+  epochCv_.notify_all();
 }
 
 ParallelClassifier::SatResult ParallelClassifier::ensureSat(
@@ -659,6 +676,7 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
     // resume path below never re-seeds; unseeded pairs are simply tested,
     // yielding the identical taxonomy).
     notifyBarrier(0, 0);
+    started_.store(true, std::memory_order_release);
     if (config_.toldSeeding) seedTold();
   } else {
     store_.restoreImage(from->store);
@@ -670,6 +688,7 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
     // becomes the newest snapshot, and the journal is already truncated to
     // its last valid record — post-resume appends extend a clean prefix.
     notifyBarrier(startCycle, round);
+    started_.store(true, std::memory_order_release);
   }
   if (config_.watchdogBudgetNs != 0) exec.armWatchdog(config_.watchdogBudgetNs);
   const CancellationToken& cancel = exec.cancellation();
@@ -690,8 +709,9 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
   for (std::size_t cycle = 0; cycle < config_.randomCycles; ++cycle) {
     shuffle(order, rng);
     if (cycle < startCycle) continue;  // already covered by the checkpoint
+    if (stopRequested_.load(std::memory_order_relaxed)) break;
     runRandomCycle(exec, cycle, order, result);
-    epoch_.fetch_add(1, std::memory_order_relaxed);  // backoff round clock
+    advanceEpoch();  // backoff round clock; wakes epoch waiters
     notifyBarrier(cycle + 1, round);
   }
 
@@ -700,9 +720,10 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
   // against claim races leaving stragglers, and keeps spinning while
   // failed tests back off — every key either eventually succeeds or
   // exhausts its retries and is withdrawn, so the loop terminates.
-  while (store_.remainingPossible() > 0 && !cancel.cancelled()) {
+  while (store_.remainingPossible() > 0 && !cancel.cancelled() &&
+         !stopRequested_.load(std::memory_order_relaxed)) {
     runGroupRound(exec, round, result);
-    epoch_.fetch_add(1, std::memory_order_relaxed);
+    advanceEpoch();
     OWLCL_ASSERT_MSG(++round <= n + 1 + faultSlack,
                      "group division failed to converge");
     notifyBarrier(config_.randomCycles, round);
@@ -715,7 +736,7 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
   // concept, so test the stragglers in parallel — repeating rounds while
   // failed sat tests back off, skipping concepts already given up on.
   std::size_t satPass = 0;
-  while (!cancel.cancelled()) {
+  while (!cancel.cancelled() && !stopRequested_.load(std::memory_order_relaxed)) {
     bool anyPending = false;
     for (ConceptId x = 0; x < n; ++x) {
       if (store_.satStatus(x) != SatStatus::kUnknown) continue;
@@ -730,7 +751,7 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
     }
     if (!anyPending) break;
     exec.barrier();
-    epoch_.fetch_add(1, std::memory_order_relaxed);
+    advanceEpoch();
     OWLCL_ASSERT_MSG(++satPass <= faultSlack,
                      "sat completion failed to converge");
     notifyBarrier(config_.randomCycles, ++round);
@@ -742,8 +763,20 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
   result.cancelled = cancel.cancelled();
   if (result.cancelled) drainPossibleToUnresolved();
 
+  // Quiescent pause (requestStop): if the stop cut the run short, leave
+  // everything in place — no draining, no taxonomy — so captureCheckpoint()
+  // flushes a state a resumed run continues from exactly. A stop that
+  // landed after the last pair resolved is a normal completion.
+  if (!result.cancelled && stopRequested_.load(std::memory_order_relaxed)) {
+    bool openWork = store_.remainingPossible() > 0;
+    for (ConceptId c = 0; !openWork && c < n; ++c)
+      openWork = store_.satStatus(c) == SatStatus::kUnknown &&
+                 !store_.conceptUnresolved(c);
+    result.paused = openWork;
+  }
+
   // Phase 3: taxonomy construction.
-  buildHierarchy(exec, result);
+  if (!result.paused) buildHierarchy(exec, result);
 
   result.elapsedNs = exec.elapsedNs();
   result.busyNs = exec.busyNs();
@@ -761,11 +794,142 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
   result.reasonerClashes = rs.clashes;
   result.crossCacheHits = rs.crossCacheHits;
   result.mergeRefuted = rs.mergeRefuted;
+  result.cacheInserts = rs.cacheInserts;
+  result.cacheRejectedFull = rs.cacheRejectedFull;
+  result.cacheRejectedLong = rs.cacheRejectedLong;
   result.unresolvedPairs = store_.unresolvedPairs();
   std::sort(result.unresolvedPairs.begin(), result.unresolvedPairs.end());
   result.unresolvedConcepts = store_.unresolvedConcepts();
   std::sort(result.unresolvedConcepts.begin(), result.unresolvedConcepts.end());
+  finished_.store(true, std::memory_order_release);
+  signalProgress();
   return result;
+}
+
+ClassifierCheckpoint ParallelClassifier::captureCheckpoint() const {
+  ClassifierCheckpoint c;
+  c.progress =
+      ClassifierProgress{progressCycles_.load(std::memory_order_relaxed),
+                         progressRounds_.load(std::memory_order_relaxed),
+                         epoch_.load(std::memory_order_relaxed)};
+  c.store = store_.captureImage();
+  return c;
+}
+
+SatVerdict ParallelClassifier::querySat(ConceptId c) const {
+  if (!started_.load(std::memory_order_acquire) || c >= store_.conceptCount())
+    return SatVerdict::kUnknown;
+  switch (store_.satStatus(c)) {
+    case SatStatus::kSat:
+      return SatVerdict::kSatisfiable;
+    case SatStatus::kUnsat:
+      return SatVerdict::kUnsatisfiable;
+    case SatStatus::kUnknown:
+      break;
+  }
+  return store_.conceptUnresolved(c) ? SatVerdict::kUnresolved
+                                     : SatVerdict::kUnknown;
+}
+
+PairVerdict ParallelClassifier::queryPair(ConceptId sup, ConceptId sub) const {
+  if (!started_.load(std::memory_order_acquire)) return PairVerdict::kUnknown;
+  const std::size_t n = store_.conceptCount();
+  if (sup >= n || sub >= n) return PairVerdict::kUnknown;
+  if (sup == sub) return PairVerdict::kSubsumed;
+  // An unsatisfiable sub is subsumed by everything (it sits at ⊥).
+  if (store_.satStatus(sub) == SatStatus::kUnsat) return PairVerdict::kSubsumed;
+
+  // Read order matters: P before K. Every writer publishes the K edge (or
+  // its witnesses) before clearing the P bit, so a query that still sees
+  // the pair possible answers kUnknown, and one that sees it settled is
+  // guaranteed to observe the verdict.
+  if (store_.possible(sup, sub)) return PairVerdict::kUnknown;
+  if (store_.known(sup, sub)) return PairVerdict::kSubsumed;
+  if (store_.pairUnresolved(sup, sub)) return PairVerdict::kUnresolved;
+  if (store_.satStatus(sup) == SatStatus::kUnsat)
+    // Unsat-erasure is what cleared this P bit: sub ⊑ sup would require sub
+    // unsatisfiable too (handled above); an undecided sub stays open.
+    return store_.satStatus(sub) == SatStatus::kSat ? PairVerdict::kNotSubsumed
+                                                    : PairVerdict::kUnknown;
+
+  // Settled with no direct K edge: either a tested non-subsumption or an
+  // Algorithm 5 indirect prune. Pruning removed K(sup, sub) but — by the
+  // 2.3.1 invariant — sub stays reachable from sup through witness chains
+  // (y ⊑ mid ⊑ sup with both K edges live or themselves witnessed), so an
+  // upward walk over sub's known subsumers recovers the verdict.
+  thread_local std::vector<char> visited;
+  thread_local std::vector<ConceptId> touched;
+  thread_local std::vector<ConceptId> stack;
+  if (visited.size() < n) visited.resize(n, 0);
+  touched.clear();
+  stack.clear();
+  visited[sub] = 1;
+  touched.push_back(sub);
+  stack.push_back(sub);
+  bool hit = false;
+  while (!stack.empty() && !hit) {
+    const ConceptId cur = stack.back();
+    stack.pop_back();
+    store_.forEachKnownInColumn(cur, [&](ConceptId up) {
+      if (hit || up >= n) return;
+      if (up == sup) {
+        hit = true;
+        return;
+      }
+      if (!visited[up]) {
+        visited[up] = 1;
+        touched.push_back(up);
+        stack.push_back(up);
+      }
+    });
+  }
+  for (ConceptId t : touched) visited[t] = 0;
+  return hit ? PairVerdict::kSubsumed : PairVerdict::kNotSubsumed;
+}
+
+PairVerdict ParallelClassifier::waitForPair(
+    ConceptId sup, ConceptId sub,
+    std::chrono::steady_clock::time_point deadline) const {
+  for (;;) {
+    const PairVerdict v = queryPair(sup, sub);
+    if (v != PairVerdict::kUnknown || finished()) return v;
+    std::unique_lock<std::mutex> lock(epochMu_);
+    const std::size_t seen = epoch_.load(std::memory_order_relaxed);
+    const bool progressed = epochCv_.wait_until(lock, deadline, [this, seen] {
+      return epoch_.load(std::memory_order_relaxed) != seen ||
+             finished_.load(std::memory_order_acquire);
+    });
+    if (!progressed) {
+      lock.unlock();
+      return queryPair(sup, sub);  // deadline hit: report what we have
+    }
+  }
+}
+
+SatVerdict ParallelClassifier::waitForSat(
+    ConceptId c, std::chrono::steady_clock::time_point deadline) const {
+  for (;;) {
+    const SatVerdict v = querySat(c);
+    if (v != SatVerdict::kUnknown || finished()) return v;
+    std::unique_lock<std::mutex> lock(epochMu_);
+    const std::size_t seen = epoch_.load(std::memory_order_relaxed);
+    const bool progressed = epochCv_.wait_until(lock, deadline, [this, seen] {
+      return epoch_.load(std::memory_order_relaxed) != seen ||
+             finished_.load(std::memory_order_acquire);
+    });
+    if (!progressed) {
+      lock.unlock();
+      return querySat(c);
+    }
+  }
+}
+
+bool ParallelClassifier::waitForCompletion(
+    std::chrono::steady_clock::time_point deadline) const {
+  std::unique_lock<std::mutex> lock(epochMu_);
+  return epochCv_.wait_until(lock, deadline, [this] {
+    return finished_.load(std::memory_order_acquire);
+  });
 }
 
 }  // namespace owlcl

@@ -33,8 +33,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/checkpoint_hook.hpp"
@@ -94,6 +97,22 @@ struct ClassifierConfig {
   CheckpointHook* checkpoint = nullptr;
 };
 
+/// Verdict of a (possibly mid-run) subsumption query "is sub ⊑ sup?".
+enum class PairVerdict : std::uint8_t {
+  kUnknown = 0,  // not yet settled — wait for an epoch or fall back
+  kSubsumed,
+  kNotSubsumed,
+  kUnresolved,  // given up within the fault budget — fall back to a direct test
+};
+
+/// Verdict of a (possibly mid-run) satisfiability query.
+enum class SatVerdict : std::uint8_t {
+  kUnknown = 0,
+  kSatisfiable,
+  kUnsatisfiable,
+  kUnresolved,
+};
+
 struct CycleStats {
   enum class Phase : std::uint8_t { kRandomDivision, kGroupDivision, kHierarchy };
   Phase phase;
@@ -129,6 +148,9 @@ struct ClassificationResult {
   std::uint64_t reasonerClashes = 0;
   std::uint64_t crossCacheHits = 0;  // shared sat-cache verdicts reused
   std::uint64_t mergeRefuted = 0;    // subs tests refuted by model merging
+  std::uint64_t cacheInserts = 0;        // shared sat-cache slots won
+  std::uint64_t cacheRejectedFull = 0;   // inserts shed: probe window full
+  std::uint64_t cacheRejectedLong = 0;   // inserts shed: label too long
 
   // --- fault-tolerance report ------------------------------------------------
   std::uint64_t failedTests = 0;   // plug-in calls that returned kFailed
@@ -141,11 +163,16 @@ struct ClassificationResult {
   std::vector<ConceptId> unresolvedConcepts;
   /// The executor's cancellation token fired (watchdog / explicit cancel).
   bool cancelled = false;
+  /// requestStop() paused the run at an epoch barrier with work remaining:
+  /// nothing was drained to unresolved and NO taxonomy was built — the
+  /// state is exactly what captureCheckpoint() should flush for a later
+  /// resume (the serving layer's graceful-drain path).
+  bool paused = false;
 
   /// True iff every pair was resolved: the taxonomy is the complete
   /// classification, not a degraded partial one.
   bool complete() const {
-    return unresolvedPairs.empty() && unresolvedConcepts.empty();
+    return !paused && unresolvedPairs.empty() && unresolvedConcepts.empty();
   }
 
   /// The paper's speedup metric: runtime / elapsed time (Section V-A).
@@ -181,6 +208,62 @@ class ParallelClassifier {
   /// this after classify() to pin the bulk-kernel counter invariant.
   bool countersConsistent() const { return store_.countersConsistent(); }
 
+  // --- serving-path hooks ----------------------------------------------------
+  // All of these are safe to call from query threads concurrently with a
+  // classify()/resumeClassify() running on another thread. A pair is
+  // *settled* once its P bit is clear; writers publish K before clearing P,
+  // so a query that observes the clear also observes the verdict (or — for
+  // Algorithm 5 indirect prunes — a K witness chain, recovered here by an
+  // upward reachability walk).
+
+  /// Settled-pair subsumption query "is sub ⊑ sup?". kUnknown while the
+  /// pair is still possible (or classification has not started).
+  PairVerdict queryPair(ConceptId sup, ConceptId sub) const;
+
+  /// Satisfiability status of `c` as far as the run has decided it.
+  SatVerdict querySat(ConceptId c) const;
+
+  /// Blocks until the pair settles, the run exits, or `deadline` — woken at
+  /// every epoch barrier (pairs settling mid-cycle are observed at the next
+  /// barrier). Returns the verdict as of wake-up (kUnknown on deadline).
+  PairVerdict waitForPair(ConceptId sup, ConceptId sub,
+                          std::chrono::steady_clock::time_point deadline) const;
+
+  /// Blocks until sat?(c) is decided, the run exits, or `deadline` — same
+  /// epoch-barrier wake discipline as waitForPair.
+  SatVerdict waitForSat(ConceptId c,
+                        std::chrono::steady_clock::time_point deadline) const;
+
+  /// Blocks until the run exits (true) or `deadline` passes (false).
+  bool waitForCompletion(std::chrono::steady_clock::time_point deadline) const;
+
+  /// True once classify()/resumeClassify() initialised the store (queries
+  /// before that point answer kUnknown — P is not yet populated).
+  bool started() const { return started_.load(std::memory_order_acquire); }
+  /// True once the run() call has returned (completed, cancelled or paused).
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+  /// Barrier clock (division rounds completed so far).
+  std::size_t currentEpoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+  /// Approximate |R_O| for status reports (exact at barriers).
+  std::size_t remainingPossible() const { return store_.remainingPossible(); }
+  std::size_t conceptCount() const { return store_.conceptCount(); }
+
+  /// Quiescent pause: asks the run to stop at the next epoch barrier
+  /// WITHOUT draining possible pairs to unresolved (unlike cancellation),
+  /// so captureCheckpoint() + a later resumeClassify() continues exactly
+  /// where this run stopped. The serving layer's graceful-drain path.
+  void requestStop() { stopRequested_.store(true, std::memory_order_relaxed); }
+  bool stopRequested() const {
+    return stopRequested_.load(std::memory_order_relaxed);
+  }
+
+  /// Quiescent-only (run() has returned, or never started): the full state
+  /// image plus the progress cursor of the last completed barrier — what a
+  /// graceful shutdown flushes as the final snapshot.
+  ClassifierCheckpoint captureCheckpoint() const;
+
  private:
   ClassificationResult run(Executor& exec, const ClassifierCheckpoint* from);
 
@@ -188,6 +271,10 @@ class ParallelClassifier {
   void settle(SettledKind kind, ConceptId x, ConceptId y);
   void notifyBarrier(std::uint64_t completedCycles,
                      std::uint64_t completedRounds);
+  // Bumps the division-round clock and wakes epoch waiters (waitForPair /
+  // waitForCompletion re-check their pair after every barrier).
+  void advanceEpoch();
+  void signalProgress() const;
   // Pair/test primitives shared by both division phases.
   enum class SatResult : std::uint8_t { kSat, kUnsat, kDeferred };
   SatResult ensureSat(ConceptId c, std::uint64_t& cost);
@@ -232,6 +319,16 @@ class ParallelClassifier {
   /// random cycle and group round (barrier-separated from the tasks that
   /// read it).
   std::atomic<std::size_t> epoch_{0};
+
+  // Serving-path state: lifecycle flags, the progress cursor of the last
+  // completed barrier (for captureCheckpoint), and the epoch-wait channel.
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<bool> stopRequested_{false};
+  std::atomic<std::uint64_t> progressCycles_{0};
+  std::atomic<std::uint64_t> progressRounds_{0};
+  mutable std::mutex epochMu_;
+  mutable std::condition_variable epochCv_;
 };
 
 }  // namespace owlcl

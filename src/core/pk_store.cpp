@@ -77,13 +77,32 @@ bool PkStore::markUnresolved(ConceptId x, ConceptId y) {
   // (by this worker's failed attempt) — that is fine. The P bit decides
   // exactly-once recording: only the call that withdraws the pair logs it.
   tested_.testAndSet(x, y);
+  // Provisional key *before* the withdrawal: a concurrent query that
+  // observes the P clear below must already find the key, or it would
+  // misread the withdrawal as a settled non-subsumption. If the clear is
+  // then lost (the pair got a real verdict first) the stale key stays —
+  // harmless: queries degrade that pair to kUnresolved and the serving
+  // layer falls back to a direct test.
+  {
+    std::lock_guard<std::mutex> lock(ledgerMu_);
+    unresolvedKeys_.insert(pairKey(x, y));
+  }
+  anyUnresolved_.store(true, std::memory_order_release);
   if (!p_.testAndClear(x, y)) return false;
   std::lock_guard<std::mutex> lock(ledgerMu_);
   unresolvedPairs_.emplace_back(x, y);
   return true;
 }
 
+bool PkStore::pairUnresolved(ConceptId x, ConceptId y) const {
+  if (!anyUnresolved_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(ledgerMu_);
+  return unresolvedKeys_.count(pairKey(x, y)) != 0 ||
+         conceptUnresolvedFlag_[x] || conceptUnresolvedFlag_[y];
+}
+
 bool PkStore::markConceptUnresolved(ConceptId c) {
+  anyUnresolved_.store(true, std::memory_order_release);
   std::lock_guard<std::mutex> lock(ledgerMu_);
   if (conceptUnresolvedFlag_[c]) return false;
   conceptUnresolvedFlag_[c] = true;
@@ -146,7 +165,12 @@ void PkStore::restoreImage(const PkStoreImage& img) {
   for (const RetryImageEntry& e : img.retries)
     retries_[e.key] = RetryEntry{e.attempts, e.retryAtRound};
   unresolvedPairs_ = img.unresolvedPairs;
+  unresolvedKeys_.clear();
+  for (const auto& [ux, uy] : unresolvedPairs_)
+    unresolvedKeys_.insert(pairKey(ux, uy));
   unresolvedConcepts_ = img.unresolvedConcepts;
+  anyUnresolved_.store(!unresolvedPairs_.empty() || !unresolvedConcepts_.empty(),
+                       std::memory_order_release);
   conceptUnresolvedFlag_.assign(n_, false);
   for (ConceptId c : unresolvedConcepts_)
     if (c < n_) conceptUnresolvedFlag_[c] = true;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -196,6 +197,14 @@ class PkStore {
     p_.forEachSetBitInCol(y,
                           [&fn](std::size_t x) { fn(static_cast<ConceptId>(x)); });
   }
+  /// Allocation-free column pass over K: all X with y ∈ K_X (the derived
+  /// subsumers of y). The serving-path mid-run subsumption query walks
+  /// this upward to recover prune-indirect verdicts by reachability.
+  template <class Fn>
+  void forEachKnownInColumn(ConceptId y, Fn&& fn) const {
+    k_.forEachSetBitInCol(y,
+                          [&fn](std::size_t x) { fn(static_cast<ConceptId>(x)); });
+  }
   std::vector<ConceptId> knownRow(ConceptId x) const { return k_.rowIndices(x); }
   DynamicBitset knownRowBits(ConceptId x) const { return k_.rowSnapshot(x); }
   /// Word-atomic snapshot of K_X into a reusable buffer — the raw material
@@ -246,6 +255,11 @@ class PkStore {
   std::vector<std::pair<ConceptId, ConceptId>> unresolvedPairs() const;
   std::vector<ConceptId> unresolvedConcepts() const;
   bool conceptUnresolved(ConceptId c) const;
+  /// True iff ⟨X,Y⟩ was withdrawn into the unresolved set. Fast-path false
+  /// when no failure was ever recorded (single atomic load); otherwise a
+  /// hashed-set probe under the ledger mutex. Serving queries use this to
+  /// distinguish "settled non-subsumption" from "given up".
+  bool pairUnresolved(ConceptId x, ConceptId y) const;
 
   // --- checkpointing ---------------------------------------------------------
   // Quiescent-only (no concurrent mutators): the classifier calls these
@@ -282,9 +296,14 @@ class PkStore {
   std::vector<std::atomic<std::uint8_t>> satClaim_;
 
   std::atomic<std::uint64_t> totalFailures_{0};
+  /// Set once anything was withdrawn as unresolved (pair or concept) —
+  /// the pairUnresolved fast path. Distinct from hasFailures(): a
+  /// cancelled run drains P without recording failures.
+  std::atomic<bool> anyUnresolved_{false};
   mutable std::mutex ledgerMu_;
   std::unordered_map<std::uint64_t, RetryEntry> retries_;
   std::vector<std::pair<ConceptId, ConceptId>> unresolvedPairs_;
+  std::unordered_set<std::uint64_t> unresolvedKeys_;  // mirrors unresolvedPairs_
   std::vector<ConceptId> unresolvedConcepts_;
   std::vector<bool> conceptUnresolvedFlag_;
 };

@@ -60,12 +60,20 @@ struct TestVerdict {
 /// crossCacheHits counts verdicts reused from a cross-worker shared cache
 /// and mergeRefuted counts subsumption tests refuted by pseudo-model
 /// merging without running the engine at all.
+/// The cache* fields surface the shared sat-cache's write-side health:
+/// cacheInserts counts slots won, cacheRejectedFull counts inserts dropped
+/// because the bounded probe window was saturated, and cacheRejectedLong
+/// counts labels too long to store inline. Rising rejection counts mean
+/// the cache is degrading to the private-cache baseline.
 struct ReasonerStats {
   std::uint64_t satCalls = 0;
   std::uint64_t cacheHits = 0;
   std::uint64_t clashes = 0;
   std::uint64_t crossCacheHits = 0;
   std::uint64_t mergeRefuted = 0;
+  std::uint64_t cacheInserts = 0;
+  std::uint64_t cacheRejectedFull = 0;
+  std::uint64_t cacheRejectedLong = 0;
 };
 
 class ReasonerPlugin {

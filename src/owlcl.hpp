@@ -47,6 +47,12 @@
 #include "robust/fault_injector.hpp"
 #include "robust/journal.hpp"
 #include "robust/checkpoint.hpp"
+// Serving (long-lived classification-as-a-service: `owlcl serve`)
+#include "serve/admission.hpp"
+#include "serve/protocol.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/server.hpp"
+
 #include "taxonomy/diff.hpp"
 #include "taxonomy/taxonomy.hpp"
 #include "taxonomy/verify.hpp"

@@ -129,6 +129,10 @@ ReasonerStats TableauReasoner::reasonerStats() const {
   rs.clashes = agg.clashes;
   rs.crossCacheHits = agg.crossCacheHits;
   rs.mergeRefuted = mergeRefuted_.load(std::memory_order_relaxed);
+  const ConcurrentSatCache::Stats cs = sharedCacheStats();
+  rs.cacheInserts = cs.inserts;
+  rs.cacheRejectedFull = cs.rejectedFull;
+  rs.cacheRejectedLong = cs.rejectedLong;
   return rs;
 }
 

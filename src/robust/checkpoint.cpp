@@ -553,4 +553,20 @@ void CheckpointManager::epochBarrier(
     CrashInjector::crash();
 }
 
+bool CheckpointManager::snapshotFinal(const ClassifierCheckpoint& ckpt,
+                                      std::string* error) {
+  journal_.sync();
+  const std::uint64_t seq = nextSeq_++;
+  std::string why;
+  if (!writeSnapshotFile(snapshotPath(seq), ckpt, ontologyHash_, seed_, &why,
+                         crash_, barriers_)) {
+    lastError_ = why;
+    if (error != nullptr) *error = why;
+    return false;
+  }
+  ++snapshotsWritten_;
+  pruneSnapshots();
+  return true;
+}
+
 }  // namespace owlcl

@@ -119,6 +119,13 @@ class CheckpointManager : public CheckpointHook {
       const ClassifierProgress& progress,
       const std::function<ClassifierCheckpoint()>& capture) override;
 
+  /// Graceful-shutdown flush: fsyncs the journal and force-writes one
+  /// snapshot of `ckpt` regardless of the barrier cadence — the serving
+  /// layer's drain path and the CLI's SIGTERM handler call this so a later
+  /// --resume continues from the exact stop point. False (with *error) on
+  /// write failure; the journal still holds every settled verdict.
+  bool snapshotFinal(const ClassifierCheckpoint& ckpt, std::string* error);
+
   /// Diagnostics for reports and tests.
   std::uint64_t snapshotsWritten() const { return snapshotsWritten_; }
   std::uint64_t journalAppends() const { return journal_.appendCount(); }

@@ -130,6 +130,29 @@ class CrashInjector {
   CrashPlan plan_;
 };
 
+// --- serving-path fault points (src/serve) -----------------------------------
+// Deterministic faults injected into the long-lived server's query path —
+// the chaos-drill knobs behind `owlcl serve --inject-serve-faults=...`.
+// Query ordinals count admitted queries in processing order.
+
+struct ServeFaultPlan {
+  /// Every Nth admitted query (1-based; 0 = off) throws std::runtime_error
+  /// inside the query worker — the server must contain it, answer an
+  /// explicit error, and keep serving.
+  std::uint64_t queryFaultEvery = 0;
+  /// Wall sleep added before each response delivery (a slow client /
+  /// saturated downstream): drives queue buildup and overload shedding.
+  std::uint64_t slowClientNs = 0;
+  /// SIGKILL-equivalent process death (CrashInjector::crash()) right after
+  /// the Nth query (1-based; 0 = off) is answered — the serve kill-and-
+  /// resume drill (classification keeps journaling while queries land).
+  std::uint64_t crashAfterQueries = 0;
+
+  bool enabled() const {
+    return queryFaultEvery > 0 || slowClientNs > 0 || crashAfterQueries > 0;
+  }
+};
+
 struct FaultInjectorStats {
   std::uint64_t calls = 0;
   std::uint64_t injectedErrors = 0;

@@ -1,0 +1,280 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+
+namespace owlcl {
+
+namespace {
+
+/// Bounds-checked cursor over one request line. All scanning goes through
+/// this class; nothing below indexes the buffer directly.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view s) : s_(s) {}
+
+  void skipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r' || s_[pos_] == '\n'))
+      ++pos_;
+  }
+  bool done() const { return pos_ >= s_.size(); }
+  int peek() const { return done() ? -1 : static_cast<unsigned char>(s_[pos_]); }
+  bool eat(char c) {
+    if (peek() != static_cast<unsigned char>(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  /// JSON string after the opening quote was consumed. Decodes the
+  /// standard escapes; \uXXXX is decoded to UTF-8 (surrogate pairs are
+  /// rejected — concept names are BMP text in practice, and rejecting
+  /// beats mis-decoding).
+  bool string(std::string* out) {
+    out->clear();
+    for (;;) {
+      if (done()) return false;  // unterminated
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (done()) return false;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (done()) return false;
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+              cp |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else
+              return false;
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) return false;  // surrogates
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return false;  // invalid escape
+      }
+    }
+  }
+
+  /// Non-negative integer (the only numeric shape the protocol uses).
+  /// Rejects signs, fractions, exponents and overflow.
+  bool number(std::uint64_t* out) {
+    if (done() || s_[pos_] < '0' || s_[pos_] > '9') return false;
+    std::uint64_t v = 0;
+    while (!done() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(s_[pos_] - '0');
+      if (v > (UINT64_MAX - digit) / 10) return false;  // overflow
+      v = v * 10 + digit;
+      ++pos_;
+    }
+    // A trailing '.', 'e' or other junk glued to the digits is malformed.
+    const int next = peek();
+    if (next == '.' || next == 'e' || next == 'E' || next == '-' || next == '+')
+      return false;
+    *out = v;
+    return true;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool fail(std::string* error, const char* why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+bool parseRequest(std::string_view line, Request* out, std::string* error) {
+  Request req;
+  Scanner sc(line);
+  sc.skipWs();
+  if (!sc.eat('{')) return fail(error, "expected '{'");
+
+  std::string op;
+  bool haveOp = false;
+  std::string key, sval;
+  sc.skipWs();
+  if (!sc.eat('}')) {
+    for (;;) {
+      sc.skipWs();
+      if (!sc.eat('"')) return fail(error, "expected key string");
+      if (!sc.string(&key)) return fail(error, "bad key string");
+      sc.skipWs();
+      if (!sc.eat(':')) return fail(error, "expected ':'");
+      sc.skipWs();
+      // Value: string or non-negative integer are the only accepted
+      // shapes; anything else (nested objects, arrays, bools, null,
+      // signed/float numbers) is rejected — the protocol never uses them.
+      if (sc.eat('"')) {
+        if (!sc.string(&sval)) return fail(error, "bad string value");
+        if (key == "op") {
+          op = sval;
+          haveOp = true;
+        } else if (key == "sub") {
+          req.sub = sval;
+        } else if (key == "sup") {
+          req.sup = sval;
+        } else if (key == "concept") {
+          req.conceptName = sval;
+        }
+        // Unknown string keys are ignored (forward compatibility).
+      } else {
+        std::uint64_t num = 0;
+        if (!sc.number(&num)) return fail(error, "bad value");
+        if (key == "id") {
+          req.hasId = true;
+          req.id = num;
+        } else if (key == "deadline_ms") {
+          req.deadlineMs = num;
+        }
+        // Unknown numeric keys are ignored.
+      }
+      sc.skipWs();
+      if (sc.eat(',')) continue;
+      if (sc.eat('}')) break;
+      return fail(error, "expected ',' or '}'");
+    }
+  }
+  sc.skipWs();
+  if (!sc.done()) return fail(error, "trailing bytes after object");
+
+  if (!haveOp) return fail(error, "missing \"op\"");
+  if (op == "subs") {
+    if (req.sub.empty() || req.sup.empty())
+      return fail(error, "subs needs \"sub\" and \"sup\"");
+    req.op = RequestOp::kSubs;
+  } else if (op == "sat") {
+    if (req.conceptName.empty()) return fail(error, "sat needs \"concept\"");
+    req.op = RequestOp::kSat;
+  } else if (op == "descendants") {
+    if (req.conceptName.empty())
+      return fail(error, "descendants needs \"concept\"");
+    req.op = RequestOp::kDescendants;
+  } else if (op == "status") {
+    req.op = RequestOp::kStatus;
+  } else {
+    return fail(error, "unknown op");
+  }
+  *out = req;
+  return true;
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (!first_) out_.push_back(',');
+  first_ = false;
+}
+
+void JsonWriter::field(std::string_view key, std::string_view value) {
+  comma();
+  out_.push_back('"');
+  out_ += jsonEscape(key);
+  out_ += "\":\"";
+  out_ += jsonEscape(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::field(std::string_view key, std::uint64_t value) {
+  comma();
+  out_.push_back('"');
+  out_ += jsonEscape(key);
+  out_ += "\":";
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::field(std::string_view key, bool value) {
+  comma();
+  out_.push_back('"');
+  out_ += jsonEscape(key);
+  out_ += "\":";
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::raw(std::string_view key, std::string_view json) {
+  comma();
+  out_.push_back('"');
+  out_ += jsonEscape(key);
+  out_ += "\":";
+  out_ += json;
+}
+
+std::string JsonWriter::str() && {
+  out_.push_back('}');
+  return std::move(out_);
+}
+
+std::string errorResponse(const Request& req, std::string_view code,
+                          std::string_view detail) {
+  JsonWriter w;
+  if (req.hasId) w.field("id", req.id);
+  w.field("ok", false);
+  w.field("error", code);
+  if (!detail.empty()) w.field("detail", detail);
+  return std::move(w).str();
+}
+
+std::string parseErrorResponse(std::string_view detail) {
+  JsonWriter w;
+  w.field("ok", false);
+  w.field("error", "parse");
+  if (!detail.empty()) w.field("detail", detail);
+  return std::move(w).str();
+}
+
+}  // namespace owlcl

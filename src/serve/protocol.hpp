@@ -1,0 +1,76 @@
+// Line-oriented JSON query protocol for `owlcl serve` (DESIGN.md §12).
+//
+// Requests are one flat JSON object per line:
+//
+//   {"op":"subs","sub":"B","sup":"A"[,"id":N][,"deadline_ms":N]}
+//   {"op":"sat","concept":"A"[,"id":N][,"deadline_ms":N]}
+//   {"op":"descendants","concept":"A"[,"id":N][,"deadline_ms":N]}
+//   {"op":"status"[,"id":N]}
+//
+// Responses echo the request id (when given) and are one JSON object per
+// line: {"id":N,"ok":true,...} or {"id":N,"ok":false,"error":"<code>"}.
+//
+// The parser is the server's untrusted-input surface and is written to
+// NEVER crash or throw: hand-rolled recursive-descent over a bounded
+// line, every read bounds-checked, unknown keys ignored, wrong types and
+// malformed escapes rejected with a message. It is fuzzed in
+// tests/serve/serve_protocol_test.cpp and by the CI protocol-fuzz step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace owlcl {
+
+enum class RequestOp : std::uint8_t { kSubs, kSat, kDescendants, kStatus };
+
+struct Request {
+  RequestOp op = RequestOp::kStatus;
+  std::string sub;          // subs: candidate subsumee name
+  std::string sup;          // subs: candidate subsumer name
+  std::string conceptName;  // sat / descendants ("concept" on the wire)
+  bool hasId = false;
+  std::uint64_t id = 0;
+  /// Per-query deadline override; 0 = server default.
+  std::uint64_t deadlineMs = 0;
+};
+
+/// Parses one request line. False on any syntactic or semantic problem
+/// (with a short human-readable reason in *error); never throws.
+bool parseRequest(std::string_view line, Request* out, std::string* error);
+
+/// JSON string escaping for response payloads (quotes, backslashes,
+/// control characters; invalid UTF-8 bytes pass through untouched —
+/// responses mirror the names the ontology declared).
+std::string jsonEscape(std::string_view s);
+
+/// Incremental one-line JSON object writer for responses.
+class JsonWriter {
+ public:
+  JsonWriter() : out_("{") {}
+  void field(std::string_view key, std::string_view value);
+  void field(std::string_view key, const char* value) {
+    field(key, std::string_view(value));
+  }
+  void field(std::string_view key, std::uint64_t value);
+  void field(std::string_view key, bool value);
+  /// Raw (pre-serialized) value, e.g. an array built by the caller.
+  void raw(std::string_view key, std::string_view json);
+  /// Finishes and returns the object (no trailing newline).
+  std::string str() &&;
+
+ private:
+  void comma();
+  std::string out_;
+  bool first_ = true;
+};
+
+/// {"id":N,}"ok":false,"error":"<code>"[,"detail":"..."] — the uniform
+/// failure shape, including the explicit "overloaded" shed response.
+std::string errorResponse(const Request& req, std::string_view code,
+                          std::string_view detail = {});
+/// Same, for lines that never parsed into a Request.
+std::string parseErrorResponse(std::string_view detail);
+
+}  // namespace owlcl

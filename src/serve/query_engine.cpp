@@ -1,0 +1,194 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "robust/guarded_plugin.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace owlcl {
+
+namespace {
+
+std::string verdictResponse(const Request& req, const char* opName, bool value,
+                            const char* method) {
+  JsonWriter w;
+  if (req.hasId) w.field("id", req.id);
+  w.field("ok", true);
+  w.field("op", opName);
+  w.field("result", value);
+  w.field("method", method);
+  return std::move(w).str();
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const TBox& tbox, ParallelClassifier& classifier,
+                         ReasonerPlugin& fallback, QueryEngineConfig config)
+    : tbox_(tbox),
+      classifier_(classifier),
+      fallback_(fallback),
+      config_(config) {}
+
+std::chrono::steady_clock::time_point QueryEngine::deadlineFor(
+    const Request& req) const {
+  std::uint64_t ms =
+      req.deadlineMs == 0 ? config_.defaultDeadlineMs : req.deadlineMs;
+  if (config_.maxDeadlineMs > 0) ms = std::min(ms, config_.maxDeadlineMs);
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+std::uint64_t QueryEngine::remainingNs(
+    std::chrono::steady_clock::time_point deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now)
+          .count());
+}
+
+std::string QueryEngine::answer(const Request& req) {
+  const auto deadline = deadlineFor(req);
+  switch (req.op) {
+    case RequestOp::kSubs:
+      return answerSubs(req, deadline);
+    case RequestOp::kSat:
+      return answerSat(req, deadline);
+    case RequestOp::kDescendants:
+      return answerDescendants(req, deadline);
+    case RequestOp::kStatus:
+      break;  // server-level; unreachable through Server::processLine
+  }
+  return errorResponse(req, "internal", "unroutable op");
+}
+
+std::string QueryEngine::answerSubs(
+    const Request& req, std::chrono::steady_clock::time_point deadline) {
+  const ConceptId sup = tbox_.findConcept(req.sup);
+  const ConceptId sub = tbox_.findConcept(req.sub);
+  if (sup == kInvalidConcept)
+    return errorResponse(req, "unknown-concept", req.sup);
+  if (sub == kInvalidConcept)
+    return errorResponse(req, "unknown-concept", req.sub);
+
+  // Rung 1: already settled in the shared store — memory-speed answer.
+  PairVerdict v = classifier_.queryPair(sup, sub);
+  if (v == PairVerdict::kUnknown && !classifier_.finished()) {
+    // Rung 2: block on the pair's epoch for HALF the remaining budget —
+    // the other half is reserved for the direct fallback call, so a pair
+    // that never settles still gets a real attempt at a verdict.
+    const auto now = std::chrono::steady_clock::now();
+    const auto waitDeadline = now + (deadline - now) / 2;
+    v = classifier_.waitForPair(sup, sub, waitDeadline);
+  }
+  if (v == PairVerdict::kSubsumed || v == PairVerdict::kNotSubsumed)
+    return verdictResponse(req, "subs", v == PairVerdict::kSubsumed,
+                           "settled");
+
+  // Rung 3: direct guarded tableau call with whatever budget remains —
+  // also the only rung for pairs the run withdrew as unresolved.
+  const std::uint64_t budget = remainingNs(deadline);
+  if (budget == 0) return errorResponse(req, "deadline");
+  GuardConfig gc;
+  gc.deadlineNs = budget;
+  GuardedPlugin guard(fallback_, gc);
+  const TestVerdict tv = guard.trySubsumedBy(sub, sup);
+  if (tv.ok()) return verdictResponse(req, "subs", tv.value(), "direct");
+  return errorResponse(
+      req, tv.failure == FailureKind::kTimeout ? "deadline" : "failed");
+}
+
+std::string QueryEngine::answerSat(
+    const Request& req, std::chrono::steady_clock::time_point deadline) {
+  const ConceptId c = tbox_.findConcept(req.conceptName);
+  if (c == kInvalidConcept)
+    return errorResponse(req, "unknown-concept", req.conceptName);
+
+  SatVerdict v = classifier_.querySat(c);
+  if (v == SatVerdict::kUnknown && !classifier_.finished()) {
+    const auto now = std::chrono::steady_clock::now();
+    v = classifier_.waitForSat(c, now + (deadline - now) / 2);
+  }
+  if (v == SatVerdict::kSatisfiable || v == SatVerdict::kUnsatisfiable)
+    return verdictResponse(req, "sat", v == SatVerdict::kSatisfiable,
+                           "settled");
+
+  const std::uint64_t budget = remainingNs(deadline);
+  if (budget == 0) return errorResponse(req, "deadline");
+  GuardConfig gc;
+  gc.deadlineNs = budget;
+  GuardedPlugin guard(fallback_, gc);
+  const TestVerdict tv = guard.trySatisfiable(c);
+  if (tv.ok()) return verdictResponse(req, "sat", tv.value(), "direct");
+  return errorResponse(
+      req, tv.failure == FailureKind::kTimeout ? "deadline" : "failed");
+}
+
+std::string QueryEngine::answerDescendants(
+    const Request& req, std::chrono::steady_clock::time_point deadline) {
+  const ConceptId c = tbox_.findConcept(req.conceptName);
+  if (c == kInvalidConcept)
+    return errorResponse(req, "unknown-concept", req.conceptName);
+
+  // Needs the finished taxonomy — a mid-run subsumee list would silently
+  // omit pairs that have not settled yet. Wait out the budget, then tell
+  // the client to retry. The result pointer is published by the server
+  // right after the run exits; bridge that tiny gap by yielding.
+  const ClassificationResult* r = result_.load(std::memory_order_acquire);
+  while (r == nullptr) {
+    if (!classifier_.waitForCompletion(deadline)) break;
+    r = result_.load(std::memory_order_acquire);
+    if (r == nullptr) std::this_thread::yield();
+    if (std::chrono::steady_clock::now() >= deadline) break;
+  }
+  if (r == nullptr || r->paused)
+    return errorResponse(req, "pending", "classification in progress");
+
+  const Taxonomy& tax = r->taxonomy;
+  const Taxonomy::NodeId start = tax.nodeOf(c);
+  if (start == Taxonomy::kNoNode)
+    return errorResponse(req, "pending", "concept not placed");
+
+  // BFS down the DAG; members of every reached node are descendants
+  // (unsatisfiable concepts sit at ⊥ and are therefore included).
+  std::vector<char> seen(tax.nodeCount(), 0);
+  std::vector<Taxonomy::NodeId> stack{start};
+  seen[start] = 1;
+  std::vector<std::string> names;
+  while (!stack.empty()) {
+    const Taxonomy::NodeId cur = stack.back();
+    stack.pop_back();
+    if (cur != start)
+      for (const ConceptId m : tax.node(cur).members)
+        names.push_back(tbox_.conceptName(m));
+    for (const Taxonomy::NodeId child : tax.node(cur).children)
+      if (!seen[child]) {
+        seen[child] = 1;
+        stack.push_back(child);
+      }
+  }
+  std::sort(names.begin(), names.end());
+
+  std::string array = "[";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) array.push_back(',');
+    array.push_back('"');
+    array += jsonEscape(names[i]);
+    array.push_back('"');
+  }
+  array.push_back(']');
+
+  JsonWriter w;
+  if (req.hasId) w.field("id", req.id);
+  w.field("ok", true);
+  w.field("op", "descendants");
+  w.field("concept", req.conceptName);
+  w.field("count", static_cast<std::uint64_t>(names.size()));
+  w.raw("concepts", array);
+  // A degraded (unresolved-pairs) run may be missing edges; say so.
+  w.field("complete", r->complete());
+  return std::move(w).str();
+}
+
+}  // namespace owlcl

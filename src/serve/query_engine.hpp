@@ -1,0 +1,80 @@
+// QueryEngine — answers protocol requests against a (possibly still
+// running) classification, with per-query deadlines and budget
+// propagation (DESIGN.md §12).
+//
+// Degradation ladder for a subs/sat query (each rung bounded by the
+// query's remaining budget):
+//
+//   1. settled   — the pair/concept is already decided in the shared
+//                  PkStore (K + reachability / sat status): answer at
+//                  memory speed.
+//   2. epoch wait — block on the classifier's epoch barrier up to HALF
+//                  the remaining budget; most in-flight pairs settle
+//                  within a round or two.
+//   3. direct    — spend the rest of the budget on a dedicated
+//                  GuardedPlugin tableau call (also the only rung for
+//                  pairs the run gave up on as unresolved).
+//   4. deadline  — explicit {"ok":false,"error":"deadline"}; the client
+//                  is never left hanging.
+//
+// descendants needs the finished taxonomy: it waits for completion up to
+// the budget, then answers "pending" — a partial subsumee list would be
+// silently wrong.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "core/parallel_classifier.hpp"
+#include "owl/tbox.hpp"
+#include "serve/protocol.hpp"
+
+namespace owlcl {
+
+struct QueryEngineConfig {
+  /// Budget for queries that do not carry their own deadline_ms.
+  std::uint64_t defaultDeadlineMs = 1000;
+  /// Upper clamp on client-supplied deadlines (a rogue client must not
+  /// pin a query thread for an hour).
+  std::uint64_t maxDeadlineMs = 60'000;
+};
+
+class QueryEngine {
+ public:
+  /// `fallback` is the plug-in chain used for direct (rung 3) calls; it
+  /// must be thread-safe. All references must outlive the engine.
+  QueryEngine(const TBox& tbox, ParallelClassifier& classifier,
+              ReasonerPlugin& fallback, QueryEngineConfig config);
+
+  /// Publishes the finished run's result (taxonomy for descendants).
+  /// Called once by the server when the classification thread exits.
+  void setResult(const ClassificationResult* result) {
+    result_.store(result, std::memory_order_release);
+  }
+
+  /// Answers one subs/sat/descendants request (status is handled by the
+  /// server, which owns the counters). Never throws.
+  std::string answer(const Request& req);
+
+ private:
+  std::chrono::steady_clock::time_point deadlineFor(const Request& req) const;
+  std::string answerSubs(const Request& req,
+                         std::chrono::steady_clock::time_point deadline);
+  std::string answerSat(const Request& req,
+                        std::chrono::steady_clock::time_point deadline);
+  std::string answerDescendants(const Request& req,
+                                std::chrono::steady_clock::time_point deadline);
+  /// Remaining budget from now to `deadline` in ns (0 if past).
+  static std::uint64_t remainingNs(
+      std::chrono::steady_clock::time_point deadline);
+
+  const TBox& tbox_;
+  ParallelClassifier& classifier_;
+  ReasonerPlugin& fallback_;
+  QueryEngineConfig config_;
+  std::atomic<const ClassificationResult*> result_{nullptr};
+};
+
+}  // namespace owlcl

@@ -1,0 +1,317 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace owlcl {
+
+Server::Server(const TBox& tbox, ParallelClassifier& classifier,
+               ReasonerPlugin& fallback, ServerConfig config)
+    : tbox_(tbox),
+      classifier_(classifier),
+      config_(config),
+      engine_(tbox, classifier, fallback, config.engine),
+      queue_(config.queueCapacity) {}
+
+Server::~Server() { drain(); }
+
+void Server::start(std::function<ClassificationResult()> classify) {
+  started_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.queryThreads);
+       ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+  classifyThread_ = std::thread([this, classify = std::move(classify)] {
+    result_ = classify();
+    resultReady_.store(true, std::memory_order_release);
+    engine_.setResult(&result_);
+  });
+}
+
+bool Server::trySubmit(std::string line,
+                       std::function<void(std::string)> deliver) {
+  // Parse up front: tryPush consumes the line either way, and the shed
+  // response should echo the request id so clients can correlate.
+  Request req;
+  std::string why;
+  const bool parsed = parseRequest(line, &req, &why);
+  if (queue_.tryPush(Job{std::move(line), deliver})) return true;
+  if (!parsed) req = Request{};
+  deliver(errorResponse(req, "overloaded"));
+  return false;
+}
+
+bool Server::submit(std::string line,
+                    std::function<void(std::string)> deliver) {
+  return queue_.push(Job{std::move(line), std::move(deliver)});
+}
+
+void Server::drain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) {
+    // Second caller (e.g. the destructor after an explicit drain) still
+    // needs the joins to have finished; they are idempotent via joinable().
+  }
+  queue_.close();
+  classifier_.requestStop();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  if (classifyThread_.joinable()) classifyThread_.join();
+}
+
+void Server::workerLoop() {
+  Job job;
+  while (queue_.pop(&job)) {
+    std::string response;
+    try {
+      response = processLine(job.line);
+    } catch (const std::exception& e) {
+      // Containment: a query must never take the server down. Parse again
+      // defensively for the id echo (the line already parsed once or the
+      // throw came from deeper down).
+      Request req;
+      std::string why;
+      if (!parseRequest(job.line, &req, &why)) req = Request{};
+      response = errorResponse(req, "internal", e.what());
+    } catch (...) {
+      Request req;
+      response = errorResponse(req, "internal");
+    }
+    deliverResponse(job, std::move(response));
+  }
+}
+
+std::string Server::processLine(const std::string& line) {
+  if (line.size() > config_.maxLineBytes)
+    return parseErrorResponse("line too long");
+  Request req;
+  std::string why;
+  if (!parseRequest(line, &req, &why)) return parseErrorResponse(why);
+  if (req.op == RequestOp::kStatus) return statusLine(req);
+  // Chaos drill: every Nth admitted query faults inside the worker; the
+  // workerLoop catch turns it into an explicit "internal" response.
+  if (config_.faults.queryFaultEvery > 0) {
+    const std::uint64_t ordinal =
+        admittedOrdinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (ordinal % config_.faults.queryFaultEvery == 0)
+      throw std::runtime_error("injected query fault");
+  }
+  return engine_.answer(req);
+}
+
+std::string Server::statusLine(const Request& req) const {
+  const char* state = "classifying";
+  if (resultReady_.load(std::memory_order_acquire)) {
+    if (result_.paused)
+      state = "paused";
+    else if (result_.cancelled)
+      state = "cancelled";
+    else
+      state = "done";
+  } else if (!classifier_.started()) {
+    state = "loading";
+  }
+  JsonWriter w;
+  if (req.hasId) w.field("id", req.id);
+  w.field("ok", true);
+  w.field("op", "status");
+  w.field("state", state);
+  w.field("epoch", static_cast<std::uint64_t>(classifier_.currentEpoch()));
+  w.field("remaining_possible",
+          static_cast<std::uint64_t>(classifier_.remainingPossible()));
+  w.field("concepts", static_cast<std::uint64_t>(tbox_.conceptCount()));
+  w.field("served", served());
+  w.field("shed", shedCount());
+  w.field("queue_depth", static_cast<std::uint64_t>(queueDepth()));
+  return std::move(w).str();
+}
+
+void Server::deliverResponse(const Job& job, std::string response) {
+  if (config_.faults.slowClientNs > 0)
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(config_.faults.slowClientNs));
+  job.deliver(std::move(response));
+  const std::uint64_t answered =
+      served_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // SIGKILL-equivalent death after the Nth answered query: the response
+  // above already reached the client, mirroring a crash between answer
+  // and the next checkpoint barrier.
+  if (config_.faults.crashAfterQueries > 0 &&
+      answered == config_.faults.crashAfterQueries)
+    CrashInjector::crash();
+}
+
+void Server::runBatch(std::istream& in, std::ostream& out) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::uint64_t, std::string> ready;
+  std::uint64_t next = 0;
+  std::uint64_t submitted = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::uint64_t seq = submitted++;
+    const bool accepted =
+        submit(line, [&mu, &cv, &ready, seq](std::string resp) {
+          std::lock_guard<std::mutex> lock(mu);
+          ready.emplace(seq, std::move(resp));
+          cv.notify_all();
+        });
+    if (!accepted) {
+      Request req;
+      std::string why;
+      if (!parseRequest(line, &req, &why)) req = Request{};
+      std::lock_guard<std::mutex> lock(mu);
+      ready.emplace(seq, errorResponse(req, "shutdown"));
+    }
+    // Opportunistic in-order flush keeps the reorder buffer small.
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto it = ready.find(next); it != ready.end();
+         it = ready.find(next)) {
+      out << it->second << '\n';
+      ready.erase(it);
+      ++next;
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  while (next < submitted) {
+    cv.wait(lock, [&ready, &next] { return ready.count(next) != 0; });
+    out << ready[next] << '\n';
+    ready.erase(next);
+    ++next;
+  }
+  out.flush();
+}
+
+namespace {
+
+/// One TCP client. The fd closes when the LAST reference dies, so a
+/// pending query's deliver closure keeps the connection writable even
+/// after the reader thread saw EOF — in-flight answers always flush.
+struct Connection {
+  explicit Connection(int f) : fd(f) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void send(const std::string& response) {
+    std::lock_guard<std::mutex> lock(writeMu);
+    std::string msg = response;
+    msg.push_back('\n');
+    std::size_t off = 0;
+    while (off < msg.size()) {
+      const ssize_t n = ::write(fd, msg.data() + off, msg.size() - off);
+      if (n <= 0) return;  // client gone; drop silently
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  const int fd;
+  std::mutex writeMu;
+};
+
+}  // namespace
+
+bool Server::runSocket(std::uint16_t port, int wakeFd, std::string* error) {
+  const int listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listenFd, 64) < 0) {
+    if (error != nullptr)
+      *error = "cannot bind 127.0.0.1:" + std::to_string(port);
+    ::close(listenFd);
+    return false;
+  }
+
+  std::mutex connMu;
+  std::vector<std::weak_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+
+  for (;;) {
+    pollfd fds[2] = {{listenFd, POLLIN, 0}, {wakeFd, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int clientFd = ::accept(listenFd, nullptr, nullptr);
+    if (clientFd < 0) continue;
+
+    auto conn = std::make_shared<Connection>(clientFd);
+    {
+      std::lock_guard<std::mutex> lock(connMu);
+      conns.push_back(conn);
+    }
+    readers.emplace_back([this, conn] {
+      std::string buf;
+      bool discarding = false;  // oversized line: drop bytes to next '\n'
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = ::read(conn->fd, chunk, sizeof chunk);
+        if (n <= 0) break;  // EOF, error, or SHUT_RD from drain
+        for (ssize_t i = 0; i < n; ++i) {
+          const char c = chunk[i];
+          if (c == '\n') {
+            if (discarding) {
+              discarding = false;
+            } else if (!buf.empty()) {
+              // Shed path answers inline via the same deliver closure.
+              trySubmit(std::move(buf),
+                        [conn](std::string resp) { conn->send(resp); });
+            }
+            buf.clear();
+            continue;
+          }
+          if (discarding) continue;
+          buf.push_back(c);
+          if (buf.size() > config_.maxLineBytes) {
+            conn->send(parseErrorResponse("line too long"));
+            buf.clear();
+            discarding = true;
+          }
+        }
+      }
+    });
+  }
+
+  ::close(listenFd);
+  // Force EOF on every live reader, then let in-flight responses flush:
+  // the last deliver closure's shared_ptr closes each fd.
+  {
+    std::lock_guard<std::mutex> lock(connMu);
+    for (auto& weak : conns)
+      if (auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (std::thread& r : readers)
+    if (r.joinable()) r.join();
+  return true;
+}
+
+}  // namespace owlcl

@@ -1,0 +1,191 @@
+// Race coverage for the cooperative-cancellation substrate (run under
+// TSan in CI): CancellationToken cancel vs. poll, WallClockWatchdog
+// expiry vs. explicit cancel vs. disarm, and the serving-path epoch
+// waits (waitForPair/waitForSat) racing a live classification, a
+// requestStop pause, and watchdog-driven cancellation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_classifier.hpp"
+#include "core/real_executor.hpp"
+#include "gen/generator.hpp"
+#include "gen/mock_reasoner.hpp"
+#include "parallel/cancellation.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(CancellationTest, CancelBecomesVisibleToAllPollers) {
+  CancellationToken token;
+  std::atomic<int> observed{0};
+  std::vector<std::thread> pollers;
+  for (int i = 0; i < 4; ++i)
+    pollers.emplace_back([&] {
+      while (!token.cancelled()) std::this_thread::yield();
+      observed.fetch_add(1, std::memory_order_relaxed);
+    });
+  token.cancel();
+  for (std::thread& t : pollers) t.join();
+  EXPECT_EQ(observed.load(), 4);
+}
+
+TEST(CancellationTest, WatchdogExpiryRacesExplicitCancel) {
+  // Both sides fire "simultaneously"; the token must simply end up
+  // cancelled with no torn state. Repeated to give TSan interleavings.
+  for (int iter = 0; iter < 50; ++iter) {
+    CancellationToken token;
+    WallClockWatchdog watchdog(token, /*budgetNs=*/50'000);  // 50 µs
+    std::thread racer([&] { token.cancel(); });
+    while (!token.cancelled()) std::this_thread::yield();
+    racer.join();
+    watchdog.disarm();
+    EXPECT_TRUE(token.cancelled());
+  }
+}
+
+TEST(CancellationTest, DisarmRacesExpiry) {
+  // Disarm from a second thread while the budget is elapsing: whichever
+  // side wins, disarm() must return with the watchdog thread joined.
+  for (int iter = 0; iter < 50; ++iter) {
+    CancellationToken token;
+    WallClockWatchdog watchdog(token, /*budgetNs=*/20'000);
+    std::thread disarmer([&] { watchdog.disarm(); });
+    disarmer.join();
+    // No assertion on token state — both outcomes are legal — only on
+    // the absence of races/hangs.
+  }
+}
+
+TEST(CancellationTest, ResetBetweenRunsIsClean) {
+  CancellationToken token;
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+class ServingRaceTest : public ::testing::Test {
+ protected:
+  ServingRaceTest() {
+    GenConfig gc;
+    gc.name = "cancel-race";
+    gc.concepts = 50;
+    gc.subClassEdges = 75;
+    gc.seed = 13;
+    onto_ = generateOntology(gc);
+  }
+  GeneratedOntology onto_;
+};
+
+// Epoch-blocked serving waits racing the classification that settles
+// them: reader threads hammer waitForPair/waitForSat with short
+// deadlines while the run progresses to completion.
+TEST_F(ServingRaceTest, EpochWaitsRaceLiveClassification) {
+  MockReasoner backend(onto_.truth);
+  ClassifierConfig config;
+  ThreadPool pool(2);
+  RealExecutor exec(pool);
+  ParallelClassifier classifier(*onto_.tbox, backend, config);
+
+  std::atomic<bool> done{false};
+  const std::size_t n = onto_.tbox->conceptCount();
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r)
+    readers.emplace_back([&, r] {
+      std::uint64_t x = 0x9E3779B9u + static_cast<std::uint64_t>(r);
+      while (!done.load(std::memory_order_acquire)) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const ConceptId a = static_cast<ConceptId>((x >> 32) % n);
+        const ConceptId b = static_cast<ConceptId>((x >> 16) % n);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(1);
+        const PairVerdict pv = classifier.waitForPair(a, b, deadline);
+        if (pv != PairVerdict::kUnknown) {
+          // A settled verdict must agree with ground truth.
+          const bool want = onto_.truth.subsumes(a, b);
+          EXPECT_EQ(pv == PairVerdict::kSubsumed, want)
+              << "pair (" << b << " ⊑ " << a << ")";
+        }
+        const SatVerdict sv = classifier.waitForSat(a, deadline);
+        if (sv != SatVerdict::kUnknown) {
+          EXPECT_EQ(sv == SatVerdict::kSatisfiable, onto_.truth.satisfiable(a));
+        }
+      }
+    });
+
+  const ClassificationResult result = classifier.classify(exec);
+  EXPECT_FALSE(result.cancelled);
+  EXPECT_TRUE(classifier.waitForCompletion(std::chrono::steady_clock::now() +
+                                           std::chrono::seconds(10)));
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  // After completion every pair answers instantly and truthfully.
+  for (ConceptId a = 0; a < n; a += 7)
+    for (ConceptId b = 0; b < n; b += 11) {
+      const PairVerdict pv =
+          classifier.waitForPair(a, b, std::chrono::steady_clock::now());
+      ASSERT_NE(pv, PairVerdict::kUnresolved);
+      EXPECT_EQ(pv == PairVerdict::kSubsumed, onto_.truth.subsumes(a, b));
+    }
+}
+
+// requestStop pause racing epoch waiters: waiters must wake (their pair
+// may stay kUnknown forever) and the paused run must stay resumable.
+TEST_F(ServingRaceTest, RequestStopRacesEpochWaiters) {
+  MockReasoner backend(onto_.truth);
+  ClassifierConfig config;
+  ThreadPool pool(2);
+  RealExecutor exec(pool);
+  ParallelClassifier classifier(*onto_.tbox, backend, config);
+
+  std::vector<std::thread> waiters;
+  for (int r = 0; r < 2; ++r)
+    waiters.emplace_back([&, r] {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+      (void)classifier.waitForPair(static_cast<ConceptId>(r),
+                                   static_cast<ConceptId>(r + 1), deadline);
+    });
+  std::thread stopper([&] { classifier.requestStop(); });
+
+  const ClassificationResult result = classifier.classify(exec);
+  stopper.join();
+  for (std::thread& t : waiters) t.join();
+  // Whether the stop landed before or after the last barrier, the run
+  // returned (finished() is the waiter wake signal, set on pause too) and
+  // nothing hung. A pause must leave the counters resumable-consistent.
+  EXPECT_TRUE(classifier.finished());
+  EXPECT_TRUE(classifier.countersConsistent());
+}
+
+// Watchdog-driven cancellation racing the run and its epoch waiters.
+TEST_F(ServingRaceTest, WatchdogCancellationRacesClassification) {
+  MockReasoner backend(onto_.truth);
+  ClassifierConfig config;
+  ThreadPool pool(2);
+  RealExecutor exec(pool);
+  exec.cancellation().reset();
+  WallClockWatchdog watchdog(exec.cancellation(), /*budgetNs=*/2'000'000);
+  ParallelClassifier classifier(*onto_.tbox, backend, config);
+
+  std::thread waiter([&] {
+    (void)classifier.waitForPair(
+        0, 1, std::chrono::steady_clock::now() + std::chrono::seconds(2));
+  });
+  const ClassificationResult result = classifier.classify(exec);
+  watchdog.disarm();
+  waiter.join();
+  // Either the run beat the 2 ms budget or it was cancelled; both must
+  // leave consistent counters.
+  EXPECT_TRUE(classifier.countersConsistent());
+  (void)result;
+}
+
+}  // namespace
+}  // namespace owlcl

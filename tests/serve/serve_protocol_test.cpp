@@ -1,0 +1,175 @@
+// Parser tests for the serve wire protocol — the untrusted input
+// surface. Beyond the happy paths, a deterministic fuzz loop mutates,
+// truncates, and splices valid requests: parseRequest must reject or
+// accept every input without throwing, crashing, or reading out of
+// bounds (the CI serve job repeats this from outside the process).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace owlcl {
+namespace {
+
+Request parseOk(const std::string& line) {
+  Request req;
+  std::string why;
+  EXPECT_TRUE(parseRequest(line, &req, &why)) << line << " — " << why;
+  return req;
+}
+
+std::string parseFail(const std::string& line) {
+  Request req;
+  std::string why;
+  EXPECT_FALSE(parseRequest(line, &req, &why)) << line;
+  EXPECT_FALSE(why.empty()) << "rejection must carry a reason: " << line;
+  return why;
+}
+
+TEST(ServeProtocolTest, ParsesSubsWithAllFields) {
+  const Request r = parseOk(
+      R"({"op":"subs","sub":"B","sup":"A","id":7,"deadline_ms":250})");
+  EXPECT_EQ(r.op, RequestOp::kSubs);
+  EXPECT_EQ(r.sub, "B");
+  EXPECT_EQ(r.sup, "A");
+  EXPECT_TRUE(r.hasId);
+  EXPECT_EQ(r.id, 7u);
+  EXPECT_EQ(r.deadlineMs, 250u);
+}
+
+TEST(ServeProtocolTest, ParsesSatAndDescendantsAndStatus) {
+  const Request sat = parseOk(R"({"op":"sat","concept":"C"})");
+  EXPECT_EQ(sat.op, RequestOp::kSat);
+  EXPECT_EQ(sat.conceptName, "C");
+  EXPECT_FALSE(sat.hasId);
+
+  const Request desc = parseOk(R"({"op":"descendants","concept":"C","id":1})");
+  EXPECT_EQ(desc.op, RequestOp::kDescendants);
+  EXPECT_EQ(desc.conceptName, "C");
+
+  const Request st = parseOk(R"({"op":"status"})");
+  EXPECT_EQ(st.op, RequestOp::kStatus);
+}
+
+TEST(ServeProtocolTest, ToleratesWhitespaceAndUnknownKeys) {
+  const Request r = parseOk(
+      "  { \"op\" : \"subs\" , \"future\": \"ignored\", \"sub\":\"B\", "
+      "\"n\": 3, \"sup\":\"A\" }  ");
+  EXPECT_EQ(r.sub, "B");
+  EXPECT_EQ(r.sup, "A");
+  // Values other than strings and non-negative integers (the only shapes
+  // the protocol uses) are rejected, even under unknown keys.
+  parseFail(R"({"op":"status","flag":true})");
+  parseFail(R"({"op":"status","nothing":null})");
+  parseFail(R"({"op":"status","nested":{}})");
+}
+
+TEST(ServeProtocolTest, DecodesStringEscapes) {
+  const Request r = parseOk(
+      R"({"op":"sat","concept":"a\"b\\c\/d\n\tAé"})");
+  EXPECT_EQ(r.conceptName, "a\"b\\c/d\n\tA\xc3\xa9");
+}
+
+TEST(ServeProtocolTest, RejectsMalformedInput) {
+  parseFail("");
+  parseFail("   ");
+  parseFail("not json");
+  parseFail("{");
+  parseFail("}");
+  parseFail(R"({"op":"subs")");                        // truncated
+  parseFail(R"({"op":"subs","sub":"B","sup":"A"} x)"); // trailing bytes
+  parseFail(R"({"op":"nope"})");                       // unknown op
+  parseFail(R"({"op":"subs","sub":"B"})");             // missing sup
+  parseFail(R"({"op":"subs","sup":"A"})");             // missing sub
+  parseFail(R"({"op":"sat"})");                        // missing concept
+  parseFail(R"({"op":"sat","concept":3})");            // wrong type
+  parseFail(R"({"op":"sat","concept":"C","id":-1})");  // negative int
+  parseFail(R"({"op":"sat","concept":"C","id":1.5})"); // non-integer
+  parseFail(R"({"op":"sat","concept":"C)");            // unterminated string
+  parseFail(R"({"op":"sat","concept":"\u12"})");       // short \u escape
+  parseFail(R"({"op":"sat","concept":"\ud800x"})");    // lone surrogate
+  parseFail(R"({"op":"sat","concept":"\q"})");         // bad escape
+  parseFail(R"([1,2,3])");                             // not an object
+  parseFail(R"({})");                                  // no op
+}
+
+TEST(ServeProtocolTest, MissingOpIsRejected) {
+  parseFail(R"({"sub":"B","sup":"A"})");
+}
+
+// Deterministic fuzz: random mutations of valid requests plus pure
+// garbage. The only requirement is "no crash, no throw"; acceptance
+// additionally implies the struct came back fully formed.
+TEST(ServeProtocolTest, FuzzedInputNeverCrashes) {
+  const std::string seeds[] = {
+      R"({"op":"subs","sub":"B","sup":"A","id":7,"deadline_ms":250})",
+      R"({"op":"sat","concept":"http://x#Cé","id":1})",
+      R"({"op":"descendants","concept":"C"})",
+      R"({"op":"status","id":18446744073709551615})",
+  };
+  std::mt19937_64 rng(42);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::string line = seeds[rng() % std::size(seeds)];
+    const int edits = 1 + static_cast<int>(rng() % 4);
+    for (int e = 0; e < edits; ++e) {
+      switch (rng() % 4) {
+        case 0:  // flip a byte
+          if (!line.empty())
+            line[rng() % line.size()] = static_cast<char>(rng() % 256);
+          break;
+        case 1:  // truncate
+          line.resize(line.size() - std::min(line.size(), rng() % 8));
+          break;
+        case 2:  // insert a byte
+          line.insert(line.begin() + static_cast<long>(rng() % (line.size() + 1)),
+                      static_cast<char>(rng() % 256));
+          break;
+        case 3:  // splice two seeds
+          line += seeds[rng() % std::size(seeds)].substr(rng() % 20);
+          break;
+      }
+    }
+    Request req;
+    std::string why;
+    (void)parseRequest(line, &req, &why);  // must simply return
+  }
+  // Pure garbage, including embedded NULs and long runs.
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string line(rng() % 200, '\0');
+    for (char& c : line) c = static_cast<char>(rng() % 256);
+    Request req;
+    std::string why;
+    (void)parseRequest(line, &req, &why);
+  }
+}
+
+TEST(ServeProtocolTest, JsonEscapeRoundTripsControlCharacters) {
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+}
+
+TEST(ServeProtocolTest, WriterAndErrorShapes) {
+  JsonWriter w;
+  w.field("ok", true);
+  w.field("n", std::uint64_t{3});
+  w.field("s", "x\"y");
+  w.raw("arr", "[1,2]");
+  EXPECT_EQ(std::move(w).str(),
+            R"({"ok":true,"n":3,"s":"x\"y","arr":[1,2]})");
+
+  Request req;
+  req.hasId = true;
+  req.id = 9;
+  EXPECT_EQ(errorResponse(req, "overloaded"),
+            R"({"id":9,"ok":false,"error":"overloaded"})");
+  EXPECT_EQ(parseErrorResponse("bad \"line\""),
+            R"({"ok":false,"error":"parse","detail":"bad \"line\""})");
+}
+
+}  // namespace
+}  // namespace owlcl

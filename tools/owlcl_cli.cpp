@@ -47,7 +47,40 @@
 //                        N is the triggering journal-append / barrier ordinal.
 // sweep options:
 //   --max-workers=N      sweep 1..N on the virtual executor (default 64)
+//
+// serve — long-lived classification-as-a-service (DESIGN.md §12). Loads
+// the ontology, classifies in the background, and answers line-oriented
+// JSON queries (protocol in src/serve/protocol.hpp):
+//
+//   owlcl serve <file> --query-file=F [classify options]   batch mode
+//   owlcl serve <file> --port=N       [classify options]   TCP on 127.0.0.1
+//
+//   --query-file=F       newline-delimited requests (- = stdin, the
+//                        default); responses go to stdout in input order
+//   --port=N             TCP socket mode; admission sheds under load with
+//                        explicit {"error":"overloaded"} responses
+//   --query-threads=N    query worker pool size (default 2)
+//   --queue-cap=N        admission queue bound (default 128)
+//   --serve-deadline-ms=N      default per-query deadline (default 1000)
+//   --serve-max-deadline-ms=N  clamp on client deadline_ms (default 60000)
+//   --max-line-bytes=N   request line cap (default 65536)
+//   --inject-serve-faults=SPEC chaos drills on the query path:
+//                          query-fault-every=N slow-client-ms=N
+//                          crash-after-queries=N
+//
+// serve honours the classify checkpoint options; on SIGTERM/SIGINT it
+// finishes in-flight queries, pauses the classifier at its next epoch
+// barrier, flushes a final snapshot, and exits 0 — `serve --resume`
+// continues exactly there. `classify` installs the same handlers: the run
+// is cancelled via its CancellationToken, partial results are printed, a
+// final snapshot is flushed when --checkpoint-dir is set, and the exit
+// status is 3.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -65,7 +98,7 @@ using namespace owlcl;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: owlcl <classify|metrics|sweep|convert> <file> "
+               "usage: owlcl <classify|serve|metrics|sweep|convert> <file> "
                "[options]\n(see the header of tools/owlcl_cli.cpp)\n");
   std::exit(2);
 }
@@ -80,6 +113,38 @@ void load(const std::string& path, TBox& tbox) {
     parseOboFile(path, tbox);
   else
     parseFunctionalSyntaxFile(path, tbox);
+}
+
+// --- graceful-shutdown signal plumbing ---------------------------------------
+// The handler only performs async-signal-safe work: atomic stores
+// (CancellationToken::cancel, ParallelClassifier::requestStop) and a
+// write() to a non-blocking self-pipe that wakes the serve accept loop.
+
+std::atomic<int> gSignal{0};
+std::atomic<CancellationToken*> gCancelToken{nullptr};
+std::atomic<ParallelClassifier*> gStopClassifier{nullptr};
+std::atomic<int> gWakeFd{-1};
+
+extern "C" void handleShutdownSignal(int sig) {
+  gSignal.store(sig, std::memory_order_relaxed);
+  if (CancellationToken* token = gCancelToken.load(std::memory_order_relaxed))
+    token->cancel();
+  if (ParallelClassifier* c = gStopClassifier.load(std::memory_order_relaxed))
+    c->requestStop();
+  const int fd = gWakeFd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void installShutdownHandlers() {
+  struct sigaction sa{};
+  sa.sa_handler = handleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked syscalls see EINTR and re-check
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
 }
 
 /// ReasonerPlugin over the EL saturation, for --backend=el.
@@ -131,6 +196,16 @@ struct Options {
   FsyncPolicy fsyncPolicy = FsyncPolicy::kEveryBarrier;
   bool resume = false;
   CrashPlan crash;
+
+  // Serving.
+  std::uint16_t port = 0;          // 0 = batch mode
+  std::string queryFile = "-";     // "-" = stdin
+  std::size_t queryThreads = 2;
+  std::size_t queueCap = 128;
+  std::size_t serveDeadlineMs = 1000;
+  std::size_t serveMaxDeadlineMs = 60'000;
+  std::size_t maxLineBytes = 64 * 1024;
+  ServeFaultPlan serveFaults;
 };
 
 /// Strict non-negative integer parse for --flag=N values: the whole token
@@ -235,6 +310,40 @@ CrashPlan parseCrashSpec(const char* spec) {
   return plan;
 }
 
+/// Parses "--inject-serve-faults=query-fault-every=3,slow-client-ms=5,...".
+ServeFaultPlan parseServeFaultSpec(const char* spec) {
+  ServeFaultPlan plan;
+  std::string s = spec;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad --inject-serve-faults item: %s\n",
+                   item.c_str());
+      usage();
+    }
+    const std::string key = item.substr(0, eq);
+    const std::size_t val =
+        parseCount("--inject-serve-faults", item.c_str() + eq + 1);
+    if (key == "query-fault-every")
+      plan.queryFaultEvery = val;
+    else if (key == "slow-client-ms")
+      plan.slowClientNs = static_cast<std::uint64_t>(val) * 1'000'000;
+    else if (key == "crash-after-queries")
+      plan.crashAfterQueries = val;
+    else {
+      std::fprintf(stderr, "unknown --inject-serve-faults key: %s\n",
+                   key.c_str());
+      usage();
+    }
+  }
+  return plan;
+}
+
 Options parseOptions(int argc, char** argv, int first) {
   Options o;
   for (int i = first; i < argc; ++i) {
@@ -313,6 +422,30 @@ Options parseOptions(int argc, char** argv, int first) {
       o.resume = true;
     } else if (const char* v14 = value("--inject-crash=")) {
       o.crash = parseCrashSpec(v14);
+    } else if (const char* v15 = value("--port=")) {
+      const std::size_t p = parseCount("--port", v15);
+      if (p == 0 || p > 65535) {
+        std::fprintf(stderr, "--port must be in 1..65535\n");
+        std::exit(2);
+      }
+      o.port = static_cast<std::uint16_t>(p);
+    } else if (const char* v16 = value("--query-file=")) {
+      o.queryFile = v16;
+    } else if (const char* v17 = value("--query-threads=")) {
+      o.queryThreads = parseCount("--query-threads", v17);
+      if (o.queryThreads == 0) usage();
+    } else if (const char* v18 = value("--queue-cap=")) {
+      o.queueCap = parseCount("--queue-cap", v18);
+      if (o.queueCap == 0) usage();
+    } else if (const char* v19 = value("--serve-deadline-ms=")) {
+      o.serveDeadlineMs = parseCount("--serve-deadline-ms", v19);
+    } else if (const char* v20 = value("--serve-max-deadline-ms=")) {
+      o.serveMaxDeadlineMs = parseCount("--serve-max-deadline-ms", v20);
+    } else if (const char* v21 = value("--max-line-bytes=")) {
+      o.maxLineBytes = parseCount("--max-line-bytes", v21);
+      if (o.maxLineBytes == 0) usage();
+    } else if (const char* v22 = value("--inject-serve-faults=")) {
+      o.serveFaults = parseServeFaultSpec(v22);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       usage();
@@ -355,11 +488,54 @@ std::unique_ptr<ReasonerPlugin> makeBackend(const Options& o, TBox& tbox) {
   usage();
 }
 
-int cmdClassify(const std::string& path, const Options& o) {
-  TBox tbox;
-  load(path, tbox);
-  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o, tbox);
+/// Configures classification checkpointing for classify/serve: fresh runs
+/// wipe the directory and snapshot from the genesis barrier on; --resume
+/// recovers snapshot+journal state for resumeClassify. The content hash
+/// ties the checkpoint to this exact ontology (and the seed to this exact
+/// shuffle sequence).
+struct CheckpointSetup {
+  std::unique_ptr<CrashInjector> crashInjector;
+  std::unique_ptr<CheckpointManager> manager;
+  ClassifierCheckpoint resumeFrom;
+  bool haveResume = false;
+};
 
+bool setupCheckpoints(const Options& o, const TBox& tbox,
+                      ClassifierConfig& config, CheckpointSetup* out) {
+  if (o.checkpointDir.empty()) return true;
+  CheckpointConfig cc;
+  cc.dir = o.checkpointDir;
+  cc.everyRounds = o.checkpointEveryRounds;
+  cc.fsyncPolicy = o.fsyncPolicy;
+  out->manager = std::make_unique<CheckpointManager>(
+      cc, ontologyContentHash(tbox), config.seed);
+  if (o.crash.enabled()) {
+    out->crashInjector = std::make_unique<CrashInjector>(o.crash);
+    out->manager->setCrashInjector(out->crashInjector.get());
+  }
+  std::string err;
+  if (o.resume) {
+    if (!out->manager->recover(&out->resumeFrom, &err)) {
+      std::fprintf(stderr, "resume failed: %s\n", err.c_str());
+      return false;
+    }
+    out->haveResume = true;
+    std::fprintf(
+        stderr, "resuming from epoch %llu (%llu cycles, %llu rounds done)\n",
+        static_cast<unsigned long long>(out->resumeFrom.progress.epoch),
+        static_cast<unsigned long long>(
+            out->resumeFrom.progress.completedCycles),
+        static_cast<unsigned long long>(
+            out->resumeFrom.progress.completedRounds));
+  } else if (!out->manager->beginFresh(&err)) {
+    std::fprintf(stderr, "checkpointing unavailable: %s\n", err.c_str());
+    return false;
+  }
+  config.checkpoint = out->manager.get();
+  return true;
+}
+
+ClassifierConfig buildClassifierConfig(const Options& o) {
   ClassifierConfig config;
   config.randomCycles = o.cycles;
   config.enablePruning = o.pruning;
@@ -368,50 +544,29 @@ int cmdClassify(const std::string& path, const Options& o) {
   config.scheduling = o.scheduling;
   config.maxRetries = o.maxRetries;
   config.watchdogBudgetNs = static_cast<std::uint64_t>(o.budgetMs) * 1'000'000;
+  return config;
+}
+
+int cmdClassify(const std::string& path, const Options& o) {
+  TBox tbox;
+  load(path, tbox);
+  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o, tbox);
+
+  ClassifierConfig config = buildClassifierConfig(o);
 
   Stopwatch sw;
   ThreadPool pool(o.workers);
   RealExecutor exec(pool);
 
-  // Checkpointing: fresh runs wipe the directory and snapshot from the
-  // genesis barrier on; --resume recovers snapshot+journal state and hands
-  // it to resumeClassify below. The content hash ties the checkpoint to
-  // this exact ontology (and the seed to this exact shuffle sequence).
-  std::unique_ptr<CrashInjector> crashInjector;
-  std::unique_ptr<CheckpointManager> checkpoints;
-  ClassifierCheckpoint resumeFrom;
-  bool haveResume = false;
-  if (!o.checkpointDir.empty()) {
-    CheckpointConfig cc;
-    cc.dir = o.checkpointDir;
-    cc.everyRounds = o.checkpointEveryRounds;
-    cc.fsyncPolicy = o.fsyncPolicy;
-    checkpoints = std::make_unique<CheckpointManager>(
-        cc, ontologyContentHash(tbox), config.seed);
-    if (o.crash.enabled()) {
-      crashInjector = std::make_unique<CrashInjector>(o.crash);
-      checkpoints->setCrashInjector(crashInjector.get());
-    }
-    std::string err;
-    if (o.resume) {
-      if (!checkpoints->recover(&resumeFrom, &err)) {
-        std::fprintf(stderr, "resume failed: %s\n", err.c_str());
-        return 1;
-      }
-      haveResume = true;
-      std::fprintf(stderr,
-                   "resuming from epoch %llu (%llu cycles, %llu rounds done)\n",
-                   static_cast<unsigned long long>(resumeFrom.progress.epoch),
-                   static_cast<unsigned long long>(
-                       resumeFrom.progress.completedCycles),
-                   static_cast<unsigned long long>(
-                       resumeFrom.progress.completedRounds));
-    } else if (!checkpoints->beginFresh(&err)) {
-      std::fprintf(stderr, "checkpointing unavailable: %s\n", err.c_str());
-      return 1;
-    }
-    config.checkpoint = checkpoints.get();
-  }
+  CheckpointSetup ck;
+  if (!setupCheckpoints(o, tbox, config, &ck)) return 1;
+  CheckpointManager* checkpoints = ck.manager.get();
+
+  // SIGTERM/SIGINT cancel the run through its token: workers stop picking
+  // up new tests, partial results are still printed, and a final snapshot
+  // is flushed below when checkpointing is on. Exit status 3.
+  gCancelToken.store(&exec.cancellation(), std::memory_order_release);
+  installShutdownHandlers();
 
   // Plug-in chain: backend → [FaultInjector] → [GuardedPlugin] → classifier.
   ReasonerPlugin* plugin = backend.get();
@@ -429,9 +584,10 @@ int cmdClassify(const std::string& path, const Options& o) {
   }
 
   ParallelClassifier classifier(tbox, *plugin, config);
-  const ClassificationResult r = haveResume
-                                     ? classifier.resumeClassify(exec, resumeFrom)
-                                     : classifier.classify(exec);
+  const ClassificationResult r =
+      ck.haveResume ? classifier.resumeClassify(exec, ck.resumeFrom)
+                    : classifier.classify(exec);
+  gCancelToken.store(nullptr, std::memory_order_release);
 
   if (o.output == "dot")
     r.taxonomy.writeDot(std::cout, tbox);
@@ -464,6 +620,14 @@ int cmdClassify(const std::string& path, const Options& o) {
                  static_cast<unsigned long long>(agg.clashes),
                  static_cast<unsigned long long>(agg.crossCacheHits),
                  static_cast<unsigned long long>(agg.mergeRefuted));
+    if (agg.cacheInserts > 0 || agg.cacheRejectedFull > 0 ||
+        agg.cacheRejectedLong > 0)
+      std::fprintf(stderr,
+                   "  shared cache: %llu inserts, %llu rejected "
+                   "(probe window full), %llu rejected (label too long)\n",
+                   static_cast<unsigned long long>(agg.cacheInserts),
+                   static_cast<unsigned long long>(agg.cacheRejectedFull),
+                   static_cast<unsigned long long>(agg.cacheRejectedLong));
     const std::vector<ReasonerStats> perWorker =
         plugin->perWorkerReasonerStats();
     for (std::size_t i = 0; i < perWorker.size(); ++i)
@@ -524,7 +688,136 @@ int cmdClassify(const std::string& path, const Options& o) {
                  issues.summary().c_str());
     if (!issues.ok()) return 1;
   }
+
+  if (const int sig = gSignal.load(std::memory_order_acquire); sig != 0) {
+    if (checkpoints != nullptr) {
+      std::string err;
+      if (checkpoints->snapshotFinal(classifier.captureCheckpoint(), &err))
+        std::fprintf(stderr, "  final checkpoint flushed to %s\n",
+                     o.checkpointDir.c_str());
+      else
+        std::fprintf(stderr, "  final checkpoint flush FAILED: %s\n",
+                     err.c_str());
+    }
+    std::fprintf(stderr,
+                 "interrupted by signal %d — partial results above\n", sig);
+    return 3;
+  }
   return 0;
+}
+
+int cmdServe(const std::string& path, const Options& o) {
+  TBox tbox;
+  load(path, tbox);
+  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o, tbox);
+
+  ClassifierConfig config = buildClassifierConfig(o);
+
+  ThreadPool pool(o.workers);
+  RealExecutor exec(pool);
+
+  CheckpointSetup ck;
+  if (!setupCheckpoints(o, tbox, config, &ck)) return 1;
+
+  // Plug-in chain for the BACKGROUND run only (faults, guard). Direct
+  // per-query fallback calls go to the raw backend: a query's budget is
+  // its own deadline, and serve has its own fault plan — classification
+  // fault schedules must not leak nondeterminism into query answers.
+  ReasonerPlugin* plugin = backend.get();
+  std::unique_ptr<FaultInjector> injector;
+  if (o.faults.enabled()) {
+    injector = std::make_unique<FaultInjector>(*plugin, o.faults);
+    plugin = injector.get();
+  }
+  std::unique_ptr<GuardedPlugin> guarded;
+  if (o.deadlineMs > 0 || injector != nullptr) {
+    GuardConfig gc;
+    gc.deadlineNs = static_cast<std::uint64_t>(o.deadlineMs) * 1'000'000;
+    guarded = std::make_unique<GuardedPlugin>(*plugin, gc, &exec.cancellation());
+    plugin = guarded.get();
+  }
+
+  ParallelClassifier classifier(tbox, *plugin, config);
+
+  ServerConfig sc;
+  sc.queryThreads = o.queryThreads;
+  sc.queueCapacity = o.queueCap;
+  sc.maxLineBytes = o.maxLineBytes;
+  sc.engine.defaultDeadlineMs = o.serveDeadlineMs;
+  sc.engine.maxDeadlineMs = o.serveMaxDeadlineMs;
+  sc.faults = o.serveFaults;
+  Server server(tbox, classifier, *backend, sc);
+
+  // SIGTERM/SIGINT: pause the classifier at its next epoch barrier and
+  // wake the socket accept loop through the self-pipe; in-flight queries
+  // still finish, a final snapshot is flushed, and we exit 0.
+  int wakePipe[2] = {-1, -1};
+  if (::pipe(wakePipe) != 0) {
+    std::fprintf(stderr, "cannot create shutdown pipe\n");
+    return 1;
+  }
+  ::fcntl(wakePipe[1], F_SETFL, O_NONBLOCK);
+  gStopClassifier.store(&classifier, std::memory_order_release);
+  gWakeFd.store(wakePipe[1], std::memory_order_release);
+  installShutdownHandlers();
+
+  server.start([&classifier, &exec, &ck] {
+    return ck.haveResume ? classifier.resumeClassify(exec, ck.resumeFrom)
+                         : classifier.classify(exec);
+  });
+
+  int status = 0;
+  if (o.port != 0) {
+    std::fprintf(stderr, "serving on 127.0.0.1:%u (%zu query threads, "
+                         "queue cap %zu)\n",
+                 static_cast<unsigned>(o.port), o.queryThreads, o.queueCap);
+    std::string err;
+    if (!server.runSocket(o.port, wakePipe[0], &err)) {
+      std::fprintf(stderr, "serve: %s\n", err.c_str());
+      status = 1;
+    }
+  } else {
+    std::ifstream fileIn;
+    std::istream* in = &std::cin;
+    if (o.queryFile != "-") {
+      fileIn.open(o.queryFile);
+      if (!fileIn) {
+        std::fprintf(stderr, "cannot read query file %s\n",
+                     o.queryFile.c_str());
+        status = 1;
+      } else {
+        in = &fileIn;
+      }
+    }
+    if (status == 0) server.runBatch(*in, std::cout);
+  }
+
+  gWakeFd.store(-1, std::memory_order_release);
+  gStopClassifier.store(nullptr, std::memory_order_release);
+  server.drain();
+  ::close(wakePipe[0]);
+  ::close(wakePipe[1]);
+
+  if (ck.manager != nullptr) {
+    std::string err;
+    if (ck.manager->snapshotFinal(server.captureCheckpoint(), &err))
+      std::fprintf(stderr, "final checkpoint flushed to %s\n",
+                   o.checkpointDir.c_str());
+    else
+      std::fprintf(stderr, "final checkpoint flush FAILED: %s\n", err.c_str());
+  }
+
+  const ClassificationResult* r = server.result();
+  const char* state = "unknown";
+  if (r != nullptr)
+    state = r->paused ? "paused" : (r->cancelled ? "cancelled" : "done");
+  std::fprintf(stderr,
+               "serve: %llu served, %llu shed; classification %s "
+               "(epoch %zu, %zu possible pairs remaining)\n",
+               static_cast<unsigned long long>(server.served()),
+               static_cast<unsigned long long>(server.shedCount()), state,
+               classifier.currentEpoch(), classifier.remainingPossible());
+  return status;
 }
 
 int cmdMetrics(const std::string& path) {
@@ -582,6 +875,7 @@ int main(int argc, char** argv) {
   const std::string path = argv[2];
   try {
     if (command == "classify") return cmdClassify(path, parseOptions(argc, argv, 3));
+    if (command == "serve") return cmdServe(path, parseOptions(argc, argv, 3));
     if (command == "metrics") return cmdMetrics(path);
     if (command == "sweep") return cmdSweep(path, parseOptions(argc, argv, 3));
     if (command == "convert") return cmdConvert(path, argc > 3 ? argv[3] : "");
