@@ -4,6 +4,8 @@
 #include <bit>
 #include <memory>
 
+#include "elcore/el_reasoner.hpp"
+#include "owl/el_fragment.hpp"
 #include "util/rng.hpp"
 
 namespace owlcl {
@@ -366,6 +368,137 @@ void ParallelClassifier::seedTold() {
   seeded_ = seeded;
 }
 
+void ParallelClassifier::routeElFragment(Executor& exec,
+                                         ClassificationResult& result) {
+  // Hybrid EL/tableau routing (DESIGN.md §13). Runs single-threaded
+  // between the genesis barrier and phase 1, except for the saturation
+  // itself which fans out over this run's own workers. Soundness:
+  //  * the EL sub-ontology E is a subset of O, so every saturation-derived
+  //    subsumption / unsatisfiability is entailed by O (monotonicity);
+  //  * for *pure* concepts (⊥-module all-EL, mod ⊆ E ⊆ O) the module
+  //    robustness of ⊥-locality makes E deductively conservative, so a
+  //    NON-derived pure×pure subsumption is a definite non-subsumption
+  //    and a saturation-satisfiable pure concept is satisfiable in O.
+  // Byte parity with a tableau-only run: seeded K edges are full-closure
+  // edges and the taxonomy builder computes direct children by
+  // reachability with transitive reduction, exactly as for told seeding.
+  // The resume path never re-routes — a crash mid-seed replays the
+  // journaled records and tableau-tests whatever was not yet seeded.
+  const std::uint64_t t0 = exec.elapsedNs();
+  const std::size_t possibleBefore = store_.remainingPossible();
+  const std::uint64_t testsBefore = satTests_.value() + subsTests_.value();
+
+  const ElPartition part = partitionElFragment(tbox_);
+  if (part.elAxioms == 0) return;  // nothing to route
+  if (config_.routeEl == ElRouting::kAuto && !part.majorityEl()) return;
+
+  // Saturate the maximal EL sub-ontology with the ELK-style concurrent
+  // engine, its worker bodies dispatched onto this run's executor. The
+  // tasks report zero cost: saturation time is attributed to the kRouting
+  // cycle entry below (and virtual-time runs stay deterministic).
+  ElReasoner el(tbox_, part.axiomEl);
+  void* satRun = el.beginConcurrent();
+  for (std::size_t w = 0; w < exec.workers(); ++w)
+    exec.dispatch(w, [&el, satRun]() -> std::uint64_t {
+      el.runConcurrentWorker(satRun);
+      return 0;
+    });
+  exec.barrier();
+  el.endConcurrent(satRun);
+
+  const std::size_t n = store_.conceptCount();
+  std::uint64_t avoided = 0;
+
+  // Unsatisfiable concepts — sound for any concept, pure or tainted.
+  // Mirrors ensureSat's unsat path (status, erase, journal) so the
+  // taxonomy assigns them to ⊥ exactly as a tableau-only run would.
+  for (ConceptId c = 0; c < n; ++c) {
+    if (el.isSatisfiable(c)) continue;
+    if (store_.satStatus(c) != SatStatus::kUnknown) continue;
+    store_.setSatStatus(c, false);
+    store_.eraseUnsatConcept(c);
+    settle(SettledKind::kSatFalse, c, c);
+    ++avoided;
+  }
+
+  // Negative-verdict gate. The theory above says pure negatives are sound
+  // even with a non-EL residual; one cheap tableau sat test on a pure
+  // concept cross-checks it (belt and braces against detector bugs): if
+  // the tableau disagrees with saturation-satisfiable, fall back to
+  // positive-only seeding. The call goes through ensureSat, so it is a
+  // test the tableau-only run would have performed anyway.
+  bool allowNegative = part.pureCount > 0;
+  if (allowNegative && part.nonElAxioms > 0) {
+    ConceptId guard = kInvalidConcept;
+    for (ConceptId c = 0; c < n && guard == kInvalidConcept; ++c)
+      if (part.pureConcepts.test(c) && el.isSatisfiable(c)) guard = c;
+    if (guard != kInvalidConcept) {
+      std::uint64_t cost = 0;
+      allowNegative = ensureSat(guard, cost) == SatResult::kSat;
+    }
+  }
+
+  // Positive closure → per-sup K row masks (lazily allocated), applied
+  // with the told-seeding bulk kernel. Unsat subs are handled above;
+  // forEachSubsumption's contract excludes the diagonal.
+  std::vector<DynamicBitset> krow(n);
+  el.forEachSubsumption([&el, &krow, n](ConceptId sup, ConceptId sub) {
+    if (!el.isSatisfiable(sub)) return;
+    if (krow[sup].empty()) krow[sup] = DynamicBitset(n);
+    krow[sup].set(sub);
+  });
+  std::uint64_t seededK = 0;
+  for (ConceptId x = 0; x < n; ++x) {
+    const DynamicBitset& row = krow[x];
+    if (row.empty() || row.none()) continue;
+    seededK += store_.seedKnownRow(x, row.words(), row.wordCountUsed());
+    if (config_.checkpoint != nullptr)
+      row.forEachSetBit([this, x](std::size_t y) {
+        settle(SettledKind::kSubsumption, x, static_cast<ConceptId>(y));
+      });
+  }
+  avoided += seededK;
+
+  if (allowNegative) {
+    // Satisfiability of pure concepts comes straight from the fixpoint;
+    // ensureSat short-circuits on the published status, so these concepts
+    // never reach the tableau.
+    DynamicBitset pureSat(n);
+    for (ConceptId c = 0; c < n; ++c) {
+      if (!part.pureConcepts.test(c) || !el.isSatisfiable(c)) continue;
+      pureSat.set(c);
+      if (store_.satStatus(c) != SatStatus::kUnknown) continue;
+      store_.setSatStatus(c, true);
+      settle(SettledKind::kSatTrue, c, c);
+      ++avoided;
+    }
+    // Definite non-subsumptions: pure × pure, both satisfiable, not in
+    // the derived closure — settled with the bulk negative kernel so the
+    // division phases only ever see pairs with a non-EL side.
+    for (ConceptId x = 0; x < n; ++x) {
+      if (!pureSat.test(x)) continue;
+      DynamicBitset mask = pureSat;
+      if (!krow[x].empty()) mask -= krow[x];
+      mask.reset(x);
+      if (mask.none()) continue;
+      avoided += store_.seedNonSubRow(x, mask.words(), mask.wordCountUsed());
+      if (config_.checkpoint != nullptr)
+        mask.forEachSetBit([this, x](std::size_t y) {
+          settle(SettledKind::kNonSubsumption, x, static_cast<ConceptId>(y));
+        });
+    }
+  }
+
+  routedConcepts_ = allowNegative ? part.pureCount : 0;
+  routeSeeded_ = seededK;
+  routeAvoided_ = avoided;
+
+  result.cycles.push_back(
+      {CycleStats::Phase::kRouting, 0, possibleBefore,
+       store_.remainingPossible(), exec.elapsedNs() - t0,
+       satTests_.value() + subsTests_.value() - testsBefore});
+}
+
 void ParallelClassifier::runRandomCycle(Executor& exec, std::size_t cycleIndex,
                                         std::vector<ConceptId>& order,
                                         ClassificationResult& result) {
@@ -678,6 +811,7 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
     notifyBarrier(0, 0);
     started_.store(true, std::memory_order_release);
     if (config_.toldSeeding) seedTold();
+    if (config_.routeEl != ElRouting::kOff) routeElFragment(exec, result);
   } else {
     store_.restoreImage(from->store);
     epoch_.store(from->progress.epoch, std::memory_order_relaxed);
@@ -784,6 +918,9 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
   result.subsumptionTests = subsTests_.value();
   result.prunedWithoutTest = pruned_.value();
   result.seededWithoutTest = seeded_;
+  result.routedConcepts = routedConcepts_;
+  result.saturationSeeded = routeSeeded_;
+  result.testsAvoidedByRouting = routeAvoided_;
   result.failedTests = failedTests_.value();
   result.retriedTests = retriedTests_.value();
   // Engine-level numbers (zero for plug-ins without engine internals).

@@ -50,6 +50,13 @@
 
 namespace owlcl {
 
+/// Hybrid EL/tableau routing policy (DESIGN.md §13).
+enum class ElRouting : std::uint8_t {
+  kOff = 0,  ///< tableau-only (the paper's architecture, unchanged)
+  kAuto,     ///< route when EL-safe axioms outnumber the non-EL residual
+  kOn,       ///< always run the routing phase
+};
+
 struct ClassifierConfig {
   /// Number of random-division cycles before the group-division phase
   /// (the paper's Fig. 11 load-balancing experiment varies this).
@@ -69,6 +76,14 @@ struct ClassifierConfig {
   /// ordered pair tested, so those pairs never reach the division test
   /// loops. Sound: every seeded edge is told-entailed (DESIGN.md §10).
   bool toldSeeding = false;
+  /// Extension (ROADMAP item 3): hybrid EL/tableau routing. Before phase
+  /// 1, the maximal EL sub-ontology (owl/el_fragment.hpp) is saturated by
+  /// the concurrent EL reasoner on this run's own workers; the derived
+  /// subsumption closure is bulk-seeded into K, definite non-subsumptions
+  /// and satisfiability verdicts are recorded for *pure* concepts (whose
+  /// ⊥-module is all-EL), and the division phases then only test pairs
+  /// with at least one non-EL concept. Byte-identical taxonomy to kOff.
+  ElRouting routeEl = ElRouting::kOff;
   /// Group-division dispatch discipline. kSteal (default) hands tasks to
   /// the executor unpinned and lets work-stealing balance them; the
   /// paper's round-robin (Section III-A2) and the other disciplines remain
@@ -114,7 +129,12 @@ enum class SatVerdict : std::uint8_t {
 };
 
 struct CycleStats {
-  enum class Phase : std::uint8_t { kRandomDivision, kGroupDivision, kHierarchy };
+  enum class Phase : std::uint8_t {
+    kRandomDivision,
+    kGroupDivision,
+    kHierarchy,
+    kRouting,  // EL-fragment saturation + seeding, before phase 1
+  };
   Phase phase;
   std::size_t index;              // cycle number within its phase
   std::size_t possibleBefore;     // |R_O| before the cycle
@@ -134,12 +154,23 @@ struct ClassificationResult {
   std::uint64_t prunedWithoutTest = 0;  // pairs resolved by Algorithm 5
   std::uint64_t seededWithoutTest = 0;  // pairs resolved by told seeding
 
+  // --- hybrid EL/tableau routing report (DESIGN.md §13) ----------------------
+  /// Pure-EL concepts the router owns outright (⊥-module all-EL); 0 when
+  /// routing did not run.
+  std::uint64_t routedConcepts = 0;
+  /// K edges bulk-seeded from the EL saturation closure (claims won).
+  std::uint64_t saturationSeeded = 0;
+  /// Reasoner calls the routing phase made unnecessary: ordered pair
+  /// claims won by the positive + negative seeding sweeps, plus sat?()
+  /// verdicts taken straight from the saturation fixpoint.
+  std::uint64_t testsAvoidedByRouting = 0;
+
   /// Reasoner calls actually performed this run.
   std::uint64_t testsPerformed() const { return satTests + subsumptionTests; }
-  /// Ordered pair tests resolved without a reasoner call (Algorithm 5
-  /// pruning + told-subsumption seeding).
+  /// Tests resolved without a reasoner call (Algorithm 5 pruning,
+  /// told-subsumption seeding, EL-fragment routing).
   std::uint64_t testsAvoided() const {
-    return prunedWithoutTest + seededWithoutTest;
+    return prunedWithoutTest + seededWithoutTest + testsAvoidedByRouting;
   }
 
   // --- reasoner-engine report (plug-ins exposing engine internals) -----------
@@ -292,6 +323,7 @@ class ParallelClassifier {
   void drainPossibleToUnresolved();
 
   void seedTold();
+  void routeElFragment(Executor& exec, ClassificationResult& result);
   void runRandomCycle(Executor& exec, std::size_t cycleIndex,
                       std::vector<ConceptId>& order,
                       ClassificationResult& result);
@@ -315,6 +347,12 @@ class ParallelClassifier {
   /// Ordered pairs resolved by the told-seeding sweep. Written once,
   /// single-threaded, before phase 1 — no sharding needed.
   std::uint64_t seeded_ = 0;
+  /// Routing-phase report (written single-threaded after the saturation
+  /// barrier, before phase 1): pure-EL concept count, K claims won by the
+  /// closure sweep, and total reasoner calls made unnecessary.
+  std::uint64_t routedConcepts_ = 0;
+  std::uint64_t routeSeeded_ = 0;
+  std::uint64_t routeAvoided_ = 0;
   /// Division-round clock for the retry backoff: incremented after every
   /// random cycle and group round (barrier-separated from the tasks that
   /// read it).

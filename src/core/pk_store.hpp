@@ -151,6 +151,18 @@ class PkStore {
     return claimed;
   }
 
+  /// Bulk recordNonSubsumption: claims tested(x, y) and deletes y from
+  /// P_x for every y in `mask` — the negative twin of seedKnownRow. The
+  /// EL-routing sweep applies saturation-refuted rows with it (definite
+  /// non-subsumptions within pure-EL signatures, DESIGN.md §13).
+  /// Returns the number of claims won (tests avoided).
+  std::size_t seedNonSubRow(ConceptId x, const std::uint64_t* mask,
+                            std::size_t nWords) {
+    const std::size_t claimed = tested_.orRow(x, mask, nWords);
+    p_.andNotRow(x, mask, nWords);
+    return claimed;
+  }
+
   // --- queries ---------------------------------------------------------------
   bool possible(ConceptId x, ConceptId y) const { return p_.test(x, y); }
   bool known(ConceptId x, ConceptId y) const { return k_.test(x, y); }

@@ -172,9 +172,8 @@ void ElReasoner::concurrentWorker(void* runPtr) {
   }
 }
 
-void ElReasoner::classifyConcurrent(std::size_t workers) {
-  if (classified_) return;
-  OWLCL_ASSERT(workers >= 1);
+void* ElReasoner::beginConcurrent() {
+  if (classified_) return nullptr;
   normalise();
   // Same layout as initSaturation(), but the seed events go through the
   // concurrent queue.
@@ -184,22 +183,38 @@ void ElReasoner::classifyConcurrent(std::size_t workers) {
   linkBwd_.assign(nr, std::vector<std::vector<Atom>>(atomCount_));
   linkHas_.assign(nr, {});
 
-  ConcRun run;
+  auto* run = new ConcRun;
   for (Atom x = 0; x < atomCount_; ++x) {
     subsumers_[x].set(x);
     subsumers_[x].set(kTopAtom);
-    run.push({false, 0, x, x});
-    if (x != kTopAtom) run.push({false, 0, x, kTopAtom});
+    run->push({false, 0, x, x});
+    if (x != kTopAtom) run->push({false, 0, x, kTopAtom});
   }
+  return run;
+}
 
+void ElReasoner::runConcurrentWorker(void* run) {
+  if (run == nullptr) return;  // already classified at beginConcurrent()
+  concurrentWorker(run);
+}
+
+void ElReasoner::endConcurrent(void* run) {
+  if (run == nullptr) return;
+  delete static_cast<ConcRun*>(run);
+  ruleApplications_ += 1;  // bookkeeping: rounds not individually counted
+  classified_ = true;
+}
+
+void ElReasoner::classifyConcurrent(std::size_t workers) {
+  if (classified_) return;
+  OWLCL_ASSERT(workers >= 1);
+  void* run = beginConcurrent();
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
-    threads.emplace_back([this, &run] { concurrentWorker(&run); });
+    threads.emplace_back([this, run] { runConcurrentWorker(run); });
   for (auto& t : threads) t.join();
-
-  ruleApplications_ += 1;  // bookkeeping: rounds not individually counted
-  classified_ = true;
+  endConcurrent(run);
 }
 
 }  // namespace owlcl

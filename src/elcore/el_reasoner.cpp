@@ -1,40 +1,30 @@
 #include "elcore/el_reasoner.hpp"
 
+#include "owl/el_fragment.hpp"
 #include "util/assert.hpp"
 
 namespace owlcl {
 
-namespace {
-
-bool isElExpr(const ExprFactory& f, ExprId e) {
-  switch (f.kind(e)) {
-    case ExprKind::kTop:
-    case ExprKind::kBottom:
-    case ExprKind::kAtom:
-      return true;
-    case ExprKind::kAnd:
-    case ExprKind::kExists:
-      for (ExprId c : f.children(e))
-        if (!isElExpr(f, c)) return false;
-      return true;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
-
 bool isElTBox(const TBox& tbox) {
-  const ExprFactory& f = tbox.exprs();
   for (const ToldAxiom& ax : tbox.toldAxioms())
-    for (ExprId c : ax.classArgs)
-      if (!isElExpr(f, c)) return false;
+    if (!isElSafeAxiom(tbox, ax)) return false;
   return true;
 }
 
 ElReasoner::ElReasoner(const TBox& tbox) : tbox_(tbox) {
   OWLCL_ASSERT_MSG(tbox.frozen(), "freeze the TBox before constructing ElReasoner");
   OWLCL_ASSERT_MSG(isElTBox(tbox), "ElReasoner requires an EL+ TBox");
+}
+
+ElReasoner::ElReasoner(const TBox& tbox, std::vector<std::uint8_t> axiomMask)
+    : tbox_(tbox), axiomMask_(std::move(axiomMask)) {
+  OWLCL_ASSERT_MSG(tbox.frozen(), "freeze the TBox before constructing ElReasoner");
+  OWLCL_ASSERT_MSG(axiomMask_.size() == tbox.toldAxioms().size(),
+                   "axiom mask must align with toldAxioms()");
+  for (std::size_t i = 0; i < axiomMask_.size(); ++i)
+    if (axiomMask_[i] != 0)
+      OWLCL_ASSERT_MSG(isElSafeAxiom(tbox, tbox.toldAxioms()[i]),
+                       "masked ElReasoner selected a non-EL axiom");
 }
 
 ElReasoner::Atom ElReasoner::freshAtom() {
@@ -113,7 +103,10 @@ void ElReasoner::normalise() {
   freshAtom();  // kBotAtom
   for (std::size_t c = 0; c < tbox_.conceptCount(); ++c) freshAtom();
 
-  for (const ToldAxiom& ax : tbox_.toldAxioms()) {
+  const std::vector<ToldAxiom>& told = tbox_.toldAxioms();
+  for (std::size_t i = 0; i < told.size(); ++i) {
+    if (!axiomMask_.empty() && axiomMask_[i] == 0) continue;  // routed out
+    const ToldAxiom& ax = told[i];
     switch (ax.kind) {
       case AxiomKind::kSubClassOf:
         addNf1(atomize(ax.classArgs[0]), atomize(ax.classArgs[1]));

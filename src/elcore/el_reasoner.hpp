@@ -19,18 +19,29 @@
 #include <vector>
 
 #include "owl/tbox.hpp"
+#include "util/assert.hpp"
 #include "util/bitset.hpp"
 
 namespace owlcl {
 
 /// True iff every told axiom of `tbox` lies in the EL+ fragment
 /// (no ⊔, ¬, ∀, ≥, ≤; DisjointClasses is allowed — it is encoded via ⊥).
+/// Delegates to the owl-layer detector (owl/el_fragment.hpp).
 bool isElTBox(const TBox& tbox);
 
 class ElReasoner {
  public:
   /// `tbox` must outlive the reasoner, be frozen, and satisfy isElTBox().
   explicit ElReasoner(const TBox& tbox);
+
+  /// As above, but saturates only the told axioms whose index is set in
+  /// `axiomMask` (aligned with tbox.toldAxioms()). Every selected axiom
+  /// must be EL-safe (isElSafeAxiom); unselected axioms may be anything —
+  /// this is how the hybrid router feeds the maximal EL sub-ontology of a
+  /// mixed ALCHQ TBox to saturation. The role box (hierarchy closure,
+  /// transitivity) is always consumed whole; role axioms are EL-safe by
+  /// construction.
+  ElReasoner(const TBox& tbox, std::vector<std::uint8_t> axiomMask);
 
   /// Runs saturation to a fixpoint. Idempotent.
   void classify();
@@ -42,6 +53,18 @@ class ElReasoner {
   /// Produces exactly the same saturation as classify(). Idempotent.
   void classifyConcurrent(std::size_t workers);
 
+  /// classifyConcurrent(), split so the worker bodies can run on an
+  /// external execution substrate (the parallel classifier's routing
+  /// phase reuses its own thread pool instead of spawning std::threads).
+  /// Protocol: one beginConcurrent(), then any number of concurrent
+  /// runConcurrentWorker(run) calls — each returns when the saturation
+  /// reaches its fixpoint — then one endConcurrent(run) after all workers
+  /// have returned. beginConcurrent() returns nullptr when the reasoner
+  /// is already classified; the other two are no-ops on nullptr.
+  void* beginConcurrent();
+  void runConcurrentWorker(void* run);
+  void endConcurrent(void* run);
+
   /// After classify(): does `sup` subsume `sub` (i.e. sub ⊑ sup)? O(1).
   bool subsumes(ConceptId sup, ConceptId sub) const;
 
@@ -50,6 +73,32 @@ class ElReasoner {
 
   /// All named strict subsumers of `sub` (excluding ⊤ and sub itself).
   std::vector<ConceptId> subsumersOf(ConceptId sub) const;
+
+  /// After classify*(): invokes cb(sup, sub) once for every ordered named
+  /// pair with sup != sub and subsumes(sup, sub) — the full derived
+  /// subsumption closure, including the "unsatisfiable sub is under
+  /// everything" rows. The router consumes this to bulk-seed the
+  /// classifier's K matrix; callers that handle unsatisfiable concepts
+  /// separately should skip subs with !isSatisfiable(sub).
+  template <typename Fn>
+  void forEachSubsumption(Fn&& cb) const {
+    OWLCL_ASSERT(classified_);
+    const std::size_t n = tbox_.conceptCount();
+    for (std::size_t sub = 0; sub < n; ++sub) {
+      const ConceptId subC = static_cast<ConceptId>(sub);
+      const DynamicBitset& s = subsumers_[namedAtom(subC)];
+      if (s.test(kBotAtom)) {
+        for (std::size_t sup = 0; sup < n; ++sup)
+          if (sup != sub) cb(static_cast<ConceptId>(sup), subC);
+        continue;
+      }
+      s.forEachSetBit([&cb, subC, n](std::size_t a) {
+        if (a < 2 || a >= 2 + n) return;  // ⊤, ⊥ and normalisation atoms
+        const ConceptId sup = static_cast<ConceptId>(a - 2);
+        if (sup != subC) cb(sup, subC);
+      });
+    }
+  }
 
   /// Number of completion-rule applications performed (for benches).
   std::size_t ruleApplications() const { return ruleApplications_; }
@@ -109,6 +158,8 @@ class ElReasoner {
   void addLinkExact(RoleId r, Atom x, Atom y);
 
   const TBox& tbox_;
+  /// Told-axiom filter for the masked constructor; empty = all axioms.
+  std::vector<std::uint8_t> axiomMask_;
   bool classified_ = false;
   std::size_t atomCount_ = 0;
   std::size_t ruleApplications_ = 0;

@@ -201,13 +201,27 @@ GeneratedOntology generateOntology(const GenConfig& cfg) {
     while (truth.unsat[c]) c = (c + 1) % static_cast<ConceptId>(n);
     return c;
   };
+  // Subjects for the non-EL decorations (∀ / QCR): uniform by default,
+  // backbone leaves when cfg.nonElOnLeaves (see the GenConfig comment).
+  std::vector<ConceptId> leaves;
+  if (cfg.nonElOnLeaves) {
+    std::vector<bool> isParent(n, false);
+    for (std::size_t i = 0; i < n; ++i)
+      for (ConceptId p : parents[i]) isParent[p] = true;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!isParent[i]) leaves.push_back(static_cast<ConceptId>(i));
+  }
+  auto nonElSubject = [&]() {
+    return leaves.empty() ? static_cast<ConceptId>(rng.below(n))
+                          : leaves[rng.below(leaves.size())];
+  };
   for (std::size_t k = 0; k < cfg.existentialAxioms; ++k) {
     const ConceptId a = static_cast<ConceptId>(rng.below(n));
     const ConceptId b = satConcept(static_cast<ConceptId>(rng.below(n)));
     t.addSubClassOf(f.atom(a), f.exists(existsRole(k), f.atom(b)));
   }
   for (std::size_t k = 0; k < cfg.universalAxioms; ++k) {
-    const ConceptId a = static_cast<ConceptId>(rng.below(n));
+    const ConceptId a = nonElSubject();
     const ConceptId b = static_cast<ConceptId>(rng.below(n));
     t.addSubClassOf(f.atom(a), f.forall(forallRole(k), f.atom(b)));
   }
@@ -224,7 +238,9 @@ GeneratedOntology generateOntology(const GenConfig& cfg) {
   std::size_t emitted = 0;
   std::size_t qcrIndex = 0;
   while (emitted < cfg.qcrAxioms) {
-    const ConceptId a = static_cast<ConceptId>(rng.below(n));
+    const ConceptId a = cfg.nonElOnLeaves
+                            ? nonElSubject()
+                            : static_cast<ConceptId>(rng.below(n));
     std::vector<ExprId> parts;
     for (std::size_t j = 0; j < bundle && emitted < cfg.qcrAxioms; ++j) {
       ConceptId b = satConcept(static_cast<ConceptId>(rng.below(n)));

@@ -52,6 +52,13 @@ struct GenConfig {
   bool roleHierarchy = false;        // SubObjectPropertyOf chain on ∃ pool
   bool transitiveRoles = false;      // Trans() on one ∃-pool role
 
+  /// Place ∀/QCR decoration subjects on backbone leaves only (concepts
+  /// with no SubClassOf children). A leaf's ⊥-module is near-singleton,
+  /// so the non-EL residual stays confined instead of tainting whole
+  /// subtrees — the EL-heavy shape the routing ablation corpus needs
+  /// (DESIGN.md §13). Decorations remain inert either way.
+  bool nonElOnLeaves = false;
+
   /// Zipf-ish skew of parent choice (0 = uniform; higher = bushier top).
   double attachmentBias = 0.5;
 };

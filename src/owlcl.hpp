@@ -18,6 +18,7 @@
 #pragma once
 
 // Ontology model
+#include "owl/el_fragment.hpp"
 #include "owl/expr.hpp"
 #include "owl/ids.hpp"
 #include "owl/metrics.hpp"

@@ -1,0 +1,207 @@
+// Differential suite for hybrid EL/tableau routing (DESIGN.md §13): on
+// generated mixed EL/non-EL ontologies, --route-el=on must produce a
+// BYTE-IDENTICAL taxonomy to tableau-only classification — routing is an
+// avoidance layer, never a verdict changer. Runs under TSan via the
+// core_test binary: the routing phase drives the concurrent EL saturation
+// on the classifier's own thread pool, so data races there surface here.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/parallel_classifier.hpp"
+#include "core/real_executor.hpp"
+#include "elcore/el_reasoner.hpp"
+#include "gen/generator.hpp"
+#include "owl/el_fragment.hpp"
+#include "owl/parser.hpp"
+#include "reasoner/tableau_reasoner.hpp"
+
+namespace owlcl {
+namespace {
+
+struct ClassifyRun {
+  std::string taxonomy;
+  ClassificationResult result;
+  bool countersOk = false;
+};
+
+ClassifyRun classifyOnce(TBox& tbox, ElRouting routeEl, bool seedTold,
+                 std::size_t workers = 4) {
+  TableauReasoner reasoner(tbox);
+  ClassifierConfig cfg;
+  cfg.randomCycles = 1;
+  cfg.routeEl = routeEl;
+  cfg.toldSeeding = seedTold;
+  ThreadPool pool(workers);
+  RealExecutor exec(pool);
+  ParallelClassifier classifier(tbox, reasoner, cfg);
+  ClassifyRun run;
+  run.result = classifier.classify(exec);
+  run.countersOk = classifier.countersConsistent();
+  std::ostringstream tree;
+  run.result.taxonomy.print(tree, tbox);
+  run.taxonomy = tree.str();
+  return run;
+}
+
+/// off vs on vs on+seed-told over one generated ontology: byte-identical
+/// taxonomies, consistent P/K counters in every mode.
+void expectParity(const GenConfig& cfg) {
+  const GeneratedOntology g = generateOntology(cfg);
+  const ClassifyRun off = classifyOnce(*g.tbox, ElRouting::kOff, false);
+  const ClassifyRun on = classifyOnce(*g.tbox, ElRouting::kOn, false);
+  const ClassifyRun onTold = classifyOnce(*g.tbox, ElRouting::kOn, true);
+  ASSERT_EQ(off.taxonomy, on.taxonomy)
+      << cfg.name << ": --route-el=on changed the taxonomy";
+  ASSERT_EQ(off.taxonomy, onTold.taxonomy)
+      << cfg.name << ": --route-el=on --seed-told changed the taxonomy";
+  EXPECT_TRUE(off.countersOk);
+  EXPECT_TRUE(on.countersOk);
+  EXPECT_TRUE(onTold.countersOk);
+}
+
+GenConfig elHeavy() {
+  // Mirrors the bench_ablation_routing corpus: EL backbone with ∃
+  // decorations, equivalences, disjointness and unsat concepts, plus a
+  // leaf-confined ∀ residual so most concepts are pure.
+  GenConfig cfg;
+  cfg.name = "diff-el-heavy";
+  cfg.concepts = 160;
+  cfg.subClassEdges = 200;
+  cfg.roles = 6;
+  cfg.existentialAxioms = 80;
+  cfg.universalAxioms = 2;
+  cfg.equivalentAxioms = 4;
+  cfg.disjointAxioms = 2;
+  cfg.unsatConcepts = 3;
+  cfg.nonElOnLeaves = true;
+  cfg.roleHierarchy = true;
+  cfg.transitiveRoles = true;
+  cfg.attachmentBias = 0.8;
+  cfg.seed = 19;
+  return cfg;
+}
+
+TEST(RoutingDifferential, ElHeavyParityAndTenfoldTestReduction) {
+  const GenConfig cfg = elHeavy();
+  const GeneratedOntology g = generateOntology(cfg);
+  const ClassifyRun off = classifyOnce(*g.tbox, ElRouting::kOff, false);
+  const ClassifyRun on = classifyOnce(*g.tbox, ElRouting::kOn, false);
+  ASSERT_EQ(off.taxonomy, on.taxonomy);
+  EXPECT_TRUE(on.countersOk);
+
+  // The ISSUE acceptance bar: on an EL-heavy corpus routing cuts the
+  // tableau tests by at least 10x, and the stats report the claim.
+  EXPECT_GT(on.result.routedConcepts, 0u);
+  EXPECT_GT(on.result.saturationSeeded, 0u);
+  EXPECT_GT(on.result.testsAvoidedByRouting, 0u);
+  EXPECT_GE(off.result.testsPerformed(),
+            10 * std::max<std::uint64_t>(on.result.testsPerformed(), 1))
+      << "routing reduced tests only " << off.result.testsPerformed() << " -> "
+      << on.result.testsPerformed();
+}
+
+TEST(RoutingDifferential, BalancedMixedOntology) {
+  GenConfig cfg;
+  cfg.name = "diff-balanced";
+  cfg.concepts = 90;
+  cfg.subClassEdges = 120;
+  cfg.roles = 6;
+  cfg.existentialAxioms = 30;
+  cfg.universalAxioms = 25;  // heavy residual, subjects anywhere
+  cfg.equivalentAxioms = 3;
+  cfg.disjointAxioms = 2;
+  cfg.unsatConcepts = 2;
+  cfg.roleHierarchy = true;
+  cfg.transitiveRoles = true;
+  cfg.seed = 7;
+  expectParity(cfg);
+}
+
+TEST(RoutingDifferential, FullyElOntology) {
+  GenConfig cfg;
+  cfg.name = "diff-fully-el";
+  cfg.concepts = 100;
+  cfg.subClassEdges = 140;
+  cfg.existentialAxioms = 50;
+  cfg.equivalentAxioms = 6;
+  cfg.disjointAxioms = 3;
+  cfg.unsatConcepts = 4;
+  cfg.roleHierarchy = true;
+  cfg.transitiveRoles = true;
+  cfg.seed = 3;
+  {
+    const GeneratedOntology g = generateOntology(cfg);
+    ASSERT_TRUE(isElTBox(*g.tbox));
+    // Everything is pure: routing settles every pair and the tableau
+    // performs almost nothing (only the hierarchy phase runs).
+    const ClassifyRun on = classifyOnce(*g.tbox, ElRouting::kOn, false);
+    const ElPartition part = partitionElFragment(*g.tbox);
+    EXPECT_EQ(part.nonElAxioms, 0u);
+    EXPECT_EQ(on.result.routedConcepts, g.tbox->conceptCount());
+    EXPECT_EQ(on.result.testsPerformed(), 0u);
+  }
+  expectParity(cfg);
+}
+
+TEST(RoutingDifferential, GloballyTaintedFallsBackToPositiveOnly) {
+  // A ⊤-triggered non-EL axiom taints every module: routing may seed
+  // positive closure edges but must take no negative shortcuts, and the
+  // taxonomy still matches byte-for-byte.
+  TBox tbox;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubClassOf(owl:Thing ObjectMaxCardinality(3 g owl:Thing))
+      SubClassOf(B A)
+      SubClassOf(C A)
+      SubClassOf(E B)
+      SubClassOf(D C)
+      SubClassOf(D ObjectSomeValuesFrom(r E))
+      DisjointClasses(B C)
+    ))",
+                        tbox);
+  tbox.freeze();
+  const ElPartition part = partitionElFragment(tbox);
+  ASSERT_TRUE(part.globallyTainted);
+  const ClassifyRun off = classifyOnce(tbox, ElRouting::kOff, false);
+  const ClassifyRun on = classifyOnce(tbox, ElRouting::kOn, false);
+  ASSERT_EQ(off.taxonomy, on.taxonomy);
+  EXPECT_EQ(on.result.routedConcepts, 0u);
+  EXPECT_TRUE(on.countersOk);
+}
+
+TEST(RoutingDifferential, AutoRoutesOnlyMajorityElInputs) {
+  // auto == on for an EL-heavy ontology, == off when the residual wins.
+  const GeneratedOntology heavy = generateOntology(elHeavy());
+  const ClassifyRun heavyAuto = classifyOnce(*heavy.tbox, ElRouting::kAuto, false);
+  EXPECT_GT(heavyAuto.result.routedConcepts, 0u);
+
+  TBox lop;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubClassOf(A ObjectAllValuesFrom(r B))
+      SubClassOf(C ObjectAllValuesFrom(r D))
+      SubClassOf(E F)
+    ))",
+                        lop);
+  lop.freeze();
+  const ClassifyRun lopAuto = classifyOnce(lop, ElRouting::kAuto, false);
+  EXPECT_EQ(lopAuto.result.routedConcepts, 0u);
+  EXPECT_EQ(lopAuto.result.saturationSeeded, 0u);
+}
+
+TEST(RoutingDifferential, WorkerCountSweepKeepsParity) {
+  // The saturation runs on the classifier's own pool; parity must hold at
+  // every worker count (and under TSan this sweeps the racy interleavings).
+  const GeneratedOntology g = generateOntology(elHeavy());
+  const ClassifyRun base = classifyOnce(*g.tbox, ElRouting::kOff, false, 1);
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    const ClassifyRun on = classifyOnce(*g.tbox, ElRouting::kOn, true, workers);
+    ASSERT_EQ(base.taxonomy, on.taxonomy) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace owlcl

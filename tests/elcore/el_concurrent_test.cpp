@@ -1,6 +1,8 @@
 // Concurrent EL saturation must reach exactly the sequential fixpoint.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "elcore/el_reasoner.hpp"
 #include "gen/generator.hpp"
 #include "owl/parser.hpp"
@@ -76,6 +78,53 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, ElConcurrentSweep,
     ::testing::Combine(::testing::Values(3u, 14u, 159u),
                        ::testing::Values(1u, 2u, 4u, 8u)));
+
+TEST(ElConcurrent, SplitApiMatchesSequentialAndIsIdempotent) {
+  // The begin/run/end split is what the classifier's routing phase uses to
+  // drive the saturation on its own executor (DESIGN.md §13): one begin,
+  // N concurrent worker bodies, one end.
+  const char* doc = R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+      SubClassOf(B ObjectSomeValuesFrom(r C))
+      TransitiveObjectProperty(r)
+      SubClassOf(ObjectSomeValuesFrom(r C) D)
+      DisjointClasses(D E)
+      SubClassOf(F D)
+      SubClassOf(F E)
+    ))";
+  TBox t1;
+  parseFunctionalSyntax(doc, t1);
+  t1.freeze();
+  ElReasoner seq(t1);
+  seq.classify();
+
+  TBox t2;
+  parseFunctionalSyntax(doc, t2);
+  t2.freeze();
+  ElReasoner split(t2);
+  void* run = split.beginConcurrent();
+  ASSERT_NE(run, nullptr);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i)
+    threads.emplace_back([&split, run] { split.runConcurrentWorker(run); });
+  for (auto& th : threads) th.join();
+  split.endConcurrent(run);
+
+  const std::size_t n = t1.conceptCount();
+  for (ConceptId x = 0; x < n; ++x) {
+    ASSERT_EQ(seq.isSatisfiable(x), split.isSatisfiable(x));
+    for (ConceptId y = 0; y < n; ++y)
+      ASSERT_EQ(seq.subsumes(x, y), split.subsumes(x, y))
+          << t1.conceptName(y) << " ⊑ " << t1.conceptName(x);
+  }
+
+  // Once classified, begin returns nullptr and the other calls no-op.
+  EXPECT_EQ(split.beginConcurrent(), nullptr);
+  split.runConcurrentWorker(nullptr);
+  split.endConcurrent(nullptr);
+  EXPECT_TRUE(split.subsumes(t2.findConcept("D"), t2.findConcept("A")));
+}
 
 TEST(ElConcurrent, RepeatedRunsStable) {
   // Stress the queue/locking logic: many runs with different thread

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "owl/el_fragment.hpp"
 #include "owl/parser.hpp"
 
 namespace owlcl {
@@ -191,6 +194,70 @@ TEST(ElReasoner, IsElTBoxRejectsNonEl) {
   TBox t3;
   parseFunctionalSyntax("Ontology(DisjointClasses(A B))", t3);
   EXPECT_TRUE(isElTBox(t3)) << "disjointness stays in EL via bottom";
+}
+
+TEST(ElReasoner, ForEachSubsumptionMatchesPairwiseSubsumes) {
+  // Equivalence cycle, derived subsumption, and an unsat concept: the
+  // enumeration must agree with subsumes() on every ordered named pair,
+  // with no duplicates and no reflexive pairs.
+  Fixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(B A)
+      SubClassOf(A ObjectSomeValuesFrom(r C))
+      SubClassOf(ObjectSomeValuesFrom(r C) D)
+      DisjointClasses(D E)
+      SubClassOf(Bad D)
+      SubClassOf(Bad E)
+    ))");
+  const std::size_t n = f.tbox.conceptCount();
+  std::vector<std::vector<bool>> emitted(n, std::vector<bool>(n, false));
+  f.el->forEachSubsumption([&](ConceptId sup, ConceptId sub) {
+    ASSERT_LT(sup, n);
+    ASSERT_LT(sub, n);
+    EXPECT_NE(sup, sub) << "reflexive pair emitted";
+    EXPECT_FALSE(emitted[sub][sup]) << "duplicate pair emitted";
+    emitted[sub][sup] = true;
+  });
+  for (ConceptId sup = 0; sup < n; ++sup)
+    for (ConceptId sub = 0; sub < n; ++sub)
+      EXPECT_EQ(emitted[sub][sup], sup != sub && f.el->subsumes(sup, sub))
+          << f.tbox.conceptName(sub) << " ⊑ " << f.tbox.conceptName(sup);
+  // Spot checks: the cycle shows both ways, the unsat concept under all.
+  EXPECT_TRUE(emitted[f.tbox.findConcept("A")][f.tbox.findConcept("B")]);
+  EXPECT_TRUE(emitted[f.tbox.findConcept("B")][f.tbox.findConcept("A")]);
+  EXPECT_TRUE(emitted[f.tbox.findConcept("Bad")][f.tbox.findConcept("E")]);
+}
+
+TEST(ElReasoner, MaskedConstructorConsumesOnlySelectedAxioms) {
+  // A mixed TBox where the mask removes the two non-EL axioms: the masked
+  // reasoner must behave exactly like one over the EL subset alone.
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(B ObjectAllValuesFrom(r C))
+      SubClassOf(B C)
+      SubClassOf(D ObjectUnionOf(A B))
+      TransitiveObjectProperty(r)
+    ))",
+                        t);
+  t.freeze();
+  std::vector<std::uint8_t> mask;
+  for (const ToldAxiom& ax : t.toldAxioms())
+    mask.push_back(isElSafeAxiom(t, ax) ? 1 : 0);
+  ASSERT_EQ(mask, (std::vector<std::uint8_t>{1, 0, 1, 0, 1}));
+
+  ElReasoner el(t, mask);
+  el.classify();
+  EXPECT_TRUE(el.subsumes(t.findConcept("B"), t.findConcept("A")));
+  EXPECT_TRUE(el.subsumes(t.findConcept("C"), t.findConcept("A")));
+  EXPECT_TRUE(el.subsumes(t.findConcept("C"), t.findConcept("B")));
+  // The masked-out union axiom contributed nothing: D stays unrelated.
+  EXPECT_FALSE(el.subsumes(t.findConcept("A"), t.findConcept("D")));
+  EXPECT_FALSE(el.subsumes(t.findConcept("B"), t.findConcept("D")));
+  for (ConceptId c = 0; c < t.conceptCount(); ++c)
+    EXPECT_TRUE(el.isSatisfiable(c));
 }
 
 TEST(ElReasoner, DeepChainScales) {

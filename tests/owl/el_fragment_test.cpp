@@ -1,0 +1,240 @@
+// EL+ fragment detector and ⊥-module partitioner (DESIGN.md §13).
+//
+// The detector table below enumerates EVERY ExprKind with its expected
+// EL-safety verdict, and the test fails if the enum grows past the table:
+// a new node kind must be added here (and to isElSafeExpr, which rejects
+// unknown kinds by construction) before it can ship. Fail closed is the
+// routing soundness bar — an optimistic detector would feed the EL
+// saturation axioms it is not complete for.
+#include "owl/el_fragment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "owl/parser.hpp"
+#include "owl/tbox.hpp"
+
+namespace owlcl {
+namespace {
+
+TEST(ElSafeExpr, TableCoversEveryExprKind) {
+  TBox t;
+  ExprFactory& f = t.exprs();
+  const ConceptId a = t.declareConcept("A");
+  const ConceptId b = t.declareConcept("B");
+  const RoleId r = t.declareRole("r");
+
+  struct Row {
+    ExprKind kind;
+    ExprId expr;
+    bool elSafe;
+  };
+  const Row table[] = {
+      {ExprKind::kTop, f.top(), true},
+      {ExprKind::kBottom, f.bottom(), true},
+      {ExprKind::kAtom, f.atom(a), true},
+      {ExprKind::kNot, f.negate(f.atom(a)), false},
+      {ExprKind::kAnd, f.conj(f.atom(a), f.atom(b)), true},
+      {ExprKind::kOr, f.disj(f.atom(a), f.atom(b)), false},
+      {ExprKind::kExists, f.exists(r, f.atom(b)), true},
+      {ExprKind::kForall, f.forall(r, f.atom(b)), false},
+      {ExprKind::kAtLeast, f.atLeast(2, r, f.atom(b)), false},
+      {ExprKind::kAtMost, f.atMost(4, r, f.atom(b)), false},
+  };
+
+  std::set<ExprKind> covered;
+  for (const Row& row : table) {
+    ASSERT_EQ(f.kind(row.expr), row.kind)
+        << "constructor normalised away the kind this row meant to probe";
+    EXPECT_EQ(isElSafeExpr(f, row.expr), row.elSafe)
+        << "kind " << static_cast<int>(row.kind);
+    covered.insert(row.kind);
+  }
+  // Exhaustiveness pin: every enum value up to the current last (kAtMost)
+  // appears in the table. Growing ExprKind moves the last value past 9 and
+  // fails the assertion below — extend isElSafeExpr AND this table.
+  ASSERT_EQ(static_cast<int>(ExprKind::kAtMost), 9)
+      << "ExprKind changed: teach isElSafeExpr the new kind (fail closed by "
+         "default), then add it to this table";
+  EXPECT_EQ(covered.size(), 10u);
+}
+
+TEST(ElSafeExpr, RejectsNonElNestedAnywhere) {
+  TBox t;
+  ExprFactory& f = t.exprs();
+  const ExprId a = f.atom(t.declareConcept("A"));
+  const ExprId b = f.atom(t.declareConcept("B"));
+  const RoleId r = t.declareRole("r");
+
+  EXPECT_TRUE(isElSafeExpr(f, f.exists(r, f.conj(a, b))));
+  // ⊓ / ∃ are EL only if every child is: a ∀ or ¬ buried at any depth
+  // poisons the whole expression.
+  EXPECT_FALSE(isElSafeExpr(f, f.conj(a, f.forall(r, b))));
+  EXPECT_FALSE(isElSafeExpr(f, f.exists(r, f.negate(b))));
+  EXPECT_FALSE(isElSafeExpr(f, f.exists(r, f.conj(a, f.atMost(4, r, b)))));
+}
+
+TEST(ElSafeAxiom, ClassAxiomsCheckAllOperands) {
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Ontology(
+      SubClassOf(A ObjectSomeValuesFrom(r B))
+      SubClassOf(A ObjectAllValuesFrom(r B))
+      EquivalentClasses(C ObjectIntersectionOf(A B))
+      EquivalentClasses(D ObjectUnionOf(A B))
+      DisjointClasses(A B)
+      SubObjectPropertyOf(r s)
+      TransitiveObjectProperty(r)
+      AnnotationAssertion(rdfs:comment A "inert")
+    ))",
+                        t);
+  const std::vector<ToldAxiom>& told = t.toldAxioms();
+  const bool expected[] = {true, false, true, false, true, true, true, true};
+  ASSERT_EQ(told.size(), 8u);
+  for (std::size_t i = 0; i < told.size(); ++i)
+    EXPECT_EQ(isElSafeAxiom(t, told[i]), expected[i]) << "axiom " << i;
+}
+
+struct PartitionFixture {
+  TBox tbox;
+  ElPartition part;
+
+  explicit PartitionFixture(const char* doc) {
+    parseFunctionalSyntax(doc, tbox);
+    tbox.freeze();
+    part = partitionElFragment(tbox);
+  }
+  bool pure(const char* name) const {
+    return part.pureConcepts.test(tbox.findConcept(name));
+  }
+};
+
+TEST(ElPartition, FullyElOntologyIsAllPure) {
+  PartitionFixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(B C)
+      SubClassOf(A ObjectSomeValuesFrom(r C))
+      DisjointClasses(B D)
+      SubObjectPropertyOf(r s)
+      TransitiveObjectProperty(r)
+    ))");
+  EXPECT_EQ(f.part.elAxioms, 6u);
+  EXPECT_EQ(f.part.nonElAxioms, 0u);
+  EXPECT_FALSE(f.part.globallyTainted);
+  EXPECT_EQ(f.part.pureCount, f.tbox.conceptCount());
+  EXPECT_TRUE(f.part.majorityEl());
+  for (std::uint8_t el : f.part.axiomEl) EXPECT_EQ(el, 1);
+}
+
+TEST(ElPartition, UniversalTaintsSubjectDescendantsAndReferrers) {
+  // The ∀ axiom is in mod_⊥({A}); C ⊑ A and X ⊑ ∃s.A pull A's module
+  // into theirs, so C and X are tainted too. The ∀ *filler* B, the
+  // parent P and bystander Q keep all-EL modules and stay pure.
+  PartitionFixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectAllValuesFrom(r B))
+      SubClassOf(C A)
+      SubClassOf(A P)
+      SubClassOf(X ObjectSomeValuesFrom(s A))
+      SubClassOf(B Q)
+    ))");
+  EXPECT_FALSE(f.part.globallyTainted);
+  EXPECT_EQ(f.part.elAxioms, 4u);
+  EXPECT_EQ(f.part.nonElAxioms, 1u);
+  EXPECT_FALSE(f.pure("A"));
+  EXPECT_FALSE(f.pure("C"));
+  EXPECT_FALSE(f.pure("X"));
+  EXPECT_TRUE(f.pure("B"));
+  EXPECT_TRUE(f.pure("P"));
+  EXPECT_TRUE(f.pure("Q"));
+  EXPECT_EQ(f.part.pureCount, 3u);
+}
+
+TEST(ElPartition, ComplementLhsTaintsGlobally) {
+  // trig(¬A) = {always}: the non-EL axiom sits in every ⊥-module, so no
+  // concept may take negative verdicts from the saturation.
+  PartitionFixture f(R"(
+    Ontology(
+      SubClassOf(ObjectComplementOf(A) B)
+      SubClassOf(C D)
+    ))");
+  EXPECT_TRUE(f.part.globallyTainted);
+  EXPECT_EQ(f.part.pureCount, 0u);
+  EXPECT_FALSE(f.pure("C"));
+}
+
+TEST(ElPartition, TopLhsNonElTaintsGlobally) {
+  PartitionFixture f(R"(
+    Ontology(
+      SubClassOf(owl:Thing ObjectAllValuesFrom(r B))
+      SubClassOf(C D)
+    ))");
+  EXPECT_TRUE(f.part.globallyTainted);
+  EXPECT_EQ(f.part.pureCount, 0u);
+}
+
+TEST(ElPartition, MinCardinalityZeroNormalisesToTopAndStaysEl) {
+  // The factory rewrites ≥0 r.B to ⊤ at construction, so the axiom
+  // reaches the detector as the EL-safe ⊤ ⊑ X: nothing to taint.
+  PartitionFixture f(R"(
+    Ontology(
+      SubClassOf(ObjectMinCardinality(0 r B) X)
+      SubClassOf(C D)
+    ))");
+  EXPECT_EQ(f.part.nonElAxioms, 0u);
+  EXPECT_FALSE(f.part.globallyTainted);
+  EXPECT_EQ(f.part.pureCount, f.tbox.conceptCount());
+}
+
+TEST(ElPartition, MaxCardinalityLhsTaintsGlobally) {
+  // ≤n r.B ⊥-evaluates to ⊤ when r ∉ Σ — it never vanishes, so the
+  // non-EL axiom sits in every module.
+  PartitionFixture f(R"(
+    Ontology(
+      SubClassOf(ObjectMaxCardinality(2 r B) X)
+      SubClassOf(C D)
+    ))");
+  EXPECT_TRUE(f.part.globallyTainted);
+  EXPECT_EQ(f.part.pureCount, 0u);
+}
+
+TEST(ElPartition, MaskAlignsWithToldAxiomsAndCountsExcludeAnnotations) {
+  PartitionFixture f(R"(
+    Ontology(
+      SubClassOf(A B)
+      SubClassOf(A ObjectAllValuesFrom(r C))
+      AnnotationAssertion(rdfs:comment A "inert")
+      DisjointClasses(B C)
+    ))");
+  const std::vector<ToldAxiom>& told = f.tbox.toldAxioms();
+  ASSERT_EQ(f.part.axiomEl.size(), told.size());
+  for (std::size_t i = 0; i < told.size(); ++i)
+    EXPECT_EQ(f.part.axiomEl[i] != 0, isElSafeAxiom(f.tbox, told[i]))
+        << "axiom " << i;
+  // The annotation is EL-safe in the mask but counts in neither fragment.
+  EXPECT_EQ(f.part.elAxioms, 2u);
+  EXPECT_EQ(f.part.nonElAxioms, 1u);
+  EXPECT_TRUE(f.part.majorityEl());
+}
+
+TEST(ElPartition, MajorityElFalseWhenResidualDominates) {
+  PartitionFixture f(R"(
+    Ontology(
+      SubClassOf(A ObjectAllValuesFrom(r B))
+      SubClassOf(C ObjectAllValuesFrom(r D))
+      SubClassOf(E F)
+    ))");
+  EXPECT_EQ(f.part.elAxioms, 1u);
+  EXPECT_EQ(f.part.nonElAxioms, 2u);
+  EXPECT_FALSE(f.part.majorityEl());
+  // Not globally tainted — the ∀ subjects have concept triggers — so the
+  // bystanders stay pure even though auto-routing would decline.
+  EXPECT_FALSE(f.part.globallyTainted);
+  EXPECT_TRUE(f.pure("E"));
+  EXPECT_TRUE(f.pure("F"));
+}
+
+}  // namespace
+}  // namespace owlcl

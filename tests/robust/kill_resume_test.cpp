@@ -147,6 +147,35 @@ TEST_F(KillResumeTest, SeededRunMatchesGoldenAndSurvivesCrash) {
       << "seeded resume differs from the uninterrupted run";
 }
 
+// Routed drill: the drill ontology is fully EL, so --route-el=on settles
+// every pair from the saturation closure, journaling the routed verdicts
+// right after the genesis snapshot (DESIGN.md §13). A crash mid-seed must
+// recover: resume never re-routes — journal replay restores the routed
+// prefix and the tableau finishes whatever was not yet claimed.
+TEST_F(KillResumeTest, RoutedRunMatchesGoldenAndSurvivesCrash) {
+  // Uninterrupted routed run == unrouted golden.
+  const std::string routedOut = base_ + "/routed.txt";
+  ASSERT_EQ(run(classifyCmd(base_ + "/ckpt-routed", "--route-el=on") + " > " +
+                routedOut + " 2>/dev/null"),
+            0);
+  EXPECT_EQ(slurp(golden_), slurp(routedOut))
+      << "EL routing changed the taxonomy";
+
+  // Crash while the journal is dominated by routed seed records.
+  const std::string dir = base_ + "/ckpt-routed-crash";
+  const std::string out = base_ + "/routed-crash.txt";
+  const int crashRc = run(
+      classifyCmd(dir,
+                  "--route-el=on --inject-crash=point=after-journal,after=50") +
+      " > /dev/null 2>&1");
+  ASSERT_EQ(crashRc, 137) << "crash point never fired";
+  ASSERT_EQ(run(classifyCmd(dir, "--route-el=on --resume") + " > " + out +
+                " 2>/dev/null"),
+            0);
+  EXPECT_EQ(slurp(golden_), slurp(out))
+      << "routed resume differs from the uninterrupted run";
+}
+
 TEST_F(KillResumeTest, ResumeAfterCompletedRunIsIdentityOp) {
   const std::string dir = base_ + "/ckpt-complete";
   ASSERT_EQ(run(classifyCmd(dir, "") + " > /dev/null 2>&1"), 0);

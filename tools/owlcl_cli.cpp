@@ -11,6 +11,10 @@
 //   --no-pruning         disable Algorithm 5 pruning
 //   --ordered            ordered (non-symmetric) pair tests
 //   --seed-told          seed K with told atomic subsumptions
+//   --route-el=off|auto|on  hybrid EL/tableau routing (DESIGN.md §13):
+//                        saturate the EL sub-ontology first and seed the
+//                        P/K store from it; auto routes only when the
+//                        ontology is majority-EL (default off)
 //   --scheduling=steal|rr|ll|sq  group dispatch discipline (default steal:
 //                        unpinned tasks balanced by work-stealing)
 //   --backend=tableau|el   reasoner plug-in (el requires an EL ontology)
@@ -175,6 +179,7 @@ struct Options {
   bool pruning = true;
   bool symmetric = true;
   bool seedTold = false;
+  ElRouting routeEl = ElRouting::kOff;
   bool verify = false;
   bool sharedCache = false;
   bool mergeModels = false;
@@ -362,6 +367,18 @@ Options parseOptions(int argc, char** argv, int first) {
       o.symmetric = false;
     } else if (a == "--seed-told") {
       o.seedTold = true;
+    } else if (const char* vr = value("--route-el=")) {
+      const std::string s = vr;
+      if (s == "off")
+        o.routeEl = ElRouting::kOff;
+      else if (s == "auto")
+        o.routeEl = ElRouting::kAuto;
+      else if (s == "on")
+        o.routeEl = ElRouting::kOn;
+      else {
+        std::fprintf(stderr, "unknown --route-el: %s\n", s.c_str());
+        usage();
+      }
     } else if (a == "--verify") {
       o.verify = true;
     } else if (a == "--shared-cache") {
@@ -541,6 +558,7 @@ ClassifierConfig buildClassifierConfig(const Options& o) {
   config.enablePruning = o.pruning;
   config.symmetricTests = o.symmetric;
   config.toldSeeding = o.seedTold;
+  config.routeEl = o.routeEl;
   config.scheduling = o.scheduling;
   config.maxRetries = o.maxRetries;
   config.watchdogBudgetNs = static_cast<std::uint64_t>(o.budgetMs) * 1'000'000;
@@ -609,6 +627,14 @@ int cmdClassify(const std::string& path, const Options& o) {
                  "  avoidance: %llu cross-cache hits, %llu merge-refuted\n",
                  static_cast<unsigned long long>(r.crossCacheHits),
                  static_cast<unsigned long long>(r.mergeRefuted));
+  if (r.routedConcepts > 0 || r.saturationSeeded > 0 ||
+      r.testsAvoidedByRouting > 0)
+    std::fprintf(stderr,
+                 "  routing: %llu concepts routed to EL saturation, "
+                 "%llu pairs seeded, %llu tests avoided\n",
+                 static_cast<unsigned long long>(r.routedConcepts),
+                 static_cast<unsigned long long>(r.saturationSeeded),
+                 static_cast<unsigned long long>(r.testsAvoidedByRouting));
 
   if (o.stats) {
     const ReasonerStats agg = plugin->reasonerStats();
