@@ -823,6 +823,12 @@ ClassificationResult ParallelClassifier::run(Executor& exec,
     // its last valid record — post-resume appends extend a clean prefix.
     notifyBarrier(startCycle, round);
     started_.store(true, std::memory_order_release);
+    // Delta reruns (DESIGN.md §14) resume from a synthetic checkpoint whose
+    // reopened cone rows never saw a routing phase; route them now so the
+    // EL fragment settles at saturation speed. Crash-recovery resumes keep
+    // this off — their routed verdicts are already in the replayed journal.
+    if (config_.routeElOnResume && config_.routeEl != ElRouting::kOff)
+      routeElFragment(exec, result);
   }
   if (config_.watchdogBudgetNs != 0) exec.armWatchdog(config_.watchdogBudgetNs);
   const CancellationToken& cancel = exec.cancellation();

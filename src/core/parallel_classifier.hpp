@@ -84,6 +84,15 @@ struct ClassifierConfig {
   /// ⊥-module is all-EL), and the division phases then only test pairs
   /// with at least one non-EL concept. Byte-identical taxonomy to kOff.
   ElRouting routeEl = ElRouting::kOff;
+  /// Delta-rerun extension (DESIGN.md §14): run the routing phase on a
+  /// *resumed* store image too. Crash-recovery resumes must keep this off
+  /// (routed verdicts were journaled; replay restores them), but a delta
+  /// rerun starts from a synthetic checkpoint whose cone rows were never
+  /// routed — routing them here is the EL fast path for cone reruns. The
+  /// seeding primitives are idempotent on partially-settled stores, so
+  /// this is sound either way; the flag only exists to keep recovery
+  /// resumes byte-for-byte on their original journaled path.
+  bool routeElOnResume = false;
   /// Group-division dispatch discipline. kSteal (default) hands tasks to
   /// the executor unpinned and lets work-stealing balance them; the
   /// paper's round-robin (Section III-A2) and the other disciplines remain

@@ -1,6 +1,8 @@
 #include "core/pk_store.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace owlcl {
 
@@ -154,6 +156,20 @@ void PkStore::restoreImage(const PkStoreImage& img) {
   OWLCL_ASSERT_MSG(img.conceptCount == n_,
                    "checkpoint concept count does not match this ontology");
   p_.loadWords(img.pWords);
+  // Every image restore — rollback or --resume snapshot load — is audited
+  // before anything runs on it: loadWords just rebuilt the counters from
+  // the words, so a mismatch here means the maintenance machinery itself
+  // (or the image) is corrupt, and continuing would classify over garbage.
+  auditCounters("restoreImage");
+  if (p_.recountAll() != img.possibleCount) {
+    std::fprintf(stderr,
+                 "FATAL: PkStore counter audit failed (restoreImage): "
+                 "restored |R_O| %zu != image ground-truth possibleCount "
+                 "%llu\n",
+                 p_.recountAll(),
+                 static_cast<unsigned long long>(img.possibleCount));
+    std::abort();
+  }
   k_.loadWords(img.kWords);
   tested_.loadWords(img.testedWords);
   OWLCL_ASSERT_MSG(img.sat.size() == n_, "checkpoint sat vector size mismatch");
@@ -177,6 +193,28 @@ void PkStore::restoreImage(const PkStoreImage& img) {
   for (std::size_t c = 0; c < n_; ++c)
     satClaim_[c].store(conceptUnresolvedFlag_[c] ? 1 : 0,
                        std::memory_order_relaxed);
+}
+
+void PkStore::auditCounters(const char* context) const {
+  AtomicBitMatrix::CounterMismatch m;
+  if (!p_.firstCounterMismatch(&m)) {
+    // Cross-check the possible-set total against the image ground truth
+    // only when the counters themselves verify — the mismatch above is the
+    // actionable diagnostic. Nothing more to do here.
+    return;
+  }
+  if (m.row < n_)
+    std::fprintf(stderr,
+                 "FATAL: PkStore counter audit failed (%s): P row %zu "
+                 "maintained count %zu != recount %zu\n",
+                 context, m.row, m.maintained, m.recount);
+  else
+    std::fprintf(stderr,
+                 "FATAL: PkStore counter audit failed (%s): sharded global "
+                 "total %zu != per-row recount sum %zu (all %zu rows agree "
+                 "individually)\n",
+                 context, m.maintained, m.recount, n_);
+  std::abort();
 }
 
 }  // namespace owlcl

@@ -291,6 +291,14 @@ class PkStore {
   /// recovery refuses a snapshot whose restored counters do not verify.
   bool countersConsistent() const { return p_.countersMatchRecount(); }
 
+  /// FATAL counter audit: like countersConsistent(), but on mismatch
+  /// prints the first divergent row (maintained vs recount; row ==
+  /// conceptCount() means the sharded global total) tagged with `context`
+  /// and aborts. Runs automatically at the end of every restoreImage()
+  /// (rollbacks and --resume snapshot loads), so a corrupted image can
+  /// never silently seed a run.
+  void auditCounters(const char* context) const;
+
  private:
   struct RetryEntry {
     std::uint32_t attempts = 0;

@@ -9,6 +9,34 @@ namespace owlcl {
 
 namespace {
 
+// Bare names the class-expression grammar claims for itself — an entity
+// literally named one of these must be <>-bracketed to stay an atom.
+bool isGrammarKeyword(const std::string& name) {
+  return name == "owl:Thing" || name == "owl:Nothing" ||
+         name == "ObjectIntersectionOf" || name == "ObjectUnionOf" ||
+         name == "ObjectComplementOf" || name == "ObjectSomeValuesFrom" ||
+         name == "ObjectAllValuesFrom" || name == "ObjectMinCardinality" ||
+         name == "ObjectMaxCardinality" || name == "ObjectExactCardinality";
+}
+
+// Mirrors the lexer in owl/parser.cpp: alnum / '_' / '-' / '.' plus ':'
+// joined inside prefixed names (but ":=" splits).
+bool bareNameSafe(const std::string& name) {
+  if (name.empty()) return false;
+  const unsigned char first = static_cast<unsigned char>(name[0]);
+  if (std::isdigit(first)) return false;  // would tokenise as an integer
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+        c == '.')
+      continue;
+    if (c == ':' && !(i + 1 < name.size() && name[i + 1] == '='))
+      continue;
+    return false;
+  }
+  return !isGrammarKeyword(name);
+}
+
 void renderFs(const TBox& tbox, ExprId e, std::string& out) {
   const ExprFactory& f = tbox.exprs();
   const ExprNode& n = f.node(e);
@@ -20,7 +48,7 @@ void renderFs(const TBox& tbox, ExprId e, std::string& out) {
       out += "owl:Nothing";
       return;
     case ExprKind::kAtom:
-      out += tbox.conceptName(n.atom);
+      out += fsEntityName(tbox.conceptName(n.atom));
       return;
     case ExprKind::kNot:
       out += "ObjectComplementOf(";
@@ -43,7 +71,7 @@ void renderFs(const TBox& tbox, ExprId e, std::string& out) {
     case ExprKind::kForall:
       out += n.kind == ExprKind::kExists ? "ObjectSomeValuesFrom("
                                          : "ObjectAllValuesFrom(";
-      out += tbox.roles().name(n.role);
+      out += fsEntityName(tbox.roles().name(n.role));
       out += " ";
       renderFs(tbox, f.children(e)[0], out);
       out += ")";
@@ -54,7 +82,7 @@ void renderFs(const TBox& tbox, ExprId e, std::string& out) {
                                           : "ObjectMaxCardinality(";
       out += std::to_string(n.number);
       out += " ";
-      out += tbox.roles().name(n.role);
+      out += fsEntityName(tbox.roles().name(n.role));
       out += " ";
       renderFs(tbox, f.children(e)[0], out);
       out += ")";
@@ -112,6 +140,11 @@ void renderDl(const TBox& tbox, ExprId e, std::string& out) {
 
 }  // namespace
 
+std::string fsEntityName(const std::string& name) {
+  if (bareNameSafe(name)) return name;
+  return "<" + name + ">";
+}
+
 std::string toFunctionalSyntax(const TBox& tbox, ExprId e) {
   std::string s;
   renderFs(tbox, e, s);
@@ -124,56 +157,62 @@ std::string toDlSyntax(const TBox& tbox, ExprId e) {
   return s;
 }
 
+std::string toFunctionalSyntax(const TBox& tbox, const ToldAxiom& ax) {
+  std::string out;
+  switch (ax.kind) {
+    case AxiomKind::kSubClassOf:
+      out += "SubClassOf(";
+      out += toFunctionalSyntax(tbox, ax.classArgs[0]);
+      out += " ";
+      out += toFunctionalSyntax(tbox, ax.classArgs[1]);
+      out += ")";
+      break;
+    case AxiomKind::kEquivalentClasses:
+    case AxiomKind::kDisjointClasses: {
+      out += ax.kind == AxiomKind::kEquivalentClasses ? "EquivalentClasses("
+                                                      : "DisjointClasses(";
+      bool first = true;
+      for (ExprId c : ax.classArgs) {
+        if (!first) out += " ";
+        first = false;
+        out += toFunctionalSyntax(tbox, c);
+      }
+      out += ")";
+      break;
+    }
+    case AxiomKind::kSubObjectPropertyOf:
+      out += "SubObjectPropertyOf(";
+      out += fsEntityName(tbox.roles().name(ax.role1));
+      out += " ";
+      out += fsEntityName(tbox.roles().name(ax.role2));
+      out += ")";
+      break;
+    case AxiomKind::kTransitiveObjectProperty:
+      out += "TransitiveObjectProperty(";
+      out += fsEntityName(tbox.roles().name(ax.role1));
+      out += ")";
+      break;
+    case AxiomKind::kAnnotation:
+      out += "AnnotationAssertion(rdfs:comment ";
+      out += toFunctionalSyntax(tbox, ax.classArgs[0]);
+      out += " \"";
+      out += ax.text;
+      out += "\")";
+      break;
+  }
+  return out;
+}
+
 void writeFunctionalSyntax(const TBox& tbox, std::ostream& out) {
   out << "Ontology(<http://owlcl/generated>\n";
   for (std::size_t c = 0; c < tbox.conceptCount(); ++c)
-    out << "  Declaration(Class(" << tbox.conceptName(static_cast<ConceptId>(c))
-        << "))\n";
+    out << "  Declaration(Class("
+        << fsEntityName(tbox.conceptName(static_cast<ConceptId>(c))) << "))\n";
   for (std::size_t r = 0; r < tbox.roles().size(); ++r)
     out << "  Declaration(ObjectProperty("
-        << tbox.roles().name(static_cast<RoleId>(r)) << "))\n";
-  for (const ToldAxiom& ax : tbox.toldAxioms()) {
-    switch (ax.kind) {
-      case AxiomKind::kSubClassOf:
-        out << "  SubClassOf(" << toFunctionalSyntax(tbox, ax.classArgs[0]) << " "
-            << toFunctionalSyntax(tbox, ax.classArgs[1]) << ")\n";
-        break;
-      case AxiomKind::kEquivalentClasses: {
-        out << "  EquivalentClasses(";
-        bool first = true;
-        for (ExprId c : ax.classArgs) {
-          if (!first) out << " ";
-          first = false;
-          out << toFunctionalSyntax(tbox, c);
-        }
-        out << ")\n";
-        break;
-      }
-      case AxiomKind::kDisjointClasses: {
-        out << "  DisjointClasses(";
-        bool first = true;
-        for (ExprId c : ax.classArgs) {
-          if (!first) out << " ";
-          first = false;
-          out << toFunctionalSyntax(tbox, c);
-        }
-        out << ")\n";
-        break;
-      }
-      case AxiomKind::kSubObjectPropertyOf:
-        out << "  SubObjectPropertyOf(" << tbox.roles().name(ax.role1) << " "
-            << tbox.roles().name(ax.role2) << ")\n";
-        break;
-      case AxiomKind::kTransitiveObjectProperty:
-        out << "  TransitiveObjectProperty(" << tbox.roles().name(ax.role1) << ")\n";
-        break;
-      case AxiomKind::kAnnotation:
-        out << "  AnnotationAssertion(rdfs:comment "
-            << toFunctionalSyntax(tbox, ax.classArgs[0]) << " \"" << ax.text
-            << "\")\n";
-        break;
-    }
-  }
+        << fsEntityName(tbox.roles().name(static_cast<RoleId>(r))) << "))\n";
+  for (const ToldAxiom& ax : tbox.toldAxioms())
+    out << "  " << toFunctionalSyntax(tbox, ax) << "\n";
   out << ")\n";
 }
 

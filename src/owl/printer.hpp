@@ -10,8 +10,19 @@
 
 namespace owlcl {
 
+/// Renders an entity name so it re-parses to itself: bare when it
+/// tokenises as a single name and is not claimed by a constructor
+/// keyword, otherwise <IRI>-bracketed (full IRIs contain '/' and '#',
+/// which the bare-name lexer rejects / treats as a comment).
+std::string fsEntityName(const std::string& name);
+
 /// Functional-syntax rendering of a single class expression.
 std::string toFunctionalSyntax(const TBox& tbox, ExprId e);
+
+/// Functional-syntax rendering of a single told axiom (no trailing
+/// newline). This is the canonical statement form used by the delta
+/// layer: two axioms are the same statement iff these strings match.
+std::string toFunctionalSyntax(const TBox& tbox, const ToldAxiom& ax);
 
 /// DL-style rendering, e.g. "(A ⊓ ∃r.B)".
 std::string toDlSyntax(const TBox& tbox, ExprId e);

@@ -48,6 +48,7 @@
 #include "robust/fault_injector.hpp"
 #include "robust/journal.hpp"
 #include "robust/checkpoint.hpp"
+#include "robust/delta_journal.hpp"
 // Serving (long-lived classification-as-a-service: `owlcl serve`)
 #include "serve/admission.hpp"
 #include "serve/protocol.hpp"

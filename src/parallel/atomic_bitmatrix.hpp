@@ -364,6 +364,37 @@ class AtomicBitMatrix {
     return countAll() == total;
   }
 
+  /// First counter/recount mismatch, for FATAL diagnostics. Row mismatches
+  /// report {row, maintained, recount}; a global-shard-sum mismatch with
+  /// all rows clean reports row == rows() (the shard sum vs the true
+  /// total). Returns false when everything agrees (or in uncounted mode).
+  struct CounterMismatch {
+    std::size_t row = 0;
+    std::size_t maintained = 0;
+    std::size_t recount = 0;
+  };
+  bool firstCounterMismatch(CounterMismatch* out) const {
+    if (!counted_) return false;
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::size_t actual = recountRow(r);
+      if (countRow(r) != actual) {
+        out->row = r;
+        out->maintained = countRow(r);
+        out->recount = actual;
+        return true;
+      }
+      total += actual;
+    }
+    if (countAll() != total) {
+      out->row = rows_;
+      out->maintained = countAll();
+      out->recount = total;
+      return true;
+    }
+    return false;
+  }
+
   /// Row indices r with bit (r,c) set (snapshot). One word probe per row;
   /// in counted mode rows whose counter reads zero are skipped without
   /// touching the matrix at all (safe for sets that only shrink: the lagged

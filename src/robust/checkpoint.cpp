@@ -526,6 +526,17 @@ bool CheckpointManager::recover(ClassifierCheckpoint* out, std::string* error) {
 void CheckpointManager::recordSettled(SettledKind kind, ConceptId x,
                                       ConceptId y, std::uint64_t epoch) {
   journal_.append(kind, x, y, static_cast<std::uint32_t>(epoch));
+  if (deltaRerun_ && crash_ != nullptr) {
+    // Mid-rerun drill: die after the Nth journaled verdict of the cone
+    // rerun, with that verdict durable — no commit record exists yet, so
+    // recovery must land on the pre-delta taxonomy.
+    const std::uint64_t ordinal =
+        rerunVerdicts_.fetch_add(1, std::memory_order_relaxed);
+    if (crash_->crashMidRerunNow(ordinal)) {
+      journal_.sync();
+      CrashInjector::crash();
+    }
+  }
 }
 
 void CheckpointManager::epochBarrier(

@@ -31,6 +31,7 @@
 // u64 totalFailures | u64 possibleCount | u32 crc.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -131,6 +132,16 @@ class CheckpointManager : public CheckpointHook {
   std::uint64_t journalAppends() const { return journal_.appendCount(); }
   const std::string& lastError() const { return lastError_; }
 
+  /// Marks this manager as driving a delta cone rerun (DESIGN.md §14):
+  /// every journaled verdict from now on also consults the injector's
+  /// kCrashMidRerun point, counting verdicts from 0 per call. The delta
+  /// layer flags the rerun-area manager with this so the mid-rerun drill
+  /// dies inside the cone re-classification, never the main run.
+  void markDeltaRerun() {
+    deltaRerun_ = true;
+    rerunVerdicts_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   std::string journalPath() const;
   std::string snapshotPath(std::uint64_t seq) const;
@@ -147,6 +158,8 @@ class CheckpointManager : public CheckpointHook {
   std::uint64_t barriers_ = 0;      // epoch barriers observed (crash ordinal)
   std::uint64_t snapshotsWritten_ = 0;
   std::string lastError_;
+  bool deltaRerun_ = false;  // consult kCrashMidRerun on journaled verdicts
+  std::atomic<std::uint64_t> rerunVerdicts_{0};
 };
 
 }  // namespace owlcl

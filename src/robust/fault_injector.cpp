@@ -18,6 +18,40 @@ void CrashInjector::crash() {
   _exit(137);
 }
 
+const char* crashPointName(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kNone:
+      return "none";
+    case CrashPoint::kTornWrite:
+      return "torn-write";
+    case CrashPoint::kCrashAfterJournal:
+      return "after-journal";
+    case CrashPoint::kCrashBeforeSnapshotRename:
+      return "before-rename";
+    case CrashPoint::kCrashAtBarrier:
+      return "at-barrier";
+    case CrashPoint::kDeltaTornWrite:
+      return "delta-journal";
+    case CrashPoint::kCrashMidRerun:
+      return "mid-rerun";
+    case CrashPoint::kCrashPreCommit:
+      return "pre-commit";
+    case CrashPoint::kCrashMidRollback:
+      return "mid-rollback";
+  }
+  return "none";
+}
+
+CrashPoint parseCrashPoint(const std::string& name) {
+  for (const CrashPoint p :
+       {CrashPoint::kTornWrite, CrashPoint::kCrashAfterJournal,
+        CrashPoint::kCrashBeforeSnapshotRename, CrashPoint::kCrashAtBarrier,
+        CrashPoint::kDeltaTornWrite, CrashPoint::kCrashMidRerun,
+        CrashPoint::kCrashPreCommit, CrashPoint::kCrashMidRollback})
+    if (name == crashPointName(p)) return p;
+  return CrashPoint::kNone;
+}
+
 namespace {
 
 std::uint64_t pairKey(ConceptId x, ConceptId y) {

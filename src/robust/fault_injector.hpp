@@ -33,6 +33,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "core/plugin.hpp"
@@ -85,7 +86,29 @@ enum class CrashPoint : std::uint8_t {
   /// Crash right after the Nth epoch barrier finished its checkpoint
   /// work: clean snapshot on disk, nothing volatile lost.
   kCrashAtBarrier,
+
+  // --- delta transaction stages (DESIGN.md §14) ------------------------------
+  /// Crash mid-append on the Nth delta-WAL record: only the first half
+  /// reaches deltas.wal (recovery must truncate the torn op and treat the
+  /// transaction as never begun / still open).
+  kDeltaTornWrite,
+  /// Crash after the Nth journaled verdict of a delta cone rerun: the
+  /// rerun's own checkpoint area holds partial progress, but no commit
+  /// record exists — recovery must land on the pre-delta taxonomy.
+  kCrashMidRerun,
+  /// Crash after the rerun completed but before the commit record is
+  /// appended to deltas.wal: same recovery outcome as mid-rerun.
+  kCrashPreCommit,
+  /// Crash during rollback, before the abort record is appended: the
+  /// pre-delta state is still anchored; recovery replays the abort.
+  kCrashMidRollback,
 };
+
+/// Canonical CLI spellings of the crash points, shared by the flag parser
+/// and the drills. Unknown names must be rejected loudly — parseCrashPoint
+/// returns kNone and the caller fails the parse.
+const char* crashPointName(CrashPoint p);
+CrashPoint parseCrashPoint(const std::string& name);
 
 struct CrashPlan {
   CrashPoint point = CrashPoint::kNone;
@@ -120,6 +143,23 @@ class CrashInjector {
   bool crashAtBarrierNow(std::uint64_t barrierOrdinal) const {
     return plan_.point == CrashPoint::kCrashAtBarrier &&
            barrierOrdinal == plan_.after;
+  }
+
+  // Delta transaction stages (consulted by DeltaJournal / DeltaJournalSink;
+  // ordinals count delta-WAL appends resp. journaled rerun verdicts).
+  bool deltaTornWriteNow(std::uint64_t appendOrdinal) const {
+    return plan_.point == CrashPoint::kDeltaTornWrite &&
+           appendOrdinal == plan_.after;
+  }
+  bool crashMidRerunNow(std::uint64_t verdictOrdinal) const {
+    return plan_.point == CrashPoint::kCrashMidRerun &&
+           verdictOrdinal == plan_.after;
+  }
+  bool crashPreCommitNow() const {
+    return plan_.point == CrashPoint::kCrashPreCommit;
+  }
+  bool crashMidRollbackNow() const {
+    return plan_.point == CrashPoint::kCrashMidRollback;
   }
 
   /// SIGKILL-equivalent death: no unwinding, no exit handlers, no stream

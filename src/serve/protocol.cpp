@@ -147,6 +147,8 @@ bool parseRequest(std::string_view line, Request* out, std::string* error) {
           req.sup = sval;
         } else if (key == "concept") {
           req.conceptName = sval;
+        } else if (key == "axiom") {
+          req.axiom = sval;
         }
         // Unknown string keys are ignored (forward compatibility).
       } else {
@@ -183,6 +185,18 @@ bool parseRequest(std::string_view line, Request* out, std::string* error) {
     req.op = RequestOp::kDescendants;
   } else if (op == "status") {
     req.op = RequestOp::kStatus;
+  } else if (op == "begin-delta") {
+    req.op = RequestOp::kBeginDelta;
+  } else if (op == "add-axiom") {
+    if (req.axiom.empty()) return fail(error, "add-axiom needs \"axiom\"");
+    req.op = RequestOp::kAddAxiom;
+  } else if (op == "retract-axiom") {
+    if (req.axiom.empty()) return fail(error, "retract-axiom needs \"axiom\"");
+    req.op = RequestOp::kRetractAxiom;
+  } else if (op == "commit") {
+    req.op = RequestOp::kCommitDelta;
+  } else if (op == "abort") {
+    req.op = RequestOp::kAbortDelta;
   } else {
     return fail(error, "unknown op");
   }

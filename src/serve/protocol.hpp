@@ -6,6 +6,11 @@
 //   {"op":"sat","concept":"A"[,"id":N][,"deadline_ms":N]}
 //   {"op":"descendants","concept":"A"[,"id":N][,"deadline_ms":N]}
 //   {"op":"status"[,"id":N]}
+//   {"op":"begin-delta"[,"id":N]}
+//   {"op":"add-axiom","axiom":"SubClassOf(A B)"[,"id":N]}
+//   {"op":"retract-axiom","axiom":"SubClassOf(A B)"[,"id":N]}
+//   {"op":"commit"[,"id":N]}
+//   {"op":"abort"[,"id":N]}
 //
 // Responses echo the request id (when given) and are one JSON object per
 // line: {"id":N,"ok":true,...} or {"id":N,"ok":false,"error":"<code>"}.
@@ -23,13 +28,26 @@
 
 namespace owlcl {
 
-enum class RequestOp : std::uint8_t { kSubs, kSat, kDescendants, kStatus };
+enum class RequestOp : std::uint8_t {
+  kSubs,
+  kSat,
+  kDescendants,
+  kStatus,
+  // Delta transaction verbs (DESIGN.md §14). Queries keep answering from
+  // the last committed generation while a transaction is staged/committed.
+  kBeginDelta,
+  kAddAxiom,
+  kRetractAxiom,
+  kCommitDelta,
+  kAbortDelta,
+};
 
 struct Request {
   RequestOp op = RequestOp::kStatus;
   std::string sub;          // subs: candidate subsumee name
   std::string sup;          // subs: candidate subsumer name
   std::string conceptName;  // sat / descendants ("concept" on the wire)
+  std::string axiom;        // add-axiom / retract-axiom: functional syntax
   bool hasId = false;
   std::uint64_t id = 0;
   /// Per-query deadline override; 0 = server default.

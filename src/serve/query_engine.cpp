@@ -26,10 +26,33 @@ std::string verdictResponse(const Request& req, const char* opName, bool value,
 
 QueryEngine::QueryEngine(const TBox& tbox, ParallelClassifier& classifier,
                          ReasonerPlugin& fallback, QueryEngineConfig config)
-    : tbox_(tbox),
-      classifier_(classifier),
-      fallback_(fallback),
-      config_(config) {}
+    : config_(config) {
+  auto view = std::make_shared<EngineView>();
+  view->tbox = &tbox;
+  view->classifier = &classifier;
+  view->fallback = &fallback;
+  view_ = std::move(view);
+}
+
+void QueryEngine::setResult(const ClassificationResult* result) {
+  // Copy-on-write: in-flight queries hold the old snapshot; the result
+  // pointer only ever appears on a fresh one.
+  std::lock_guard<std::mutex> lock(viewMu_);
+  auto next = std::make_shared<EngineView>(*view_);
+  next->result = result;
+  view_ = std::move(next);
+}
+
+void QueryEngine::publishView(EngineView view) {
+  auto next = std::make_shared<EngineView>(std::move(view));
+  std::lock_guard<std::mutex> lock(viewMu_);
+  view_ = std::move(next);
+}
+
+std::shared_ptr<const EngineView> QueryEngine::currentView() const {
+  std::lock_guard<std::mutex> lock(viewMu_);
+  return view_;
+}
 
 std::chrono::steady_clock::time_point QueryEngine::deadlineFor(
     const Request& req) const {
@@ -50,37 +73,44 @@ std::uint64_t QueryEngine::remainingNs(
 
 std::string QueryEngine::answer(const Request& req) {
   const auto deadline = deadlineFor(req);
+  // One snapshot per query: a concurrent commit swaps view_ but cannot
+  // change what THIS query answers against.
+  const std::shared_ptr<const EngineView> view = currentView();
   switch (req.op) {
     case RequestOp::kSubs:
-      return answerSubs(req, deadline);
+      return answerSubs(req, *view, deadline);
     case RequestOp::kSat:
-      return answerSat(req, deadline);
+      return answerSat(req, *view, deadline);
     case RequestOp::kDescendants:
-      return answerDescendants(req, deadline);
-    case RequestOp::kStatus:
-      break;  // server-level; unreachable through Server::processLine
+      return answerDescendants(req, *view, deadline);
+    default:
+      break;  // status + delta verbs are server-level; unreachable
+               // through Server::processLine
   }
   return errorResponse(req, "internal", "unroutable op");
 }
 
 std::string QueryEngine::answerSubs(
-    const Request& req, std::chrono::steady_clock::time_point deadline) {
-  const ConceptId sup = tbox_.findConcept(req.sup);
-  const ConceptId sub = tbox_.findConcept(req.sub);
+    const Request& req, const EngineView& view,
+    std::chrono::steady_clock::time_point deadline) {
+  const TBox& tbox = *view.tbox;
+  ParallelClassifier& classifier = *view.classifier;
+  const ConceptId sup = tbox.findConcept(req.sup);
+  const ConceptId sub = tbox.findConcept(req.sub);
   if (sup == kInvalidConcept)
     return errorResponse(req, "unknown-concept", req.sup);
   if (sub == kInvalidConcept)
     return errorResponse(req, "unknown-concept", req.sub);
 
   // Rung 1: already settled in the shared store — memory-speed answer.
-  PairVerdict v = classifier_.queryPair(sup, sub);
-  if (v == PairVerdict::kUnknown && !classifier_.finished()) {
+  PairVerdict v = classifier.queryPair(sup, sub);
+  if (v == PairVerdict::kUnknown && !classifier.finished()) {
     // Rung 2: block on the pair's epoch for HALF the remaining budget —
     // the other half is reserved for the direct fallback call, so a pair
     // that never settles still gets a real attempt at a verdict.
     const auto now = std::chrono::steady_clock::now();
     const auto waitDeadline = now + (deadline - now) / 2;
-    v = classifier_.waitForPair(sup, sub, waitDeadline);
+    v = classifier.waitForPair(sup, sub, waitDeadline);
   }
   if (v == PairVerdict::kSubsumed || v == PairVerdict::kNotSubsumed)
     return verdictResponse(req, "subs", v == PairVerdict::kSubsumed,
@@ -92,7 +122,7 @@ std::string QueryEngine::answerSubs(
   if (budget == 0) return errorResponse(req, "deadline");
   GuardConfig gc;
   gc.deadlineNs = budget;
-  GuardedPlugin guard(fallback_, gc);
+  GuardedPlugin guard(*view.fallback, gc);
   const TestVerdict tv = guard.trySubsumedBy(sub, sup);
   if (tv.ok()) return verdictResponse(req, "subs", tv.value(), "direct");
   return errorResponse(
@@ -100,15 +130,18 @@ std::string QueryEngine::answerSubs(
 }
 
 std::string QueryEngine::answerSat(
-    const Request& req, std::chrono::steady_clock::time_point deadline) {
-  const ConceptId c = tbox_.findConcept(req.conceptName);
+    const Request& req, const EngineView& view,
+    std::chrono::steady_clock::time_point deadline) {
+  const TBox& tbox = *view.tbox;
+  ParallelClassifier& classifier = *view.classifier;
+  const ConceptId c = tbox.findConcept(req.conceptName);
   if (c == kInvalidConcept)
     return errorResponse(req, "unknown-concept", req.conceptName);
 
-  SatVerdict v = classifier_.querySat(c);
-  if (v == SatVerdict::kUnknown && !classifier_.finished()) {
+  SatVerdict v = classifier.querySat(c);
+  if (v == SatVerdict::kUnknown && !classifier.finished()) {
     const auto now = std::chrono::steady_clock::now();
-    v = classifier_.waitForSat(c, now + (deadline - now) / 2);
+    v = classifier.waitForSat(c, now + (deadline - now) / 2);
   }
   if (v == SatVerdict::kSatisfiable || v == SatVerdict::kUnsatisfiable)
     return verdictResponse(req, "sat", v == SatVerdict::kSatisfiable,
@@ -118,7 +151,7 @@ std::string QueryEngine::answerSat(
   if (budget == 0) return errorResponse(req, "deadline");
   GuardConfig gc;
   gc.deadlineNs = budget;
-  GuardedPlugin guard(fallback_, gc);
+  GuardedPlugin guard(*view.fallback, gc);
   const TestVerdict tv = guard.trySatisfiable(c);
   if (tv.ok()) return verdictResponse(req, "sat", tv.value(), "direct");
   return errorResponse(
@@ -126,19 +159,26 @@ std::string QueryEngine::answerSat(
 }
 
 std::string QueryEngine::answerDescendants(
-    const Request& req, std::chrono::steady_clock::time_point deadline) {
-  const ConceptId c = tbox_.findConcept(req.conceptName);
+    const Request& req, const EngineView& view,
+    std::chrono::steady_clock::time_point deadline) {
+  const TBox& tbox = *view.tbox;
+  ParallelClassifier& classifier = *view.classifier;
+  const ConceptId c = tbox.findConcept(req.conceptName);
   if (c == kInvalidConcept)
     return errorResponse(req, "unknown-concept", req.conceptName);
 
   // Needs the finished taxonomy — a mid-run subsumee list would silently
   // omit pairs that have not settled yet. Wait out the budget, then tell
   // the client to retry. The result pointer is published by the server
-  // right after the run exits; bridge that tiny gap by yielding.
-  const ClassificationResult* r = result_.load(std::memory_order_acquire);
+  // right after the run exits; bridge that tiny gap by re-snapshotting.
+  const ClassificationResult* r = view.result;
   while (r == nullptr) {
-    if (!classifier_.waitForCompletion(deadline)) break;
-    r = result_.load(std::memory_order_acquire);
+    if (!classifier.waitForCompletion(deadline)) break;
+    // setResult publishes onto a NEW view; ours is frozen. Re-read the
+    // current one — same generation, now carrying the result pointer.
+    const auto fresh = currentView();
+    r = fresh->classifier == &classifier ? fresh->result : nullptr;
+    if (fresh->classifier != &classifier) break;  // generation changed
     if (r == nullptr) std::this_thread::yield();
     if (std::chrono::steady_clock::now() >= deadline) break;
   }
@@ -161,7 +201,7 @@ std::string QueryEngine::answerDescendants(
     stack.pop_back();
     if (cur != start)
       for (const ConceptId m : tax.node(cur).members)
-        names.push_back(tbox_.conceptName(m));
+        names.push_back(tbox.conceptName(m));
     for (const Taxonomy::NodeId child : tax.node(cur).children)
       if (!seen[child]) {
         seen[child] = 1;

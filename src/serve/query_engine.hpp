@@ -20,11 +20,18 @@
 // descendants needs the finished taxonomy: it waits for completion up to
 // the budget, then answers "pending" — a partial subsumee list would be
 // silently wrong.
+//
+// Delta generations (DESIGN.md §14): every query snapshots ONE immutable
+// EngineView at entry, so a commit that swaps in a new generation can
+// never mix ontologies mid-answer. The view's `owner` shared_ptr pins the
+// whole generation (TBox + classifier + plugin + result) until the last
+// in-flight query drops it.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/parallel_classifier.hpp"
@@ -41,18 +48,38 @@ struct QueryEngineConfig {
   std::uint64_t maxDeadlineMs = 60'000;
 };
 
+/// One immutable snapshot of "what queries answer against". Queries load
+/// it once at entry; commits publish a fresh one. `owner` keeps whatever
+/// object graph backs the raw pointers alive (a DeltaGeneration, or
+/// nothing for the server's ctor-bound generation 0).
+struct EngineView {
+  const TBox* tbox = nullptr;
+  ParallelClassifier* classifier = nullptr;
+  ReasonerPlugin* fallback = nullptr;
+  const ClassificationResult* result = nullptr;
+  std::uint64_t deltaEpoch = 0;
+  std::shared_ptr<const void> owner;
+};
+
 class QueryEngine {
  public:
   /// `fallback` is the plug-in chain used for direct (rung 3) calls; it
-  /// must be thread-safe. All references must outlive the engine.
+  /// must be thread-safe. All references must outlive the engine (they
+  /// form generation 0's view, which carries no owner).
   QueryEngine(const TBox& tbox, ParallelClassifier& classifier,
               ReasonerPlugin& fallback, QueryEngineConfig config);
 
-  /// Publishes the finished run's result (taxonomy for descendants).
-  /// Called once by the server when the classification thread exits.
-  void setResult(const ClassificationResult* result) {
-    result_.store(result, std::memory_order_release);
-  }
+  /// Publishes the finished run's result (taxonomy for descendants) into
+  /// the CURRENT view. Called once by the server when the classification
+  /// thread exits.
+  void setResult(const ClassificationResult* result);
+
+  /// Swaps in a new generation's view (after a committed delta). Queries
+  /// already past their snapshot finish against the old generation.
+  void publishView(EngineView view);
+
+  /// The view new queries would answer against right now.
+  std::shared_ptr<const EngineView> currentView() const;
 
   /// Answers one subs/sat/descendants request (status is handled by the
   /// server, which owns the counters). Never throws.
@@ -60,21 +87,19 @@ class QueryEngine {
 
  private:
   std::chrono::steady_clock::time_point deadlineFor(const Request& req) const;
-  std::string answerSubs(const Request& req,
+  std::string answerSubs(const Request& req, const EngineView& view,
                          std::chrono::steady_clock::time_point deadline);
-  std::string answerSat(const Request& req,
+  std::string answerSat(const Request& req, const EngineView& view,
                         std::chrono::steady_clock::time_point deadline);
-  std::string answerDescendants(const Request& req,
+  std::string answerDescendants(const Request& req, const EngineView& view,
                                 std::chrono::steady_clock::time_point deadline);
   /// Remaining budget from now to `deadline` in ns (0 if past).
   static std::uint64_t remainingNs(
       std::chrono::steady_clock::time_point deadline);
 
-  const TBox& tbox_;
-  ParallelClassifier& classifier_;
-  ReasonerPlugin& fallback_;
   QueryEngineConfig config_;
-  std::atomic<const ClassificationResult*> result_{nullptr};
+  mutable std::mutex viewMu_;
+  std::shared_ptr<const EngineView> view_;
 };
 
 }  // namespace owlcl

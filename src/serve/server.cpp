@@ -38,6 +38,10 @@ void Server::start(std::function<ClassificationResult()> classify) {
     result_ = classify();
     resultReady_.store(true, std::memory_order_release);
     engine_.setResult(&result_);
+    // Unblock delta commits: they require generation 0's finished result.
+    if (delta_ != nullptr)
+      delta_->publishInitialResult(std::shared_ptr<const ClassificationResult>(
+          &result_, [](const ClassificationResult*) {}));
   });
 }
 
@@ -66,6 +70,9 @@ void Server::drain() {
   }
   queue_.close();
   classifier_.requestStop();
+  // A commit rerun in flight fails !complete() and rolls back — the
+  // SIGTERM-ed transaction aborts deterministically (journaled abort).
+  if (delta_ != nullptr) delta_->requestStopActive();
   for (std::thread& w : workers_)
     if (w.joinable()) w.join();
   if (classifyThread_.joinable()) classifyThread_.join();
@@ -100,6 +107,16 @@ std::string Server::processLine(const std::string& line) {
   std::string why;
   if (!parseRequest(line, &req, &why)) return parseErrorResponse(why);
   if (req.op == RequestOp::kStatus) return statusLine(req);
+  switch (req.op) {
+    case RequestOp::kBeginDelta:
+    case RequestOp::kAddAxiom:
+    case RequestOp::kRetractAxiom:
+    case RequestOp::kCommitDelta:
+    case RequestOp::kAbortDelta:
+      return deltaLine(req);
+    default:
+      break;
+  }
   // Chaos drill: every Nth admitted query faults inside the worker; the
   // workerLoop catch turns it into an explicit "internal" response.
   if (config_.faults.queryFaultEvery > 0) {
@@ -112,15 +129,18 @@ std::string Server::processLine(const std::string& line) {
 }
 
 std::string Server::statusLine(const Request& req) const {
+  // Route through the engine view: after a committed delta this reports
+  // the NEW generation, while generation 0 behaves exactly as before.
+  const std::shared_ptr<const EngineView> view = engine_.currentView();
   const char* state = "classifying";
-  if (resultReady_.load(std::memory_order_acquire)) {
-    if (result_.paused)
+  if (view->result != nullptr) {
+    if (view->result->paused)
       state = "paused";
-    else if (result_.cancelled)
+    else if (view->result->cancelled)
       state = "cancelled";
     else
       state = "done";
-  } else if (!classifier_.started()) {
+  } else if (!view->classifier->started()) {
     state = "loading";
   }
   JsonWriter w;
@@ -128,14 +148,101 @@ std::string Server::statusLine(const Request& req) const {
   w.field("ok", true);
   w.field("op", "status");
   w.field("state", state);
-  w.field("epoch", static_cast<std::uint64_t>(classifier_.currentEpoch()));
+  w.field("epoch",
+          static_cast<std::uint64_t>(view->classifier->currentEpoch()));
   w.field("remaining_possible",
-          static_cast<std::uint64_t>(classifier_.remainingPossible()));
-  w.field("concepts", static_cast<std::uint64_t>(tbox_.conceptCount()));
+          static_cast<std::uint64_t>(view->classifier->remainingPossible()));
+  w.field("concepts", static_cast<std::uint64_t>(view->tbox->conceptCount()));
+  w.field("delta_epoch", view->deltaEpoch);
+  w.field("txn_open", delta_ != nullptr && delta_->txnOpen());
   w.field("served", served());
   w.field("shed", shedCount());
   w.field("queue_depth", static_cast<std::uint64_t>(queueDepth()));
   return std::move(w).str();
+}
+
+ClassifierCheckpoint Server::captureCheckpoint() const {
+  if (delta_ != nullptr) {
+    const DeltaGeneration gen = delta_->generation();
+    if (gen.classifier != nullptr) return gen.classifier->captureCheckpoint();
+  }
+  return classifier_.captureCheckpoint();
+}
+
+void Server::publishGeneration() {
+  // Pin the whole generation behind the view's owner pointer: queries that
+  // snapshotted the OLD view keep it (and its classifier/plugin) alive
+  // until they finish, even though gen_ has already moved on.
+  auto own = std::make_shared<DeltaGeneration>(delta_->generation());
+  EngineView view;
+  view.tbox = own->tbox.get();
+  view.classifier = own->classifier.get();
+  view.fallback = own->plugin.get();
+  view.result = own->result.get();
+  view.deltaEpoch = own->deltaEpoch;
+  view.owner = std::move(own);
+  engine_.publishView(std::move(view));
+}
+
+std::string Server::deltaLine(const Request& req) {
+  if (delta_ == nullptr)
+    return errorResponse(req, "unsupported",
+                         "server started without delta support");
+  std::string err;
+  JsonWriter w;
+  if (req.hasId) w.field("id", req.id);
+  switch (req.op) {
+    case RequestOp::kBeginDelta: {
+      if (!delta_->beginTxn(&err)) return errorResponse(req, "txn", err);
+      w.field("ok", true);
+      w.field("op", "begin-delta");
+      w.field("txn", static_cast<std::uint64_t>(delta_->txnId()));
+      return std::move(w).str();
+    }
+    case RequestOp::kAddAxiom:
+    case RequestOp::kRetractAxiom: {
+      const bool isAdd = req.op == RequestOp::kAddAxiom;
+      const bool ok = isAdd ? delta_->stageAdd(req.axiom, &err)
+                            : delta_->stageRetract(req.axiom, &err);
+      if (!ok) return errorResponse(req, "txn", err);
+      w.field("ok", true);
+      w.field("op", isAdd ? "add-axiom" : "retract-axiom");
+      w.field("txn", static_cast<std::uint64_t>(delta_->txnId()));
+      w.field("staged", static_cast<std::uint64_t>(delta_->stagedOps()));
+      return std::move(w).str();
+    }
+    case RequestOp::kCommitDelta: {
+      // A commit needs generation 0's finished result, but a batch client
+      // can outrun the background run. Park this worker until the initial
+      // result is published (the other workers keep answering) instead of
+      // bouncing the request — batch scripts stay deterministic.
+      while (delta_->generation().result == nullptr &&
+             !draining_.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      DeltaCommitInfo info;
+      if (!delta_->commitTxn(&info, &err))
+        return errorResponse(req, "txn", err);
+      publishGeneration();
+      w.field("ok", true);
+      w.field("op", "commit");
+      w.field("txn", static_cast<std::uint64_t>(info.txid));
+      w.field("cone", static_cast<std::uint64_t>(info.coneSize));
+      w.field("full_cone", info.fullCone);
+      w.field("concepts", static_cast<std::uint64_t>(info.conceptCount));
+      w.field("epoch", info.deltaEpoch);
+      return std::move(w).str();
+    }
+    case RequestOp::kAbortDelta: {
+      const std::uint32_t txid = delta_->txnId();
+      if (!delta_->abortTxn(&err)) return errorResponse(req, "txn", err);
+      w.field("ok", true);
+      w.field("op", "abort");
+      w.field("txn", static_cast<std::uint64_t>(txid));
+      return std::move(w).str();
+    }
+    default:
+      return errorResponse(req, "internal", "unroutable delta op");
+  }
 }
 
 void Server::deliverResponse(const Job& job, std::string response) {
@@ -163,6 +270,19 @@ void Server::runBatch(std::istream& in, std::ostream& out) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    // Delta verbs mutate shared transaction state: with several query
+    // workers a later batch line could overtake them (commit racing past
+    // its own begin). Barrier on them — everything before the verb
+    // finishes first, and the verb finishes before the next line goes in.
+    Request probe;
+    std::string probeErr;
+    const bool barrier =
+        parseRequest(line, &probe, &probeErr) &&
+        (probe.op == RequestOp::kBeginDelta ||
+         probe.op == RequestOp::kAddAxiom ||
+         probe.op == RequestOp::kRetractAxiom ||
+         probe.op == RequestOp::kCommitDelta ||
+         probe.op == RequestOp::kAbortDelta);
     const std::uint64_t seq = submitted++;
     const bool accepted =
         submit(line, [&mu, &cv, &ready, seq](std::string resp) {
@@ -178,13 +298,21 @@ void Server::runBatch(std::istream& in, std::ostream& out) {
       ready.emplace(seq, errorResponse(req, "shutdown"));
     }
     // Opportunistic in-order flush keeps the reorder buffer small.
-    std::lock_guard<std::mutex> lock(mu);
-    for (auto it = ready.find(next); it != ready.end();
-         it = ready.find(next)) {
-      out << it->second << '\n';
-      ready.erase(it);
-      ++next;
-    }
+    std::unique_lock<std::mutex> lock(mu);
+    const auto flush = [&out, &ready, &next] {
+      for (auto it = ready.find(next); it != ready.end();
+           it = ready.find(next)) {
+        out << it->second << '\n';
+        ready.erase(it);
+        ++next;
+      }
+    };
+    flush();
+    if (barrier)
+      cv.wait(lock, [&flush, &next, seq] {
+        flush();
+        return next > seq;
+      });
   }
 
   std::unique_lock<std::mutex> lock(mu);

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/incremental.hpp"
 #include "core/parallel_classifier.hpp"
 #include "owl/tbox.hpp"
 #include "robust/fault_injector.hpp"
@@ -61,6 +62,14 @@ class Server {
          ReasonerPlugin& fallback, ServerConfig config);
   ~Server();
 
+  /// Enables the delta transaction verbs (begin-delta / add-axiom /
+  /// retract-axiom / commit / abort). Must be called before start(); the
+  /// reclassifier must have adopted the same generation-0 objects this
+  /// server was constructed over and must outlive it. After a committed
+  /// delta, queries answer against the new generation; the commit itself
+  /// occupies one query worker for the duration of the cone rerun.
+  void setDeltaReclassifier(DeltaReclassifier* delta) { delta_ = delta; }
+
   /// Starts the query workers and runs `classify` (a closure over
   /// classifier.classify() or resumeClassify()) on the background
   /// classification thread. Call exactly once.
@@ -84,9 +93,9 @@ class Server {
     return resultReady_.load(std::memory_order_acquire) ? &result_ : nullptr;
   }
 
-  ClassifierCheckpoint captureCheckpoint() const {
-    return classifier_.captureCheckpoint();
-  }
+  /// Checkpoint of the CURRENT generation's classifier (a committed delta
+  /// re-targets this — `serve --resume` continues the committed state).
+  ClassifierCheckpoint captureCheckpoint() const;
 
   std::uint64_t served() const {
     return served_.load(std::memory_order_relaxed);
@@ -115,6 +124,12 @@ class Server {
   /// Parses and answers one line; never throws (the untrusted surface).
   std::string processLine(const std::string& line);
   std::string statusLine(const Request& req) const;
+  /// Handles the five delta transaction verbs (runs on a query worker; a
+  /// commit blocks that worker for the cone rerun while the remaining
+  /// workers keep answering from the pre-delta generation).
+  std::string deltaLine(const Request& req);
+  /// Publishes the current committed generation as the engine view.
+  void publishGeneration();
   /// Post-answer fault hooks + served counter (slow client, crash-after).
   void deliverResponse(const Job& job, std::string response);
 
@@ -122,6 +137,7 @@ class Server {
   ParallelClassifier& classifier_;
   ServerConfig config_;
   QueryEngine engine_;
+  DeltaReclassifier* delta_ = nullptr;
   AdmissionQueue<Job> queue_;
   std::vector<std::thread> workers_;
   std::thread classifyThread_;

@@ -56,5 +56,35 @@ TEST(Printer, ExpressionsRoundTripThroughParser) {
   EXPECT_EQ(toFunctionalSyntax(t2, reparsed), toFunctionalSyntax(fx.t, e));
 }
 
+TEST(Printer, IriEntityNamesAreBracketedAndRoundTrip) {
+  // Names the bare-name lexer cannot read back — full IRIs ('/', '#'),
+  // keyword collisions — must be <>-bracketed; plain names must not be.
+  EXPECT_EQ(fsEntityName("Person"), "Person");
+  EXPECT_EQ(fsEntityName("GO:0001"), "GO:0001");
+  EXPECT_EQ(fsEntityName("a-b.c_d"), "a-b.c_d");
+  EXPECT_EQ(fsEntityName("http://ex.org/o#A"), "<http://ex.org/o#A>");
+  EXPECT_EQ(fsEntityName("has space"), "<has space>");
+  EXPECT_EQ(fsEntityName("1starts-with-digit"), "<1starts-with-digit>");
+  EXPECT_EQ(fsEntityName("ObjectUnionOf"), "<ObjectUnionOf>");
+  EXPECT_EQ(fsEntityName("owl:Thing"), "<owl:Thing>");
+
+  TBox t;
+  parseFunctionalSyntax(R"(
+    Prefix(ex:=<http://ex.org/onto#>)
+    Ontology(
+      Declaration(Class(ex:A)) Declaration(Class(ex:B))
+      Declaration(ObjectProperty(ex:r))
+      SubClassOf(ObjectSomeValuesFrom(ex:r ex:A) ex:B)
+    ))",
+                        t);
+  // The canonical document reparses to the identical document (names were
+  // expanded to full IRIs at first parse, so this requires bracketing).
+  const std::string doc = toFunctionalSyntaxDocument(t);
+  TBox t2;
+  parseFunctionalSyntax(doc, t2);
+  EXPECT_EQ(toFunctionalSyntaxDocument(t2), doc);
+  EXPECT_EQ(t2.findConcept("http://ex.org/onto#A"), ConceptId{0});
+}
+
 }  // namespace
 }  // namespace owlcl

@@ -312,7 +312,13 @@ TEST(JournalReplay, RecordsAreIdempotentStoreTransitions) {
   EXPECT_EQ(once.unresolvedConcepts, ckpt.store.unresolvedConcepts);
 
   PkStore restored(8);
-  ckpt.store.possibleCount = 0;  // recomputed by recovery; not used here
+  // Recovery recomputes the ground-truth possible count from the replayed
+  // words before restoring; mirror that here — the restore audit FATALs on
+  // an image whose count disagrees with its own words.
+  ckpt.store.possibleCount = 0;
+  for (const std::uint64_t w : ckpt.store.pWords)
+    ckpt.store.possibleCount +=
+        static_cast<std::uint64_t>(__builtin_popcountll(w));
   restored.restoreImage(ckpt.store);
   EXPECT_TRUE(restored.known(2, 3));
   EXPECT_FALSE(restored.possible(2, 3));

@@ -45,10 +45,25 @@
 //   --checkpoint-every-rounds=N  snapshot every N epoch barriers (default 1)
 //   --fsync-policy=never|record|barrier  journal durability (default barrier)
 //   --resume             recover from --checkpoint-dir and continue the run
+//                        (committed delta transactions in deltas.wal are
+//                        replayed first — classification resumes against
+//                        the post-delta ontology)
 //   --inject-crash=point=P,after=N  die (_exit 137) at a checkpoint-layer
 //                        fault point, for the kill-and-resume drills. P is
-//                        torn-write | after-journal | before-rename | at-barrier;
-//                        N is the triggering journal-append / barrier ordinal.
+//                        torn-write | after-journal | before-rename | at-barrier
+//                        or a delta transaction stage: delta-journal |
+//                        mid-rerun | pre-commit | mid-rollback;
+//                        N is the triggering journal-append / barrier /
+//                        rerun-verdict ordinal.
+//
+// classify incremental options (transactional deltas, DESIGN.md §14):
+//   --apply-deltas=F     replay a delta script after classification: each
+//                        transaction is journaled, its affected-concept
+//                        cone reclassified, and committed (or rolled back
+//                        on any failure). Script lines: begin, add <stmt>,
+//                        retract <stmt>, commit, abort, # comment. With
+//                        --resume, transactions already committed in
+//                        deltas.wal are skipped.
 // sweep options:
 //   --max-workers=N      sweep 1..N on the virtual executor (default 64)
 //
@@ -71,6 +86,14 @@
 //   --inject-serve-faults=SPEC chaos drills on the query path:
 //                          query-fault-every=N slow-client-ms=N
 //                          crash-after-queries=N
+//
+// serve also accepts delta transaction verbs over the same protocol
+// (begin-delta / add-axiom / retract-axiom / commit / abort): a commit
+// reclassifies the affected cone on one query worker while the remaining
+// workers keep answering from the last committed generation, then swaps
+// the new generation in atomically. With --checkpoint-dir the transaction
+// is journaled to deltas.wal (crash-safe; `serve --resume` continues from
+// the committed post-delta ontology).
 //
 // serve honours the classify checkpoint options; on SIGTERM/SIGINT it
 // finishes in-flight queries, pauses the classifier at its next epoch
@@ -202,6 +225,9 @@ struct Options {
   bool resume = false;
   CrashPlan crash;
 
+  // Transactional deltas.
+  std::string applyDeltas;
+
   // Serving.
   std::uint16_t port = 0;          // 0 = batch mode
   std::string queryFile = "-";     // "-" = stdin
@@ -289,15 +315,8 @@ CrashPlan parseCrashSpec(const char* spec) {
     const std::string key = item.substr(0, eq);
     const std::string val = item.substr(eq + 1);
     if (key == "point") {
-      if (val == "torn-write")
-        plan.point = CrashPoint::kTornWrite;
-      else if (val == "after-journal")
-        plan.point = CrashPoint::kCrashAfterJournal;
-      else if (val == "before-rename")
-        plan.point = CrashPoint::kCrashBeforeSnapshotRename;
-      else if (val == "at-barrier")
-        plan.point = CrashPoint::kCrashAtBarrier;
-      else {
+      plan.point = parseCrashPoint(val);
+      if (plan.point == CrashPoint::kNone) {
         std::fprintf(stderr, "unknown --inject-crash point: %s\n", val.c_str());
         usage();
       }
@@ -437,6 +456,8 @@ Options parseOptions(int argc, char** argv, int first) {
       }
     } else if (a == "--resume") {
       o.resume = true;
+    } else if (const char* vd = value("--apply-deltas=")) {
+      o.applyDeltas = vd;
     } else if (const char* v14 = value("--inject-crash=")) {
       o.crash = parseCrashSpec(v14);
     } else if (const char* v15 = value("--port=")) {
@@ -505,6 +526,49 @@ std::unique_ptr<ReasonerPlugin> makeBackend(const Options& o, TBox& tbox) {
   usage();
 }
 
+/// Owns one generation's plug-in decorator stack (backend →
+/// [FaultInjector] → [GuardedPlugin]); `head` answers for the chain.
+struct PluginChain {
+  std::unique_ptr<ReasonerPlugin> backend;
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<GuardedPlugin> guarded;
+  ReasonerPlugin* head = nullptr;
+};
+
+std::shared_ptr<PluginChain> buildChain(const Options& o, TBox& tbox,
+                                        CancellationToken* cancel) {
+  auto chain = std::make_shared<PluginChain>();
+  chain->backend = makeBackend(o, tbox);
+  chain->head = chain->backend.get();
+  if (o.faults.enabled()) {
+    chain->injector = std::make_unique<FaultInjector>(*chain->head, o.faults);
+    chain->head = chain->injector.get();
+  }
+  if (o.deadlineMs > 0 || chain->injector != nullptr) {
+    GuardConfig gc;
+    gc.deadlineNs = static_cast<std::uint64_t>(o.deadlineMs) * 1'000'000;
+    chain->guarded =
+        std::make_unique<GuardedPlugin>(*chain->head, gc, cancel);
+    chain->head = chain->guarded.get();
+  }
+  return chain;
+}
+
+/// PluginFactory for delta-generation cone reruns: same decorator stack as
+/// the initial run, kept alive behind an aliasing shared_ptr. Throws (the
+/// commit path catches and rolls back) instead of exiting the process.
+PluginFactory makeChainFactory(const Options& o, CancellationToken* cancel) {
+  return [&o, cancel](const TBox& tbox) -> std::shared_ptr<ReasonerPlugin> {
+    if (o.backend == "el" && !isElTBox(tbox))
+      throw std::runtime_error(
+          "delta leaves the EL fragment; --backend=el cannot reclassify it");
+    // The commit path froze the TBox before calling the factory, so the
+    // backend's own freeze is a no-op; the non-const ref is an API wrinkle.
+    auto chain = buildChain(o, const_cast<TBox&>(tbox), cancel);
+    return std::shared_ptr<ReasonerPlugin>(chain, chain->head);
+  };
+}
+
 /// Configures classification checkpointing for classify/serve: fresh runs
 /// wipe the directory and snapshot from the genesis barrier on; --resume
 /// recovers snapshot+journal state for resumeClassify. The content hash
@@ -515,7 +579,51 @@ struct CheckpointSetup {
   std::unique_ptr<CheckpointManager> manager;
   ClassifierCheckpoint resumeFrom;
   bool haveResume = false;
+  // Delta-transaction state (populated when --checkpoint-dir is set).
+  std::uint64_t baseHash = 0;
+  DeltaRecovery recovery;               // zero transactions when no deltas.wal
+  std::unique_ptr<TBox> effectiveTbox;  // non-null after recovered commits
 };
+
+/// Delta-aware ontology recovery, run BEFORE the backend is built: when
+/// resuming with a deltas.wal present, every committed transaction is
+/// replayed over the base ontology's statement list (hash-checked against
+/// its commit record), so classification and the checkpoint anchor
+/// continue from the committed post-delta ontology — never a hybrid.
+bool recoverDeltaOntology(const Options& o, const TBox& baseTbox,
+                          CheckpointSetup* out) {
+  if (o.checkpointDir.empty()) return true;
+  out->baseHash = ontologyContentHash(baseTbox);
+  out->recovery.statements = statementsFromTBox(baseTbox);
+  out->recovery.finalHash = out->baseHash;
+  if (!o.resume) return true;
+  std::string err;
+  DeltaRecovery rec;
+  if (!recoverDeltaState(DeltaJournalSink::walPath(o.checkpointDir),
+                         out->baseHash, out->recovery.statements, &rec,
+                         &err)) {
+    std::fprintf(stderr, "delta recovery failed: %s\n", err.c_str());
+    return false;
+  }
+  out->recovery = std::move(rec);
+  if (out->recovery.committedTxns > 0) {
+    out->effectiveTbox = std::make_unique<TBox>();
+    if (!buildTBoxFromStatements(out->recovery.statements, *out->effectiveTbox,
+                                 &err)) {
+      std::fprintf(stderr, "delta recovery failed: %s\n", err.c_str());
+      return false;
+    }
+    std::fprintf(stderr,
+                 "recovered %zu committed delta transaction(s)%s\n",
+                 out->recovery.committedTxns,
+                 out->recovery.hadOpenTxn
+                     ? " (one open transaction rolled back)"
+                     : "");
+  } else if (out->recovery.hadOpenTxn) {
+    std::fprintf(stderr, "open delta transaction rolled back by recovery\n");
+  }
+  return true;
+}
 
 bool setupCheckpoints(const Options& o, const TBox& tbox,
                       ClassifierConfig& config, CheckpointSetup* out) {
@@ -524,8 +632,12 @@ bool setupCheckpoints(const Options& o, const TBox& tbox,
   cc.dir = o.checkpointDir;
   cc.everyRounds = o.checkpointEveryRounds;
   cc.fsyncPolicy = o.fsyncPolicy;
-  out->manager = std::make_unique<CheckpointManager>(
-      cc, ontologyContentHash(tbox), config.seed);
+  // Anchor at the COMMITTED ontology: with recovered deltas that is the
+  // post-delta hash, otherwise the loaded ontology's own.
+  const std::uint64_t anchor = out->effectiveTbox != nullptr
+                                   ? out->recovery.finalHash
+                                   : ontologyContentHash(tbox);
+  out->manager = std::make_unique<CheckpointManager>(cc, anchor, config.seed);
   if (o.crash.enabled()) {
     out->crashInjector = std::make_unique<CrashInjector>(o.crash);
     out->manager->setCrashInjector(out->crashInjector.get());
@@ -533,8 +645,31 @@ bool setupCheckpoints(const Options& o, const TBox& tbox,
   std::string err;
   if (o.resume) {
     if (!out->manager->recover(&out->resumeFrom, &err)) {
-      std::fprintf(stderr, "resume failed: %s\n", err.c_str());
-      return false;
+      // A crash between the durable delta-commit record and the main-area
+      // re-anchor leaves the main area one generation behind; the final
+      // rerun snapshot in delta-rerun/ covers exactly that window.
+      bool rescued = false;
+      if (out->effectiveTbox != nullptr) {
+        CheckpointConfig rc = cc;
+        rc.dir = DeltaJournalSink::rerunDir(o.checkpointDir);
+        CheckpointManager rerun(rc, anchor, config.seed);
+        std::string rerunErr;
+        if (rerun.recover(&out->resumeFrom, &rerunErr)) {
+          std::string anchorErr;
+          if (out->manager->beginFresh(&anchorErr) &&
+              out->manager->snapshotFinal(out->resumeFrom, &anchorErr)) {
+            rescued = true;
+            std::fprintf(stderr,
+                         "main checkpoint re-anchored from delta-rerun/\n");
+          } else {
+            std::fprintf(stderr, "re-anchor failed: %s\n", anchorErr.c_str());
+          }
+        }
+      }
+      if (!rescued) {
+        std::fprintf(stderr, "resume failed: %s\n", err.c_str());
+        return false;
+      }
     }
     out->haveResume = true;
     std::fprintf(
@@ -552,6 +687,117 @@ bool setupCheckpoints(const Options& o, const TBox& tbox,
   return true;
 }
 
+// --- delta script replay (--apply-deltas) ------------------------------------
+
+/// One transaction block of a delta script.
+struct DeltaBlock {
+  std::vector<StagedOp> ops;
+  bool commit = true;  // false = scripted abort
+};
+
+bool parseDeltaScript(const std::string& path, std::vector<DeltaBlock>* out,
+                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read delta script " + path;
+    return false;
+  }
+  std::vector<DeltaBlock> blocks;
+  DeltaBlock cur;
+  bool open = false;
+  std::string line;
+  std::size_t lineNo = 0;
+  auto failAt = [&](const std::string& why) {
+    *error = path + ":" + std::to_string(lineNo) + ": " + why;
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const std::size_t e = line.find_last_not_of(" \t\r");
+    const std::string t = line.substr(b, e - b + 1);
+    if (t[0] == '#') continue;
+    if (t == "begin") {
+      if (open) return failAt("nested begin");
+      cur = DeltaBlock{};
+      open = true;
+    } else if (t.rfind("add ", 0) == 0) {
+      if (!open) return failAt("add outside a transaction");
+      cur.ops.push_back({true, t.substr(4)});
+    } else if (t.rfind("retract ", 0) == 0) {
+      if (!open) return failAt("retract outside a transaction");
+      cur.ops.push_back({false, t.substr(8)});
+    } else if (t == "commit" || t == "abort") {
+      if (!open) return failAt(t + " outside a transaction");
+      cur.commit = (t == "commit");
+      blocks.push_back(std::move(cur));
+      open = false;
+    } else {
+      return failAt("unknown delta verb: " + t);
+    }
+  }
+  if (open) return failAt("unterminated transaction (missing commit/abort)");
+  *out = std::move(blocks);
+  return true;
+}
+
+/// Replays parsed blocks through the reclassifier. `skipCommitted` blocks
+/// ending in `commit` are skipped first (they were already applied from
+/// deltas.wal by recovery; scripted-abort blocks in between were no-ops).
+int replayDeltaBlocks(DeltaReclassifier& delta,
+                      const std::vector<DeltaBlock>& blocks,
+                      std::size_t skipCommitted) {
+  std::size_t commitsSeen = 0;
+  for (const DeltaBlock& blk : blocks) {
+    if (commitsSeen < skipCommitted) {
+      if (blk.commit) ++commitsSeen;
+      continue;
+    }
+    std::string err;
+    if (!delta.beginTxn(&err)) {
+      std::fprintf(stderr, "delta begin failed: %s\n", err.c_str());
+      return 1;
+    }
+    const std::uint32_t txid = delta.txnId();
+    for (const StagedOp& op : blk.ops) {
+      const bool ok = op.isAdd ? delta.stageAdd(op.stmt, &err)
+                               : delta.stageRetract(op.stmt, &err);
+      if (!ok) {
+        std::fprintf(stderr, "delta txn %u: cannot stage '%s': %s\n", txid,
+                     op.stmt.c_str(), err.c_str());
+        delta.abortTxn(nullptr);
+        return 1;
+      }
+    }
+    if (blk.commit) {
+      DeltaCommitInfo info;
+      if (!delta.commitTxn(&info, &err)) {
+        std::fprintf(stderr, "delta txn %u ROLLED BACK: %s\n", txid,
+                     err.c_str());
+        return 1;
+      }
+      std::fprintf(
+          stderr,
+          "delta txn %u committed: cone %zu/%zu concept(s)%s, "
+          "%llu sat + %llu subsumption tests, epoch %llu\n",
+          info.txid, info.coneSize, info.conceptCount,
+          info.fullCone ? " (full)" : "",
+          static_cast<unsigned long long>(info.satTests),
+          static_cast<unsigned long long>(info.subsumptionTests),
+          static_cast<unsigned long long>(info.deltaEpoch));
+    } else {
+      if (!delta.abortTxn(&err)) {
+        std::fprintf(stderr, "delta txn %u abort failed: %s\n", txid,
+                     err.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "delta txn %u aborted (scripted)\n", txid);
+    }
+  }
+  return 0;
+}
+
 ClassifierConfig buildClassifierConfig(const Options& o) {
   ClassifierConfig config;
   config.randomCycles = o.cycles;
@@ -566,9 +812,13 @@ ClassifierConfig buildClassifierConfig(const Options& o) {
 }
 
 int cmdClassify(const std::string& path, const Options& o) {
-  TBox tbox;
-  load(path, tbox);
-  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o, tbox);
+  TBox baseTbox;
+  load(path, baseTbox);
+
+  CheckpointSetup ck;
+  if (!recoverDeltaOntology(o, baseTbox, &ck)) return 1;
+  // Committed deltas recovered from deltas.wal replace the loaded ontology.
+  TBox& tbox = ck.effectiveTbox != nullptr ? *ck.effectiveTbox : baseTbox;
 
   ClassifierConfig config = buildClassifierConfig(o);
 
@@ -576,7 +826,11 @@ int cmdClassify(const std::string& path, const Options& o) {
   ThreadPool pool(o.workers);
   RealExecutor exec(pool);
 
-  CheckpointSetup ck;
+  // Plug-in chain: backend → [FaultInjector] → [GuardedPlugin] → classifier.
+  auto chain = buildChain(o, tbox, &exec.cancellation());
+  ReasonerPlugin* plugin = chain->head;
+  GuardedPlugin* guarded = chain->guarded.get();
+
   if (!setupCheckpoints(o, tbox, config, &ck)) return 1;
   CheckpointManager* checkpoints = ck.manager.get();
 
@@ -586,31 +840,19 @@ int cmdClassify(const std::string& path, const Options& o) {
   gCancelToken.store(&exec.cancellation(), std::memory_order_release);
   installShutdownHandlers();
 
-  // Plug-in chain: backend → [FaultInjector] → [GuardedPlugin] → classifier.
-  ReasonerPlugin* plugin = backend.get();
-  std::unique_ptr<FaultInjector> injector;
-  if (o.faults.enabled()) {
-    injector = std::make_unique<FaultInjector>(*plugin, o.faults);
-    plugin = injector.get();
-  }
-  std::unique_ptr<GuardedPlugin> guarded;
-  if (o.deadlineMs > 0 || injector != nullptr) {
-    GuardConfig gc;
-    gc.deadlineNs = static_cast<std::uint64_t>(o.deadlineMs) * 1'000'000;
-    guarded = std::make_unique<GuardedPlugin>(*plugin, gc, &exec.cancellation());
-    plugin = guarded.get();
-  }
-
   ParallelClassifier classifier(tbox, *plugin, config);
   const ClassificationResult r =
       ck.haveResume ? classifier.resumeClassify(exec, ck.resumeFrom)
                     : classifier.classify(exec);
-  gCancelToken.store(nullptr, std::memory_order_release);
 
-  if (o.output == "dot")
-    r.taxonomy.writeDot(std::cout, tbox);
-  else if (o.output == "tree")
-    r.taxonomy.print(std::cout, tbox);
+  // With --apply-deltas the deliverable taxonomy is the post-delta one,
+  // printed after the replay below.
+  if (o.applyDeltas.empty()) {
+    if (o.output == "dot")
+      r.taxonomy.writeDot(std::cout, tbox);
+    else if (o.output == "tree")
+      r.taxonomy.print(std::cout, tbox);
+  }
 
   std::fprintf(stderr,
                "classified %zu concepts in %.1f ms (%zu workers, backend %s)\n"
@@ -708,17 +950,87 @@ int cmdClassify(const std::string& path, const Options& o) {
                  static_cast<unsigned long long>(
                      checkpoints->snapshotsWritten()));
 
+  // --- transactional delta replay (--apply-deltas) ---------------------------
+  int deltaStatus = 0;
+  std::unique_ptr<DeltaReclassifier> delta;
+  std::unique_ptr<DeltaJournalSink> sink;
+  if (!o.applyDeltas.empty()) {
+    std::vector<DeltaBlock> blocks;
+    std::string err;
+    if (!parseDeltaScript(o.applyDeltas, &blocks, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    delta = std::make_unique<DeltaReclassifier>(
+        exec, makeChainFactory(o, &exec.cancellation()), config);
+    // Generation 0 lives on this stack frame; no-op deleters express the
+    // non-owning adoption.
+    delta->adoptInitial(
+        std::shared_ptr<const TBox>(&tbox, [](const TBox*) {}),
+        std::shared_ptr<ReasonerPlugin>(plugin, [](ReasonerPlugin*) {}),
+        std::shared_ptr<ParallelClassifier>(&classifier,
+                                            [](ParallelClassifier*) {}),
+        std::shared_ptr<const ClassificationResult>(
+            &r, [](const ClassificationResult*) {}));
+    if (ck.manager != nullptr) {
+      CheckpointConfig cc;
+      cc.dir = o.checkpointDir;
+      cc.everyRounds = o.checkpointEveryRounds;
+      cc.fsyncPolicy = o.fsyncPolicy;
+      sink = std::make_unique<DeltaJournalSink>(cc, config.seed);
+      if (ck.crashInjector != nullptr)
+        sink->setCrashInjector(ck.crashInjector.get());
+      if (!sink->open(ck.baseHash, std::move(ck.manager),
+                      /*truncateWal=*/!o.resume, &err)) {
+        std::fprintf(stderr, "delta journal: %s\n", err.c_str());
+        return 1;
+      }
+      checkpoints = nullptr;  // moved into the sink; commits may replace it
+      delta->setSink(sink.get());
+      delta->setNextTxnId(ck.recovery.nextTxnId);
+    }
+    deltaStatus =
+        replayDeltaBlocks(*delta, blocks,
+                          o.resume ? ck.recovery.committedTxns : 0);
+  }
+  gCancelToken.store(nullptr, std::memory_order_release);
+
+  // Post-delta deliverables come from the FINAL committed generation.
+  DeltaGeneration finalGen;
+  if (delta != nullptr) finalGen = delta->generation();
+  const ClassificationResult& finalResult =
+      finalGen.result != nullptr ? *finalGen.result : r;
+  const TBox& finalTbox = finalGen.tbox != nullptr ? *finalGen.tbox : tbox;
+  if (!o.applyDeltas.empty()) {
+    if (o.output == "dot")
+      finalResult.taxonomy.writeDot(std::cout, finalTbox);
+    else if (o.output == "tree")
+      finalResult.taxonomy.print(std::cout, finalTbox);
+  }
+
   if (o.verify) {
-    const TaxonomyIssues issues = verifyStructure(r.taxonomy);
+    const TaxonomyIssues issues = verifyStructure(finalResult.taxonomy);
     std::fprintf(stderr, "structural verification: %s\n",
                  issues.summary().c_str());
     if (!issues.ok()) return 1;
   }
 
   if (const int sig = gSignal.load(std::memory_order_acquire); sig != 0) {
-    if (checkpoints != nullptr) {
-      std::string err;
-      if (checkpoints->snapshotFinal(classifier.captureCheckpoint(), &err))
+    std::string err;
+    bool attempted = false, flushed = false;
+    if (sink != nullptr) {
+      attempted = true;
+      flushed = sink->flushFinal(finalGen.classifier != nullptr
+                                     ? finalGen.classifier->captureCheckpoint()
+                                     : classifier.captureCheckpoint(),
+                                 &err);
+    } else if (checkpoints != nullptr) {
+      attempted = true;
+      flushed =
+          checkpoints->snapshotFinal(classifier.captureCheckpoint(), &err);
+    }
+    if (attempted) {
+      if (flushed)
         std::fprintf(stderr, "  final checkpoint flushed to %s\n",
                      o.checkpointDir.c_str());
       else
@@ -729,39 +1041,31 @@ int cmdClassify(const std::string& path, const Options& o) {
                  "interrupted by signal %d — partial results above\n", sig);
     return 3;
   }
-  return 0;
+  return deltaStatus;
 }
 
 int cmdServe(const std::string& path, const Options& o) {
-  TBox tbox;
-  load(path, tbox);
-  std::unique_ptr<ReasonerPlugin> backend = makeBackend(o, tbox);
+  TBox baseTbox;
+  load(path, baseTbox);
+
+  CheckpointSetup ck;
+  if (!recoverDeltaOntology(o, baseTbox, &ck)) return 1;
+  // Committed deltas recovered from deltas.wal replace the loaded ontology.
+  TBox& tbox = ck.effectiveTbox != nullptr ? *ck.effectiveTbox : baseTbox;
 
   ClassifierConfig config = buildClassifierConfig(o);
 
   ThreadPool pool(o.workers);
   RealExecutor exec(pool);
 
-  CheckpointSetup ck;
-  if (!setupCheckpoints(o, tbox, config, &ck)) return 1;
-
   // Plug-in chain for the BACKGROUND run only (faults, guard). Direct
   // per-query fallback calls go to the raw backend: a query's budget is
   // its own deadline, and serve has its own fault plan — classification
   // fault schedules must not leak nondeterminism into query answers.
-  ReasonerPlugin* plugin = backend.get();
-  std::unique_ptr<FaultInjector> injector;
-  if (o.faults.enabled()) {
-    injector = std::make_unique<FaultInjector>(*plugin, o.faults);
-    plugin = injector.get();
-  }
-  std::unique_ptr<GuardedPlugin> guarded;
-  if (o.deadlineMs > 0 || injector != nullptr) {
-    GuardConfig gc;
-    gc.deadlineNs = static_cast<std::uint64_t>(o.deadlineMs) * 1'000'000;
-    guarded = std::make_unique<GuardedPlugin>(*plugin, gc, &exec.cancellation());
-    plugin = guarded.get();
-  }
+  auto chain = buildChain(o, tbox, &exec.cancellation());
+  ReasonerPlugin* plugin = chain->head;
+
+  if (!setupCheckpoints(o, tbox, config, &ck)) return 1;
 
   ParallelClassifier classifier(tbox, *plugin, config);
 
@@ -772,7 +1076,39 @@ int cmdServe(const std::string& path, const Options& o) {
   sc.engine.defaultDeadlineMs = o.serveDeadlineMs;
   sc.engine.maxDeadlineMs = o.serveMaxDeadlineMs;
   sc.faults = o.serveFaults;
-  Server server(tbox, classifier, *backend, sc);
+  Server server(tbox, classifier, *chain->backend, sc);
+
+  // Delta transaction verbs: always available over the protocol, durable
+  // when checkpointing is on. Generation 0 is adopted non-owning (it lives
+  // on this stack frame); its result arrives via the server's classify
+  // thread once the background run finishes.
+  DeltaReclassifier delta(exec, makeChainFactory(o, &exec.cancellation()),
+                          config);
+  delta.adoptInitial(
+      std::shared_ptr<const TBox>(&tbox, [](const TBox*) {}),
+      std::shared_ptr<ReasonerPlugin>(plugin, [](ReasonerPlugin*) {}),
+      std::shared_ptr<ParallelClassifier>(&classifier,
+                                          [](ParallelClassifier*) {}),
+      nullptr);
+  std::unique_ptr<DeltaJournalSink> sink;
+  if (ck.manager != nullptr) {
+    CheckpointConfig cc;
+    cc.dir = o.checkpointDir;
+    cc.everyRounds = o.checkpointEveryRounds;
+    cc.fsyncPolicy = o.fsyncPolicy;
+    sink = std::make_unique<DeltaJournalSink>(cc, config.seed);
+    if (ck.crashInjector != nullptr)
+      sink->setCrashInjector(ck.crashInjector.get());
+    std::string err;
+    if (!sink->open(ck.baseHash, std::move(ck.manager),
+                    /*truncateWal=*/!o.resume, &err)) {
+      std::fprintf(stderr, "delta journal: %s\n", err.c_str());
+      return 1;
+    }
+    delta.setSink(sink.get());
+    delta.setNextTxnId(ck.recovery.nextTxnId);
+  }
+  server.setDeltaReclassifier(&delta);
 
   // SIGTERM/SIGINT: pause the classifier at its next epoch barrier and
   // wake the socket accept loop through the self-pipe; in-flight queries
@@ -824,9 +1160,24 @@ int cmdServe(const std::string& path, const Options& o) {
   ::close(wakePipe[0]);
   ::close(wakePipe[1]);
 
-  if (ck.manager != nullptr) {
+  // A transaction still open after drain (the client — or a SIGTERM mid-
+  // batch — never resolved it) is aborted deterministically, journaled,
+  // BEFORE the final flush: `serve --resume` then replays the abort
+  // instead of finding an open transaction.
+  if (delta.txnOpen()) {
     std::string err;
-    if (ck.manager->snapshotFinal(server.captureCheckpoint(), &err))
+    if (delta.abortTxn(&err))
+      std::fprintf(stderr, "open delta transaction aborted on shutdown\n");
+    else
+      std::fprintf(stderr, "delta abort on shutdown FAILED: %s\n",
+                   err.c_str());
+  }
+
+  if (sink != nullptr) {
+    // Flush through the sink: commits may have re-anchored the main
+    // checkpoint area at a later generation since ck.manager was created.
+    std::string err;
+    if (sink->flushFinal(server.captureCheckpoint(), &err))
       std::fprintf(stderr, "final checkpoint flushed to %s\n",
                    o.checkpointDir.c_str());
     else
