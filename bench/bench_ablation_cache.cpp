@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "core/parallel_classifier.hpp"
 #include "core/real_executor.hpp"
 #include "gen/generator.hpp"
@@ -177,8 +178,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_ablation_cache.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  writeBenchMeta(out);
   std::fprintf(out,
-               "{\n  \"bench\": \"ablation_cache\",\n  \"workload\": "
+               "  \"bench\": \"ablation_cache\",\n  \"workload\": "
                "{\"name\": \"%s\", \"concepts\": %zu},\n  \"quick\": %s,\n"
                "  \"results\": [\n",
                cfg.name.c_str(), cfg.concepts, quick ? "true" : "false");

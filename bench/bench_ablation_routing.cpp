@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "core/parallel_classifier.hpp"
 #include "core/real_executor.hpp"
 #include "gen/generator.hpp"
@@ -191,8 +192,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_routing.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  writeBenchMeta(out);
   std::fprintf(out,
-               "{\n  \"bench\": \"ablation_routing\",\n  \"workload\": "
+               "  \"bench\": \"ablation_routing\",\n  \"workload\": "
                "{\"name\": \"%s\", \"concepts\": %zu},\n  \"quick\": %s,\n"
                "  \"results\": [\n",
                cfg.name.c_str(), cfg.concepts, quick ? "true" : "false");

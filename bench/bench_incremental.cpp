@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "core/incremental.hpp"
 #include "core/parallel_classifier.hpp"
 #include "core/real_executor.hpp"
@@ -242,7 +243,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_incremental.json\n");
     return 1;
   }
-  std::fprintf(out, "{\n  \"bench\": \"incremental\",\n  \"quick\": %s,\n"
+  std::fprintf(out, "{\n");
+  writeBenchMeta(out);
+  std::fprintf(out, "  \"bench\": \"incremental\",\n  \"quick\": %s,\n"
                     "  \"txns_per_workload\": %zu,\n  \"workloads\": [\n",
                quick ? "true" : "false", txns);
   for (std::size_t w = 0; w < results.size(); ++w) {

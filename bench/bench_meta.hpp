@@ -1,0 +1,21 @@
+// Shared "meta" block for every BENCH_*.json: records which bit-kernels
+// backend produced the numbers and what vector features the CPU
+// advertises, so trend dashboards never compare AVX2 runs against
+// portable runs (or runs from different machines) without noticing.
+#pragma once
+
+#include <cstdio>
+
+#include "parallel/bit_kernels.hpp"
+
+namespace owlcl {
+
+/// Emits `  "meta": {...},` (with trailing newline). Call immediately
+/// after printing the JSON object's opening `{\n`.
+inline void writeBenchMeta(std::FILE* out) {
+  std::fprintf(
+      out, "  \"meta\": {\"bit_backend\": \"%s\", \"cpu_features\": \"%s\"},\n",
+      activeBitKernels().name(), cpuFeatureString().c_str());
+}
+
+}  // namespace owlcl

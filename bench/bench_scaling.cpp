@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_meta.hpp"
 #include "core/parallel_classifier.hpp"
 #include "core/plugin.hpp"
 #include "core/real_executor.hpp"
@@ -250,8 +251,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_scaling.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  writeBenchMeta(out);
   std::fprintf(out,
-               "{\n  \"bench\": \"scaling\",\n  \"workload\": {\"name\": "
+               "  \"bench\": \"scaling\",\n  \"workload\": {\"name\": "
                "\"%s\", \"concepts\": %zu, \"random_cycles\": 0},\n"
                "  \"repeats\": %d,\n  \"quick\": %s,\n  \"results\": [\n",
                cfg.name.c_str(), cfg.concepts, repeats,

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "core/parallel_classifier.hpp"
 #include "core/real_executor.hpp"
 #include "gen/generator.hpp"
@@ -332,9 +333,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write BENCH_serve.json\n");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  writeBenchMeta(out);
   std::fprintf(
       out,
-      "{\n  \"bench\": \"serve\",\n"
+      "  \"bench\": \"serve\",\n"
       "  \"workload\": {\"name\": \"%s\", \"concepts\": %zu},\n"
       "  \"quick\": %s,\n  \"clients\": %zu,\n"
       "  \"queries_per_client\": %zu,\n"

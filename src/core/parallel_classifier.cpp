@@ -15,7 +15,7 @@ ParallelClassifier::ParallelClassifier(const TBox& tbox, ReasonerPlugin& plugin,
     : tbox_(tbox),
       plugin_(plugin),
       config_(config),
-      store_(tbox.conceptCount()) {
+      store_(tbox.conceptCount(), config.bitKernels) {
   OWLCL_ASSERT_MSG(tbox.frozen(), "freeze the TBox before classification");
 }
 
@@ -334,6 +334,7 @@ void ParallelClassifier::seedTold() {
     closure[x] = DynamicBitset(n);
     for (ConceptId sub : subsOf[x]) closure[x].set(sub);
   }
+  const BitKernels& bk = store_.bitKernels();
   bool grew = true;
   while (grew) {
     grew = false;
@@ -342,7 +343,9 @@ void ParallelClassifier::seedTold() {
       if (closure[x].empty()) continue;
       for (ConceptId sub : subsOf[x]) {
         if (closure[sub].empty()) continue;
-        if (closure[x].uniteWith(closure[sub])) grew = true;
+        if (bk.orInto(closure[x].mutableWords(), closure[sub].words(),
+                      closure[x].wordCountUsed()))
+          grew = true;
       }
     }
   }
@@ -473,12 +476,18 @@ void ParallelClassifier::routeElFragment(Executor& exec,
       ++avoided;
     }
     // Definite non-subsumptions: pure × pure, both satisfiable, not in
-    // the derived closure — settled with the bulk negative kernel so the
-    // division phases only ever see pairs with a non-EL side.
+    // the derived closure — mask built with the backend's andNot kernel,
+    // settled with the bulk negative kernel so the division phases only
+    // ever see pairs with a non-EL side.
+    const BitKernels& bk = store_.bitKernels();
+    DynamicBitset mask(n);
     for (ConceptId x = 0; x < n; ++x) {
       if (!pureSat.test(x)) continue;
-      DynamicBitset mask = pureSat;
-      if (!krow[x].empty()) mask -= krow[x];
+      if (!krow[x].empty())
+        bk.andNotInto(mask.mutableWords(), pureSat.words(), krow[x].words(),
+                      mask.wordCountUsed());
+      else
+        mask.assignWords(pureSat.words(), pureSat.wordCountUsed());
       mask.reset(x);
       if (mask.none()) continue;
       avoided += store_.seedNonSubRow(x, mask.words(), mask.wordCountUsed());

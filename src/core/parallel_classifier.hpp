@@ -102,6 +102,11 @@ struct ClassifierConfig {
   /// pair tests so idle workers can steal partial groups. Small enough to
   /// balance, large enough that per-chunk dispatch cost stays noise.
   std::size_t stealChunkPairs = 512;
+  /// Compute backend for the P/K bit-matrix kernels and the seeding/
+  /// routing mask fixpoints (parallel/bit_kernels.hpp). Null binds the
+  /// process-wide activeBitKernels() — the --bit-backend selection; the
+  /// differential suites pin explicit backends to compare taxonomies.
+  const BitKernels* bitKernels = nullptr;
 
   // --- fault tolerance -------------------------------------------------------
   /// Failed plug-in calls per test key before the pair/concept is given up

@@ -6,11 +6,11 @@
 
 namespace owlcl {
 
-PkStore::PkStore(std::size_t conceptCount)
+PkStore::PkStore(std::size_t conceptCount, const BitKernels* kernels)
     : n_(conceptCount),
-      p_(conceptCount, conceptCount, /*counted=*/true),
-      k_(conceptCount, conceptCount),
-      tested_(conceptCount, conceptCount),
+      p_(conceptCount, conceptCount, /*counted=*/true, kernels),
+      k_(conceptCount, conceptCount, /*counted=*/false, kernels),
+      tested_(conceptCount, conceptCount, /*counted=*/false, kernels),
       sat_(conceptCount),
       satClaim_(conceptCount),
       conceptUnresolvedFlag_(conceptCount, false) {

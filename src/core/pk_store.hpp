@@ -64,9 +64,16 @@ struct PkStoreImage {
 
 class PkStore {
  public:
-  explicit PkStore(std::size_t conceptCount);
+  /// A null `kernels` binds the process-wide activeBitKernels() (the
+  /// --bit-backend selection); an explicit backend pins all three matrices
+  /// to it (the differential suites pin portable vs vectorized).
+  explicit PkStore(std::size_t conceptCount,
+                   const BitKernels* kernels = nullptr);
 
   std::size_t conceptCount() const { return n_; }
+
+  /// The compute backend all three matrices run on.
+  const BitKernels& bitKernels() const { return p_.kernels(); }
 
   // --- initialisation ------------------------------------------------------
   /// P_X := N_O \ {X} for every X; K := ∅ (paper Section III).

@@ -28,6 +28,13 @@
 // barrier joins the workers, which orders all updates before the read, so
 // counts are EXACT at phase boundaries (the only place the classifier
 // compares them). recountRow/recountAll always scan, for verification.
+//
+// Compute backend: every bulk word-parallel operation delegates to a
+// BitKernels backend (parallel/bit_kernels.hpp — portable atomics by
+// default, AVX2 when selected/detected). Rows are stored in 64-byte-
+// aligned blocks and wordsPerRow() is padded to a whole block, so a
+// 256-bit vector load never straddles a row boundary; the padding words
+// map to no column and are permanently zero.
 #pragma once
 
 #include <atomic>
@@ -35,6 +42,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "parallel/bit_kernels.hpp"
 #include "util/assert.hpp"
 #include "util/bitset.hpp"
 
@@ -45,20 +53,35 @@ class AtomicBitMatrix {
   using Word = std::uint64_t;
   static constexpr std::size_t kWordBits = 64;
   static constexpr std::size_t kGlobalShards = 64;  // power of two
+  /// Words per 64-byte storage block; wordsPerRow() is a multiple of this.
+  static constexpr std::size_t kBlockWords = 8;
 
   AtomicBitMatrix() = default;
-  AtomicBitMatrix(std::size_t rows, std::size_t cols, bool counted = false) {
-    reset(rows, cols, counted);
+  AtomicBitMatrix(std::size_t rows, std::size_t cols, bool counted = false,
+                  const BitKernels* kernels = nullptr) {
+    reset(rows, cols, counted, kernels);
   }
 
-  /// Re-dimensions and zeroes the matrix. Not thread-safe.
-  void reset(std::size_t rows, std::size_t cols, bool counted = false) {
+  /// Re-dimensions and zeroes the matrix. Not thread-safe. A null
+  /// `kernels` keeps the matrix's current backend (or, on first reset,
+  /// binds the process-wide activeBitKernels()).
+  void reset(std::size_t rows, std::size_t cols, bool counted = false,
+             const BitKernels* kernels = nullptr) {
+    if (kernels != nullptr) kernels_ = kernels;
+    if (kernels_ == nullptr) kernels_ = &activeBitKernels();
     rows_ = rows;
     cols_ = cols;
     counted_ = counted;
-    wordsPerRow_ = (cols + kWordBits - 1) / kWordBits;
-    words_ = std::vector<std::atomic<Word>>(rows * wordsPerRow_);
-    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+    usedWordsPerRow_ = (cols + kWordBits - 1) / kWordBits;
+    wordsPerRow_ =
+        (usedWordsPerRow_ + kBlockWords - 1) / kBlockWords * kBlockWords;
+    wordCount_ = rows * wordsPerRow_;
+    blocks_ = std::vector<Block>(wordCount_ / kBlockWords);
+    words_ = blocks_.empty() ? nullptr : blocks_.front().w;
+    OWLCL_DEBUG_ASSERT(words_ == nullptr ||
+                       reinterpret_cast<std::uintptr_t>(words_) % 64 == 0);
+    for (std::size_t i = 0; i < wordCount_; ++i)
+      words_[i].store(0, std::memory_order_relaxed);
     rowCounts_ = std::vector<PaddedCount>(counted ? rows : 0);
     globalShards_ = std::vector<PaddedCount>(counted ? kGlobalShards : 0);
   }
@@ -66,6 +89,9 @@ class AtomicBitMatrix {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool counted() const { return counted_; }
+
+  /// The backend all bulk kernels of this matrix run on.
+  const BitKernels& kernels() const { return *kernels_; }
 
   bool test(std::size_t r, std::size_t c) const {
     return (word(r, c).load(std::memory_order_acquire) >> bitIndex(c)) & 1u;
@@ -90,31 +116,28 @@ class AtomicBitMatrix {
   }
 
   // --- word-granularity bulk kernels ----------------------------------------
-  // One atomic RMW per 64-bit word instead of one per bit: the hot paths
-  // (Algorithm 5 pruning, told-subsumption seeding) apply a whole mask row
-  // at once. Counted-mode deltas come from the popcount of each word's own
-  // before/after transition, so the exactly-one-counter-update-per-bit-flip
-  // invariant is identical to the single-bit ops and bulk/scalar mixes stay
-  // consistent (tested under TSan). Orderings are acq_rel like testAndSet /
-  // testAndClear: a worker that observes a bulk-set bit also observes every
-  // write the setting worker published before the RMW.
+  // One atomic RMW per 64-bit word that changes, instead of one per bit:
+  // the hot paths (Algorithm 5 pruning, told-subsumption seeding, routing
+  // sweeps) apply a whole mask row at once. Counted-mode deltas come from
+  // the popcount of each word's own before/after transition, so the
+  // exactly-one-counter-update-per-bit-flip invariant is identical to the
+  // single-bit ops and bulk/scalar mixes stay consistent (tested under
+  // TSan, for every registered backend). Orderings are acq_rel like
+  // testAndSet/testAndClear: a worker that observes a bulk-set bit also
+  // observes every write the setting worker published before the RMW.
   //
   // `mask` holds `nWords` row-major words; nWords may be shorter than the
-  // row (missing words are treated as zero). Bits in the last mask word
-  // past cols() must be zero — a set dead bit would corrupt the counters.
+  // row (missing words are treated as zero). Bits in mask words past
+  // cols() must be zero — a set dead bit would corrupt the counters.
 
   /// row |= mask. Returns the number of bits this call newly set.
   std::size_t orRow(std::size_t r, const Word* mask, std::size_t nWords) {
     OWLCL_DEBUG_ASSERT(r < rows_ && nWords <= wordsPerRow_);
-    std::int64_t added = 0;
-    for (std::size_t w = 0; w < nWords; ++w) {
-      const Word m = mask[w];
-      if (m == 0) continue;
-      OWLCL_DEBUG_ASSERT((m & ~validMaskForWord(w)) == 0);
-      const Word old =
-          words_[r * wordsPerRow_ + w].fetch_or(m, std::memory_order_acq_rel);
-      added += std::popcount(m & ~old);
-    }
+#if !defined(NDEBUG)
+    for (std::size_t w = 0; w < nWords; ++w)
+      OWLCL_DEBUG_ASSERT((mask[w] & ~validMaskForWord(w)) == 0);
+#endif
+    const std::int64_t added = kernels_->orRow(rowPtr(r), mask, nWords);
     if (counted_ && added != 0) bump(r, added);
     return static_cast<std::size_t>(added);
   }
@@ -122,14 +145,7 @@ class AtomicBitMatrix {
   /// row &= ~mask. Returns the number of bits this call newly cleared.
   std::size_t andNotRow(std::size_t r, const Word* mask, std::size_t nWords) {
     OWLCL_DEBUG_ASSERT(r < rows_ && nWords <= wordsPerRow_);
-    std::int64_t removed = 0;
-    for (std::size_t w = 0; w < nWords; ++w) {
-      const Word m = mask[w];
-      if (m == 0) continue;
-      const Word old =
-          words_[r * wordsPerRow_ + w].fetch_and(~m, std::memory_order_acq_rel);
-      removed += std::popcount(m & old);
-    }
+    const std::int64_t removed = kernels_->andNotRow(rowPtr(r), mask, nWords);
     if (counted_ && removed != 0) bump(r, -removed);
     return static_cast<std::size_t>(removed);
   }
@@ -141,14 +157,18 @@ class AtomicBitMatrix {
   template <class Fn>
   void forEachSetBit(std::size_t r, Fn&& fn) const {
     OWLCL_DEBUG_ASSERT(r < rows_);
-    for (std::size_t w = 0; w < wordsPerRow_; ++w) {
-      Word v = words_[r * wordsPerRow_ + w].load(std::memory_order_acquire);
-      const std::size_t base = w * kWordBits;
-      while (v != 0) {
-        fn(base + static_cast<std::size_t>(std::countr_zero(v)));
-        v &= v - 1;
-      }
-    }
+    struct Ctx {
+      Fn* fn;
+    } ctx{&fn};
+    kernels_->scanNonZeroWords(
+        rowPtr(r), wordsPerRow_, &ctx, [](void* c, std::size_t w, Word v) {
+          const std::size_t base = w * kWordBits;
+          while (v != 0) {
+            (*static_cast<Ctx*>(c)->fn)(
+                base + static_cast<std::size_t>(std::countr_zero(v)));
+            v &= v - 1;
+          }
+        });
   }
 
   /// Row indices with bit (r,c) set, like colIndices but without the
@@ -158,14 +178,15 @@ class AtomicBitMatrix {
   template <class Fn>
   void forEachSetBitInCol(std::size_t c, Fn&& fn) const {
     OWLCL_DEBUG_ASSERT(c < cols_);
-    const std::size_t w = c / kWordBits;
-    const Word mask = Word{1} << bitIndex(c);
-    for (std::size_t r = 0; r < rows_; ++r) {
-      if (counted_ && rowCounts_[r].v.load(std::memory_order_relaxed) <= 0)
-        continue;
-      if (words_[r * wordsPerRow_ + w].load(std::memory_order_acquire) & mask)
-        fn(r);
-    }
+    if (rows_ == 0) return;
+    struct Ctx {
+      Fn* fn;
+    } ctx{&fn};
+    kernels_->probeColumn(words_ + c / kWordBits, wordsPerRow_, rows_,
+                          Word{1} << bitIndex(c), countsPtr(), kCountStride,
+                          &ctx, [](void* cx, std::size_t r) {
+                            (*static_cast<Ctx*>(cx)->fn)(r);
+                          });
   }
 
   /// Word-atomic snapshot of row r into a caller-owned buffer (resized to
@@ -174,19 +195,19 @@ class AtomicBitMatrix {
   void rowWordsInto(std::size_t r, std::vector<Word>& out) const {
     OWLCL_DEBUG_ASSERT(r < rows_);
     out.resize(wordsPerRow_);
-    for (std::size_t w = 0; w < wordsPerRow_; ++w)
-      out[w] = words_[r * wordsPerRow_ + w].load(std::memory_order_acquire);
+    kernels_->snapshotRow(rowPtr(r), out.data(), wordsPerRow_);
   }
 
   std::size_t wordsPerRow() const { return wordsPerRow_; }
+  /// Words actually carrying columns: (cols+63)/64, before block padding.
+  std::size_t usedWordsPerRow() const { return usedWordsPerRow_; }
 
   /// Clears the whole row (callers use this at phase boundaries or under
   /// the row's logical ownership).
   void clearRow(std::size_t r) {
     std::int64_t removed = 0;
     for (std::size_t w = 0; w < wordsPerRow_; ++w) {
-      const Word old =
-          words_[r * wordsPerRow_ + w].exchange(0, std::memory_order_acq_rel);
+      const Word old = rowPtr(r)[w].exchange(0, std::memory_order_acq_rel);
       removed += std::popcount(old);
     }
     if (counted_ && removed != 0) bump(r, -removed);
@@ -196,15 +217,9 @@ class AtomicBitMatrix {
   void fillRow(std::size_t r, std::size_t skip = static_cast<std::size_t>(-1)) {
     std::int64_t delta = 0;
     for (std::size_t w = 0; w < wordsPerRow_; ++w) {
-      Word v = ~Word{0};
-      const std::size_t base = w * kWordBits;
-      if (base + kWordBits > cols_) {
-        const std::size_t valid = cols_ - base;
-        v = valid == 0 ? 0 : (~Word{0} >> (kWordBits - valid));
-      }
+      Word v = validMaskForWord(w);
       if (skip / kWordBits == w) v &= ~(Word{1} << (skip % kWordBits));
-      const Word old =
-          words_[r * wordsPerRow_ + w].exchange(v, std::memory_order_acq_rel);
+      const Word old = rowPtr(r)[w].exchange(v, std::memory_order_acq_rel);
       delta += std::popcount(v) - std::popcount(old);
     }
     if (counted_ && delta != 0) bump(r, delta);
@@ -223,8 +238,7 @@ class AtomicBitMatrix {
   bool rowEmpty(std::size_t r) const {
     if (counted_) return countRow(r) == 0;
     for (std::size_t w = 0; w < wordsPerRow_; ++w)
-      if (words_[r * wordsPerRow_ + w].load(std::memory_order_acquire) != 0)
-        return false;
+      if (rowPtr(r)[w].load(std::memory_order_acquire) != 0) return false;
     return true;
   }
 
@@ -242,28 +256,20 @@ class AtomicBitMatrix {
   /// Always scans the words of row r — the ground truth the maintained
   /// counter must agree with at quiescence (tested as such).
   std::size_t recountRow(std::size_t r) const {
-    std::size_t c = 0;
-    for (std::size_t w = 0; w < wordsPerRow_; ++w)
-      c += static_cast<std::size_t>(std::popcount(
-          words_[r * wordsPerRow_ + w].load(std::memory_order_acquire)));
-    return c;
+    return static_cast<std::size_t>(
+        kernels_->recountWords(rowPtr(r), wordsPerRow_));
   }
 
   /// Always scans every word (ground truth for countAll()).
   std::size_t recountAll() const {
-    std::size_t c = 0;
-    for (const auto& w : words_)
-      c += static_cast<std::size_t>(
-          std::popcount(w.load(std::memory_order_acquire)));
-    return c;
+    return static_cast<std::size_t>(kernels_->recountWords(words_, wordCount_));
   }
 
   /// Copies row r into a sequential bitset (word-atomic snapshot). Whole
   /// 64-bit words are copied — no per-bit probing.
   DynamicBitset rowSnapshot(std::size_t r) const {
     std::vector<DynamicBitset::Word> raw(wordsPerRow_);
-    for (std::size_t w = 0; w < wordsPerRow_; ++w)
-      raw[w] = words_[r * wordsPerRow_ + w].load(std::memory_order_acquire);
+    kernels_->snapshotRow(rowPtr(r), raw.data(), wordsPerRow_);
     DynamicBitset bs(cols_);
     bs.assignWords(raw.data(), raw.size());
     return bs;
@@ -296,7 +302,7 @@ class AtomicBitMatrix {
     const std::size_t wBegin = colBegin / kWordBits;
     const std::size_t wEnd = (colEnd + kWordBits - 1) / kWordBits;
     for (std::size_t w = wBegin; w < wEnd; ++w) {
-      Word v = words_[r * wordsPerRow_ + w].load(std::memory_order_acquire);
+      Word v = rowPtr(r)[w].load(std::memory_order_acquire);
       const std::size_t base = w * kWordBits;
       if (base < colBegin) v &= ~Word{0} << (colBegin - base);
       if (base + kWordBits > colEnd) {
@@ -316,30 +322,39 @@ class AtomicBitMatrix {
   // Quiescent-only: callers must guarantee no concurrent mutators (the
   // classifier uses these between executor barriers / before a run).
 
-  /// All matrix words, row-major. The raw material of a snapshot file.
+  /// All matrix words in the compact row-major layout ((cols+63)/64 words
+  /// per row — the in-memory block padding is stripped, so the snapshot
+  /// format is independent of the storage alignment). The raw material of
+  /// a snapshot file.
   std::vector<Word> snapshotWords() const {
-    std::vector<Word> out(words_.size());
-    for (std::size_t i = 0; i < words_.size(); ++i)
-      out[i] = words_[i].load(std::memory_order_acquire);
+    std::vector<Word> out(rows_ * usedWordsPerRow_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      kernels_->copyWordsQuiescent(rowPtr(r), out.data() + r * usedWordsPerRow_,
+                                   usedWordsPerRow_);
     return out;
   }
 
-  /// Replaces the matrix content with previously snapshotted words and
-  /// rebuilds the counted-mode bookkeeping by recounting (the restored
-  /// counters are exact by construction). Tail bits beyond `cols` are
-  /// masked off defensively — a corrupt snapshot must not inflate counts.
+  /// Replaces the matrix content with previously snapshotted words
+  /// (compact layout, see snapshotWords) and rebuilds the counted-mode
+  /// bookkeeping by recounting (the restored counters are exact by
+  /// construction). Tail bits beyond `cols` are masked off defensively —
+  /// a corrupt snapshot must not inflate counts. Row-padding words are
+  /// zero invariantly (no kernel can set a dead bit) and are not touched.
   void loadWords(const std::vector<Word>& in) {
-    OWLCL_ASSERT_MSG(in.size() == words_.size(),
+    OWLCL_ASSERT_MSG(in.size() == rows_ * usedWordsPerRow_,
                      "word-count mismatch restoring AtomicBitMatrix");
     const std::size_t tailBits = cols_ % kWordBits;
     const Word tailMask =
         tailBits == 0 ? ~Word{0} : (~Word{0} >> (kWordBits - tailBits));
-    for (std::size_t r = 0; r < rows_; ++r)
-      for (std::size_t w = 0; w < wordsPerRow_; ++w) {
-        Word v = in[r * wordsPerRow_ + w];
-        if (w + 1 == wordsPerRow_) v &= tailMask;
-        words_[r * wordsPerRow_ + w].store(v, std::memory_order_relaxed);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      kernels_->storeWordsQuiescent(rowPtr(r), in.data() + r * usedWordsPerRow_,
+                                    usedWordsPerRow_);
+      if (usedWordsPerRow_ != 0) {
+        std::atomic<Word>& tail = rowPtr(r)[usedWordsPerRow_ - 1];
+        tail.store(tail.load(std::memory_order_relaxed) & tailMask,
+                   std::memory_order_relaxed);
       }
+    }
     if (counted_) {
       for (auto& s : globalShards_) s.v.store(0, std::memory_order_relaxed);
       for (std::size_t r = 0; r < rows_; ++r) {
@@ -402,24 +417,43 @@ class AtomicBitMatrix {
   std::vector<std::uint32_t> colIndices(std::size_t c) const {
     OWLCL_DEBUG_ASSERT(c < cols_);
     std::vector<std::uint32_t> out;
-    const std::size_t w = c / kWordBits;
-    const Word mask = Word{1} << bitIndex(c);
-    for (std::size_t r = 0; r < rows_; ++r) {
-      if (counted_ &&
-          rowCounts_[r].v.load(std::memory_order_relaxed) <= 0)
-        continue;
-      if (words_[r * wordsPerRow_ + w].load(std::memory_order_acquire) & mask)
-        out.push_back(static_cast<std::uint32_t>(r));
-    }
+    if (rows_ == 0) return out;
+    kernels_->probeColumn(words_ + c / kWordBits, wordsPerRow_, rows_,
+                          Word{1} << bitIndex(c), countsPtr(), kCountStride,
+                          &out, [](void* cx, std::size_t r) {
+                            static_cast<std::vector<std::uint32_t>*>(cx)
+                                ->push_back(static_cast<std::uint32_t>(r));
+                          });
     return out;
   }
 
  private:
+  // 64-byte-aligned storage block: rows start on a block boundary and are
+  // padded to whole blocks, so vector kernels never straddle two rows.
+  struct alignas(64) Block {
+    std::atomic<Word> w[kBlockWords];
+  };
+  static_assert(sizeof(Block) == 64);
+
   // Padded so concurrent updates to different rows / shards never share a
   // cache line with each other or with the matrix words.
   struct alignas(64) PaddedCount {
     std::atomic<std::int64_t> v{0};
   };
+  /// probeColumn strides over PaddedCount in units of its first member.
+  static constexpr std::size_t kCountStride =
+      sizeof(PaddedCount) / sizeof(std::atomic<std::int64_t>);
+
+  const std::atomic<std::int64_t>* countsPtr() const {
+    return (counted_ && !rowCounts_.empty()) ? &rowCounts_.front().v : nullptr;
+  }
+
+  std::atomic<Word>* rowPtr(std::size_t r) {
+    return words_ + r * wordsPerRow_;
+  }
+  const std::atomic<Word>* rowPtr(std::size_t r) const {
+    return words_ + r * wordsPerRow_;
+  }
 
   void bump(std::size_t r, std::int64_t delta) {
     rowCounts_[r].v.fetch_add(delta, std::memory_order_relaxed);
@@ -434,8 +468,9 @@ class AtomicBitMatrix {
     return v > 0 ? static_cast<std::size_t>(v) : 0;
   }
 
-  /// Mask of the bits of word w that map to real columns (all-ones except
-  /// for the partial tail word).
+  /// Mask of the bits of word w that map to real columns: all-ones for
+  /// full words, partial for the tail word, zero for the padding words
+  /// past it.
   Word validMaskForWord(std::size_t w) const {
     const std::size_t base = w * kWordBits;
     if (base + kWordBits <= cols_) return ~Word{0};
@@ -445,19 +480,23 @@ class AtomicBitMatrix {
 
   std::atomic<Word>& word(std::size_t r, std::size_t c) {
     OWLCL_DEBUG_ASSERT(r < rows_ && c < cols_);
-    return words_[r * wordsPerRow_ + c / kWordBits];
+    return rowPtr(r)[c / kWordBits];
   }
   const std::atomic<Word>& word(std::size_t r, std::size_t c) const {
     OWLCL_DEBUG_ASSERT(r < rows_ && c < cols_);
-    return words_[r * wordsPerRow_ + c / kWordBits];
+    return rowPtr(r)[c / kWordBits];
   }
   static std::size_t bitIndex(std::size_t c) { return c % kWordBits; }
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::size_t wordsPerRow_ = 0;
+  std::size_t wordsPerRow_ = 0;      // padded to a multiple of kBlockWords
+  std::size_t usedWordsPerRow_ = 0;  // (cols+63)/64, the compact layout
+  std::size_t wordCount_ = 0;    // rows_ * wordsPerRow_
   bool counted_ = false;
-  std::vector<std::atomic<Word>> words_;
+  const BitKernels* kernels_ = nullptr;
+  std::vector<Block> blocks_;          // 64-byte-aligned backing store
+  std::atomic<Word>* words_ = nullptr; // = blocks_.front().w
   std::vector<PaddedCount> rowCounts_;     // per-row set-bit count
   std::vector<PaddedCount> globalShards_;  // global count, sharded by row
 };

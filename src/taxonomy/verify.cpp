@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallel/bit_kernels.hpp"
 #include "util/bitset.hpp"
 #include "util/strings.hpp"
 
@@ -36,13 +37,18 @@ std::vector<DynamicBitset> descendantsBelow(const Taxonomy& tax) {
     desc[id] = DynamicBitset(nn);
     for (NodeId ch : tax.node(id).children) desc[id].set(ch);
   }
+  // The union kernel runs on the process-wide bit-kernels backend
+  // (--bit-backend): this fixpoint is the verify pass's hot loop.
+  const BitKernels& bk = activeBitKernels();
   bool grew = true;
   while (grew) {
     grew = false;
     for (std::size_t i = nn; i-- > 0;) {
       const NodeId id = static_cast<NodeId>(i);
       for (NodeId ch : tax.node(id).children)
-        if (desc[id].uniteWith(desc[ch])) grew = true;
+        if (bk.orInto(desc[id].mutableWords(), desc[ch].words(),
+                      desc[id].wordCountUsed()))
+          grew = true;
     }
   }
   return desc;

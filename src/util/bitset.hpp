@@ -96,6 +96,9 @@ class DynamicBitset {
   }
 
   const Word* words() const { return words_.data(); }
+  /// Raw word access for BitKernels mask kernels. Callers must keep bits
+  /// past size() zero (same-size operands do; trimTail() repairs others).
+  Word* mutableWords() { return words_.data(); }
   std::size_t wordCountUsed() const { return words_.size(); }
 
   /// Bulk-replace the word storage from `n` raw 64-bit words (bits past

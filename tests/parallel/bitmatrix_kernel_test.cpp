@@ -12,11 +12,23 @@
 #include <vector>
 
 #include "parallel/atomic_bitmatrix.hpp"
+#include "parallel/bit_kernels.hpp"
 
 namespace owlcl {
 namespace {
 
 using Word = AtomicBitMatrix::Word;
+
+/// Every backend this machine can run (portable always included). The
+/// differential and storm tests below iterate all of them against the
+/// portable reference, so a vectorized backend can only land with
+/// bit-identical observable behavior.
+std::vector<const BitKernels*> runnableBackends() {
+  std::vector<const BitKernels*> out;
+  for (const BitBackendDesc& d : bitKernelsRegistry())
+    if (d.supported && d.kernels != nullptr) out.push_back(d.kernels);
+  return out;
+}
 
 std::uint64_t nextRand(std::uint64_t& s) {
   s = s * 6364136223846793005ull + 1442695040888963407ull;
@@ -40,13 +52,18 @@ std::vector<Word> randomMask(std::uint64_t& s, std::size_t cols,
 // counted-mode counters matching a recount — across many random masks,
 // shapes (including partial tail words), and pre-states.
 TEST(BitMatrixKernels, BulkMatchesScalarReference) {
+  for (const BitKernels* backend : runnableBackends()) {
+  SCOPED_TRACE(backend->name());
   std::uint64_t s = 0x1234567890ABCDEFull;
   const std::size_t shapes[][2] = {{1, 64}, {3, 70}, {2, 128}, {5, 257}};
   for (const auto& shape : shapes) {
     const std::size_t rows = shape[0], cols = shape[1];
     for (int trial = 0; trial < 50; ++trial) {
-      AtomicBitMatrix bulk(rows, cols, /*counted=*/true);
-      AtomicBitMatrix scalar(rows, cols, /*counted=*/true);
+      // The matrix under test runs the backend's kernels; the reference
+      // matrix is pinned to portable and mutated only bit-by-bit.
+      AtomicBitMatrix bulk(rows, cols, /*counted=*/true, backend);
+      AtomicBitMatrix scalar(rows, cols, /*counted=*/true,
+                             &portableBitKernels());
       // Random pre-state, identical in both matrices.
       for (std::size_t r = 0; r < rows; ++r)
         for (std::size_t c = 0; c < cols; ++c)
@@ -78,6 +95,7 @@ TEST(BitMatrixKernels, BulkMatchesScalarReference) {
       EXPECT_EQ(bulk.countRow(r), scalar.countRow(r));
       EXPECT_EQ(bulk.countAll(), scalar.countAll());
     }
+  }
   }
 }
 
@@ -120,75 +138,82 @@ TEST(BitMatrixKernels, ShortMaskTouchesOnlyCoveredWords) {
 // maintained counters equal to a ground-truth recount. Runs under TSan in
 // CI (parallel_test is in the TSan job's target list).
 TEST(BitMatrixKernels, CountersMatchRecountUnderConcurrentBulkScalarMix) {
-  const std::size_t rows = 32;
-  const std::size_t cols = 257;  // partial tail word
-  AtomicBitMatrix m(rows, cols, /*counted=*/true);
-  const int T = 8;
-  std::vector<std::thread> threads;
-  threads.reserve(T);
-  for (int t = 0; t < T; ++t) {
-    threads.emplace_back([&m, t, rows, cols] {
-      std::uint64_t s = 0xA0761D6478BD642Full * static_cast<std::uint64_t>(t + 1);
-      for (int i = 0; i < 4000; ++i) {
-        const std::size_t r = (nextRand(s) >> 33) % rows;
-        switch ((nextRand(s) >> 13) & 3) {
-          case 0:
-            m.testAndSet(r, (nextRand(s) >> 20) % cols);
-            break;
-          case 1:
-            m.testAndClear(r, (nextRand(s) >> 20) % cols);
-            break;
-          case 2: {
-            const std::vector<Word> mask = randomMask(s, cols, 32);
-            m.orRow(r, mask.data(), mask.size());
-            break;
-          }
-          default: {
-            const std::vector<Word> mask = randomMask(s, cols, 32);
-            m.andNotRow(r, mask.data(), mask.size());
-            break;
+  for (const BitKernels* backend : runnableBackends()) {
+    SCOPED_TRACE(backend->name());
+    const std::size_t rows = 32;
+    const std::size_t cols = 257;  // partial tail word
+    AtomicBitMatrix m(rows, cols, /*counted=*/true, backend);
+    const int T = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(T);
+    for (int t = 0; t < T; ++t) {
+      threads.emplace_back([&m, t, rows, cols] {
+        std::uint64_t s =
+            0xA0761D6478BD642Full * static_cast<std::uint64_t>(t + 1);
+        for (int i = 0; i < 4000; ++i) {
+          const std::size_t r = (nextRand(s) >> 33) % rows;
+          switch ((nextRand(s) >> 13) & 3) {
+            case 0:
+              m.testAndSet(r, (nextRand(s) >> 20) % cols);
+              break;
+            case 1:
+              m.testAndClear(r, (nextRand(s) >> 20) % cols);
+              break;
+            case 2: {
+              const std::vector<Word> mask = randomMask(s, cols, 32);
+              m.orRow(r, mask.data(), mask.size());
+              break;
+            }
+            default: {
+              const std::vector<Word> mask = randomMask(s, cols, 32);
+              m.andNotRow(r, mask.data(), mask.size());
+              break;
+            }
           }
         }
-      }
-    });
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (std::size_t r = 0; r < rows; ++r)
+      EXPECT_EQ(m.countRow(r), m.recountRow(r)) << "row " << r;
+    EXPECT_EQ(m.countAll(), m.recountAll());
   }
-  for (auto& t : threads) t.join();
-  for (std::size_t r = 0; r < rows; ++r)
-    EXPECT_EQ(m.countRow(r), m.recountRow(r)) << "row " << r;
-  EXPECT_EQ(m.countAll(), m.recountAll());
 }
 
 // Concurrent claims split across bulk and scalar claimants: every bit is
 // won exactly once, whether by an orRow word or a testAndSet.
 TEST(BitMatrixKernels, BulkAndScalarClaimsAreExclusive) {
-  const std::size_t cols = 4096;
-  AtomicBitMatrix m(1, cols, /*counted=*/true);
-  const int T = 8;
-  std::atomic<std::size_t> wins{0};
-  std::vector<std::thread> threads;
-  threads.reserve(T);
-  for (int t = 0; t < T; ++t) {
-    threads.emplace_back([&m, &wins, t, cols] {
-      std::size_t local = 0;
-      if (t % 2 == 0) {
-        for (std::size_t c = 0; c < cols; ++c)
-          if (m.testAndSet(0, c)) ++local;
-      } else {
-        // Claim the row in word-sized strides.
-        std::vector<Word> mask(cols / 64, 0);
-        for (std::size_t w = 0; w < mask.size(); ++w) {
-          mask[w] = ~Word{0};
-          local += m.orRow(0, mask.data(), w + 1);
-          mask[w] = 0;
+  for (const BitKernels* backend : runnableBackends()) {
+    SCOPED_TRACE(backend->name());
+    const std::size_t cols = 4096;
+    AtomicBitMatrix m(1, cols, /*counted=*/true, backend);
+    const int T = 8;
+    std::atomic<std::size_t> wins{0};
+    std::vector<std::thread> threads;
+    threads.reserve(T);
+    for (int t = 0; t < T; ++t) {
+      threads.emplace_back([&m, &wins, t, cols] {
+        std::size_t local = 0;
+        if (t % 2 == 0) {
+          for (std::size_t c = 0; c < cols; ++c)
+            if (m.testAndSet(0, c)) ++local;
+        } else {
+          // Claim the row in word-sized strides.
+          std::vector<Word> mask(cols / 64, 0);
+          for (std::size_t w = 0; w < mask.size(); ++w) {
+            mask[w] = ~Word{0};
+            local += m.orRow(0, mask.data(), w + 1);
+            mask[w] = 0;
+          }
         }
-      }
-      wins.fetch_add(local, std::memory_order_relaxed);
-    });
+        wins.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(wins.load(), cols);
+    EXPECT_EQ(m.countRow(0), cols);
+    EXPECT_TRUE(m.countersMatchRecount());
   }
-  for (auto& t : threads) t.join();
-  EXPECT_EQ(wins.load(), cols);
-  EXPECT_EQ(m.countRow(0), cols);
-  EXPECT_TRUE(m.countersMatchRecount());
 }
 
 // --- allocation-free iteration helpers ---------------------------------------

@@ -17,6 +17,9 @@
 //                        ontology is majority-EL (default off)
 //   --scheduling=steal|rr|ll|sq  group dispatch discipline (default steal:
 //                        unpinned tasks balanced by work-stealing)
+//   --bit-backend=portable|avx2|auto  compute backend for the P/K
+//                        bit-matrix kernels (DESIGN.md §15; default auto =
+//                        widest vector backend this CPU supports)
 //   --backend=tableau|el   reasoner plug-in (el requires an EL ontology)
 //   --shared-cache       share one lock-free sat-verdict cache across all
 //                        worker tableaux (tableau backend only)
@@ -396,6 +399,15 @@ Options parseOptions(int argc, char** argv, int first) {
         o.routeEl = ElRouting::kOn;
       else {
         std::fprintf(stderr, "unknown --route-el: %s\n", s.c_str());
+        usage();
+      }
+    } else if (const char* vb = value("--bit-backend=")) {
+      // Installed process-wide at parse time, before any matrix exists;
+      // unknown names and backends this CPU cannot run are rejected
+      // loudly, matching the numeric-flag policy.
+      std::string err;
+      if (!setActiveBitKernels(vb, &err)) {
+        std::fprintf(stderr, "--bit-backend: %s\n", err.c_str());
         usage();
       }
     } else if (a == "--verify") {
@@ -879,6 +891,8 @@ int cmdClassify(const std::string& path, const Options& o) {
                  static_cast<unsigned long long>(r.testsAvoidedByRouting));
 
   if (o.stats) {
+    std::fprintf(stderr, "  bit kernels: %s backend (cpu: %s)\n",
+                 activeBitKernels().name(), cpuFeatureString().c_str());
     const ReasonerStats agg = plugin->reasonerStats();
     std::fprintf(stderr,
                  "  reasoner: %llu sat calls, %llu cache hits, %llu clashes, "
