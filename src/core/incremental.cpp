@@ -596,15 +596,20 @@ void DeltaReclassifier::adoptInitial(
     std::shared_ptr<ParallelClassifier> classifier,
     std::shared_ptr<const ClassificationResult> result) {
   std::lock_guard<std::mutex> lock(genMu_);
-  gen_ = DeltaGeneration{std::move(tbox), std::move(plugin),
-                         std::move(classifier), std::move(result), 0};
+  gen_ = DeltaGeneration{std::move(tbox),       std::move(plugin),
+                         std::move(classifier), std::move(result),
+                         /*snapshot=*/nullptr,  /*deltaEpoch=*/0};
   statements_ = statementsFromTBox(*gen_.tbox);
 }
 
 void DeltaReclassifier::publishInitialResult(
-    std::shared_ptr<const ClassificationResult> r) {
+    std::shared_ptr<const ClassificationResult> r,
+    std::shared_ptr<const TaxonomySnapshot> snapshot) {
   std::lock_guard<std::mutex> lock(genMu_);
-  if (gen_.result == nullptr) gen_.result = std::move(r);
+  if (gen_.result == nullptr) {
+    gen_.result = std::move(r);
+    gen_.snapshot = std::move(snapshot);
+  }
 }
 
 bool DeltaReclassifier::beginTxn(std::string* error) {
@@ -809,6 +814,14 @@ bool DeltaReclassifier::commitTxn(DeltaCommitInfo* info, std::string* error) {
     return rollbackLocked(txid, "commit journaling failed: " + why, error);
 
   auto result = std::make_shared<ClassificationResult>(std::move(rerun));
+  // Compile the new generation's query snapshot HERE, on the committing
+  // worker, before the generation swap — query threads only ever see a
+  // finished snapshot appear with the new view (DESIGN.md §16). The rerun
+  // completed, so the taxonomy is whole.
+  std::shared_ptr<const TaxonomySnapshot> snapshot;
+  if (buildSnapshots_)
+    snapshot = TaxonomySnapshot::build(result->taxonomy, *newTbox,
+                                       result->complete(), pre.deltaEpoch + 1);
   DeltaCommitInfo out;
   out.txid = txid;
   out.coneSize = cone.cone.size();
@@ -819,7 +832,7 @@ bool DeltaReclassifier::commitTxn(DeltaCommitInfo* info, std::string* error) {
   {
     std::lock_guard<std::mutex> glock(genMu_);
     gen_ = DeltaGeneration{newTbox, plugin, classifier, result,
-                           pre.deltaEpoch + 1};
+                           std::move(snapshot), pre.deltaEpoch + 1};
     // Regenerate rather than keep `stmts`: the canonical list declares the
     // new names in id order, so recovery's per-transaction regeneration
     // lands on the identical list.

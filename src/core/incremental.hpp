@@ -32,6 +32,7 @@
 #include "core/parallel_classifier.hpp"
 #include "core/plugin.hpp"
 #include "owl/tbox.hpp"
+#include "taxonomy/snapshot.hpp"
 #include "taxonomy/taxonomy.hpp"
 
 namespace owlcl {
@@ -201,6 +202,10 @@ struct DeltaGeneration {
   std::shared_ptr<ReasonerPlugin> plugin;
   std::shared_ptr<ParallelClassifier> classifier;
   std::shared_ptr<const ClassificationResult> result;
+  /// Read-optimized query index compiled from this generation's finished
+  /// taxonomy (DESIGN.md §16); null when snapshot building is off or the
+  /// generation's result is degraded/pending.
+  std::shared_ptr<const TaxonomySnapshot> snapshot;
   std::uint64_t deltaEpoch = 0;  // committed delta transactions so far
 };
 
@@ -233,7 +238,14 @@ class DeltaReclassifier {
                     std::shared_ptr<ReasonerPlugin> plugin,
                     std::shared_ptr<ParallelClassifier> classifier,
                     std::shared_ptr<const ClassificationResult> result);
-  void publishInitialResult(std::shared_ptr<const ClassificationResult> r);
+  void publishInitialResult(
+      std::shared_ptr<const ClassificationResult> r,
+      std::shared_ptr<const TaxonomySnapshot> snapshot = nullptr);
+
+  /// Compile a TaxonomySnapshot for each committed generation (inside
+  /// commitTxn, off the query path). Default on; the serve ablation turns
+  /// it off. Call before any commit, not concurrently with one.
+  void setBuildSnapshots(bool build) { buildSnapshots_ = build; }
 
   /// Optional durability sink (null = in-memory transactions).
   void setSink(DeltaTxnSink* sink) { sink_ = sink; }
@@ -281,6 +293,7 @@ class DeltaReclassifier {
   std::uint32_t curTxnId_ = 0;
   std::uint32_t nextTxnId_ = 1;
   std::vector<StagedOp> ops_;
+  bool buildSnapshots_ = true;
   std::atomic<ParallelClassifier*> active_{nullptr};
 };
 

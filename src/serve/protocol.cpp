@@ -1,10 +1,8 @@
 #include "serve/protocol.hpp"
 
-#include <cstdio>
-
 namespace owlcl {
 
-namespace {
+namespace detail {
 
 /// Bounds-checked cursor over one request line. All scanning goes through
 /// this class; nothing below indexes the buffer directly.
@@ -108,57 +106,111 @@ class Scanner {
   std::size_t pos_ = 0;
 };
 
+}  // namespace detail
+
+namespace {
+
+using detail::Scanner;
+
 bool fail(std::string* error, const char* why) {
   if (error != nullptr) *error = why;
   return false;
 }
 
+/// Maps an "op" string to its RequestOp. All names fit SSO, so the string
+/// compares never allocate.
+bool lookupOp(const std::string& op, RequestOp* out) {
+  if (op == "subs") *out = RequestOp::kSubs;
+  else if (op == "sat") *out = RequestOp::kSat;
+  else if (op == "descendants") *out = RequestOp::kDescendants;
+  else if (op == "batch") *out = RequestOp::kBatch;
+  else if (op == "status") *out = RequestOp::kStatus;
+  else if (op == "begin-delta") *out = RequestOp::kBeginDelta;
+  else if (op == "add-axiom") *out = RequestOp::kAddAxiom;
+  else if (op == "retract-axiom") *out = RequestOp::kRetractAxiom;
+  else if (op == "commit") *out = RequestOp::kCommitDelta;
+  else if (op == "abort") *out = RequestOp::kAbortDelta;
+  else return false;
+  return true;
+}
+
+/// Clears the reusable fields without releasing any string/vector capacity
+/// (batch keeps its dead tail elements alive as scratch for the next line).
+void resetRequest(Request& r) {
+  r.op = RequestOp::kStatus;
+  r.sub.clear();
+  r.sup.clear();
+  r.conceptName.clear();
+  r.axiom.clear();
+  r.hasId = false;
+  r.id = 0;
+  r.deadlineMs = 0;
+  r.batchCount = 0;
+}
+
 }  // namespace
 
-bool parseRequest(std::string_view line, Request* out, std::string* error) {
-  Request req;
-  Scanner sc(line);
-  sc.skipWs();
+bool RequestParser::parseObject(Scanner& sc, Request* req, std::string* error,
+                                bool element) {
+  resetRequest(*req);
+  bool haveOp = false, knownOp = false;
   if (!sc.eat('{')) return fail(error, "expected '{'");
-
-  std::string op;
-  bool haveOp = false;
-  std::string key, sval;
   sc.skipWs();
   if (!sc.eat('}')) {
     for (;;) {
       sc.skipWs();
       if (!sc.eat('"')) return fail(error, "expected key string");
-      if (!sc.string(&key)) return fail(error, "bad key string");
+      if (!sc.string(&key_)) return fail(error, "bad key string");
       sc.skipWs();
       if (!sc.eat(':')) return fail(error, "expected ':'");
       sc.skipWs();
-      // Value: string or non-negative integer are the only accepted
-      // shapes; anything else (nested objects, arrays, bools, null,
-      // signed/float numbers) is rejected — the protocol never uses them.
+      // Value: string, non-negative integer, or (only for the top-level
+      // "queries" key) an array of flat objects. Anything else (nested
+      // non-batch objects, bools, null, signed/float numbers) is rejected —
+      // the protocol never uses them.
       if (sc.eat('"')) {
-        if (!sc.string(&sval)) return fail(error, "bad string value");
-        if (key == "op") {
-          op = sval;
+        if (!sc.string(&sval_)) return fail(error, "bad string value");
+        if (key_ == "op") {
           haveOp = true;
-        } else if (key == "sub") {
-          req.sub = sval;
-        } else if (key == "sup") {
-          req.sup = sval;
-        } else if (key == "concept") {
-          req.conceptName = sval;
-        } else if (key == "axiom") {
-          req.axiom = sval;
+          knownOp = lookupOp(sval_, &req->op);
+        } else if (key_ == "sub") {
+          req->sub.assign(sval_);
+        } else if (key_ == "sup") {
+          req->sup.assign(sval_);
+        } else if (key_ == "concept") {
+          req->conceptName.assign(sval_);
+        } else if (key_ == "axiom") {
+          req->axiom.assign(sval_);
         }
         // Unknown string keys are ignored (forward compatibility).
+      } else if (sc.peek() == '[') {
+        if (element) return fail(error, "nested batch");
+        if (key_ != "queries") return fail(error, "bad value");
+        sc.eat('[');
+        sc.skipWs();
+        if (!sc.eat(']')) {
+          for (;;) {
+            sc.skipWs();
+            if (req->batchCount >= kMaxBatchElements)
+              return fail(error, "batch too large");
+            if (req->batch.size() == req->batchCount) req->batch.emplace_back();
+            if (!parseObject(sc, &req->batch[req->batchCount], error, true))
+              return false;
+            ++req->batchCount;
+            sc.skipWs();
+            if (sc.eat(',')) continue;
+            if (sc.eat(']')) break;
+            return fail(error, "expected ',' or ']'");
+          }
+        }
       } else {
         std::uint64_t num = 0;
         if (!sc.number(&num)) return fail(error, "bad value");
-        if (key == "id") {
-          req.hasId = true;
-          req.id = num;
-        } else if (key == "deadline_ms") {
-          req.deadlineMs = num;
+        if (key_ == "id") {
+          req->hasId = true;
+          req->id = num;
+        } else if (key_ == "deadline_ms") {
+          req->deadlineMs = num;
         }
         // Unknown numeric keys are ignored.
       }
@@ -168,66 +220,55 @@ bool parseRequest(std::string_view line, Request* out, std::string* error) {
       return fail(error, "expected ',' or '}'");
     }
   }
-  sc.skipWs();
-  if (!sc.done()) return fail(error, "trailing bytes after object");
 
   if (!haveOp) return fail(error, "missing \"op\"");
-  if (op == "subs") {
-    if (req.sub.empty() || req.sup.empty())
-      return fail(error, "subs needs \"sub\" and \"sup\"");
-    req.op = RequestOp::kSubs;
-  } else if (op == "sat") {
-    if (req.conceptName.empty()) return fail(error, "sat needs \"concept\"");
-    req.op = RequestOp::kSat;
-  } else if (op == "descendants") {
-    if (req.conceptName.empty())
-      return fail(error, "descendants needs \"concept\"");
-    req.op = RequestOp::kDescendants;
-  } else if (op == "status") {
-    req.op = RequestOp::kStatus;
-  } else if (op == "begin-delta") {
-    req.op = RequestOp::kBeginDelta;
-  } else if (op == "add-axiom") {
-    if (req.axiom.empty()) return fail(error, "add-axiom needs \"axiom\"");
-    req.op = RequestOp::kAddAxiom;
-  } else if (op == "retract-axiom") {
-    if (req.axiom.empty()) return fail(error, "retract-axiom needs \"axiom\"");
-    req.op = RequestOp::kRetractAxiom;
-  } else if (op == "commit") {
-    req.op = RequestOp::kCommitDelta;
-  } else if (op == "abort") {
-    req.op = RequestOp::kAbortDelta;
-  } else {
-    return fail(error, "unknown op");
+  if (!knownOp) return fail(error, "unknown op");
+  if (element && req->op != RequestOp::kSubs && req->op != RequestOp::kSat &&
+      req->op != RequestOp::kDescendants)
+    return fail(error, "batch elements must be subs, sat or descendants");
+  if (req->op != RequestOp::kBatch && req->batchCount != 0)
+    return fail(error, "\"queries\" only valid for op batch");
+  switch (req->op) {
+    case RequestOp::kSubs:
+      if (req->sub.empty() || req->sup.empty())
+        return fail(error, "subs needs \"sub\" and \"sup\"");
+      break;
+    case RequestOp::kSat:
+      if (req->conceptName.empty()) return fail(error, "sat needs \"concept\"");
+      break;
+    case RequestOp::kDescendants:
+      if (req->conceptName.empty())
+        return fail(error, "descendants needs \"concept\"");
+      break;
+    case RequestOp::kBatch:
+      if (req->batchCount == 0) return fail(error, "batch needs \"queries\"");
+      break;
+    case RequestOp::kAddAxiom:
+      if (req->axiom.empty()) return fail(error, "add-axiom needs \"axiom\"");
+      break;
+    case RequestOp::kRetractAxiom:
+      if (req->axiom.empty())
+        return fail(error, "retract-axiom needs \"axiom\"");
+      break;
+    default:
+      break;
   }
-  *out = req;
   return true;
 }
 
-std::string jsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
+bool RequestParser::parse(std::string_view line, Request* out,
+                          std::string* error) {
+  Scanner sc(line);
+  sc.skipWs();
+  if (!parseObject(sc, out, error, /*element=*/false)) return false;
+  sc.skipWs();
+  if (!sc.done()) return fail(error, "trailing bytes after object");
+  return true;
+}
+
+bool parseRequest(std::string_view line, Request* out, std::string* error) {
+  RequestParser parser;
+  return parser.parse(line, out, error);
 }
 
 void JsonWriter::comma() {

@@ -5,6 +5,7 @@
 //   {"op":"subs","sub":"B","sup":"A"[,"id":N][,"deadline_ms":N]}
 //   {"op":"sat","concept":"A"[,"id":N][,"deadline_ms":N]}
 //   {"op":"descendants","concept":"A"[,"id":N][,"deadline_ms":N]}
+//   {"op":"batch","queries":[{...},...][,"id":N][,"deadline_ms":N]}
 //   {"op":"status"[,"id":N]}
 //   {"op":"begin-delta"[,"id":N]}
 //   {"op":"add-axiom","axiom":"SubClassOf(A B)"[,"id":N]}
@@ -25,13 +26,23 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "util/strings.hpp"  // jsonEscape, shared with the snapshot compiler
 
 namespace owlcl {
+
+namespace detail {
+class Scanner;
+}
 
 enum class RequestOp : std::uint8_t {
   kSubs,
   kSat,
   kDescendants,
+  /// N read-only queries in one line; the engine answers them against one
+  /// pinned snapshot generation and one amortized parse/dispatch.
+  kBatch,
   kStatus,
   // Delta transaction verbs (DESIGN.md §14). Queries keep answering from
   // the last committed generation while a transaction is staged/committed.
@@ -42,6 +53,10 @@ enum class RequestOp : std::uint8_t {
   kAbortDelta,
 };
 
+/// Upper bound on "queries" elements per batch line (bounds worst-case
+/// response size alongside ServerConfig::maxLineBytes on the request side).
+inline constexpr std::size_t kMaxBatchElements = 1024;
+
 struct Request {
   RequestOp op = RequestOp::kStatus;
   std::string sub;          // subs: candidate subsumee name
@@ -50,18 +65,38 @@ struct Request {
   std::string axiom;        // add-axiom / retract-axiom: functional syntax
   bool hasId = false;
   std::uint64_t id = 0;
-  /// Per-query deadline override; 0 = server default.
+  /// Per-query deadline override; 0 = server default (for batch: the shared
+  /// default for elements without their own deadline).
   std::uint64_t deadlineMs = 0;
+  /// op == kBatch: the first `batchCount` entries are the elements
+  /// (subs/sat/descendants only; nesting rejected). The vector is grow-only
+  /// scratch — RequestParser reuses dead tail elements to keep reparsing
+  /// allocation-free, so always iterate to batchCount, never to size().
+  std::vector<Request> batch;
+  std::uint32_t batchCount = 0;
 };
 
-/// Parses one request line. False on any syntactic or semantic problem
-/// (with a short human-readable reason in *error); never throws.
-bool parseRequest(std::string_view line, Request* out, std::string* error);
+/// Reusable request parser. Parsing goes through per-instance scratch
+/// buffers and reuses the capacity already inside *out (strings, batch
+/// elements), so a warmed parser performs ZERO heap allocations per line —
+/// each server worker owns one (the protocol test asserts the zero-alloc
+/// property). On failure *out holds unspecified partial state.
+/// Not thread-safe; one instance per thread.
+class RequestParser {
+ public:
+  bool parse(std::string_view line, Request* out, std::string* error);
 
-/// JSON string escaping for response payloads (quotes, backslashes,
-/// control characters; invalid UTF-8 bytes pass through untouched —
-/// responses mirror the names the ontology declared).
-std::string jsonEscape(std::string_view s);
+ private:
+  bool parseObject(detail::Scanner& sc, Request* req, std::string* error,
+                   bool element);
+  std::string key_;
+  std::string sval_;
+};
+
+/// One-shot convenience wrapper over RequestParser (tests, tools). False on
+/// any syntactic or semantic problem (short human-readable reason in
+/// *error); never throws. On failure *out holds unspecified partial state.
+bool parseRequest(std::string_view line, Request* out, std::string* error);
 
 /// Incremental one-line JSON object writer for responses.
 class JsonWriter {

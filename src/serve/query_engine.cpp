@@ -34,13 +34,26 @@ QueryEngine::QueryEngine(const TBox& tbox, ParallelClassifier& classifier,
   view_ = std::move(view);
 }
 
-void QueryEngine::setResult(const ClassificationResult* result) {
-  // Copy-on-write: in-flight queries hold the old snapshot; the result
-  // pointer only ever appears on a fresh one.
+void QueryEngine::setResult(const ClassificationResult* result,
+                            std::shared_ptr<const TaxonomySnapshot> snapshot) {
+  // Copy-on-write: in-flight queries hold the old view; the result and
+  // snapshot pointers only ever appear on a fresh one.
   std::lock_guard<std::mutex> lock(viewMu_);
   auto next = std::make_shared<EngineView>(*view_);
   next->result = result;
+  next->snapshot = std::move(snapshot);
   view_ = std::move(next);
+}
+
+QueryEngineStats QueryEngine::stats() const {
+  QueryEngineStats s;
+  s.snapshotAnswers = snapshotAnswers_.load(std::memory_order_relaxed);
+  s.walkAnswers = walkAnswers_.load(std::memory_order_relaxed);
+  s.intervalHits = intervalHits_.load(std::memory_order_relaxed);
+  s.bitsetProbes = bitsetProbes_.load(std::memory_order_relaxed);
+  s.batchLines = batchLines_.load(std::memory_order_relaxed);
+  s.batchedQueries = batchedQueries_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void QueryEngine::publishView(EngineView view) {
@@ -83,6 +96,8 @@ std::string QueryEngine::answer(const Request& req) {
       return answerSat(req, *view, deadline);
     case RequestOp::kDescendants:
       return answerDescendants(req, *view, deadline);
+    case RequestOp::kBatch:
+      return answerBatch(req, *view, deadline);
     default:
       break;  // status + delta verbs are server-level; unreachable
                // through Server::processLine
@@ -101,6 +116,21 @@ std::string QueryEngine::answerSubs(
     return errorResponse(req, "unknown-concept", req.sup);
   if (sub == kInvalidConcept)
     return errorResponse(req, "unknown-concept", req.sub);
+
+  // Rung 0: compiled snapshot — one interval compare, at most one bitset
+  // word probe. Only present for complete runs, whose settled verdicts it
+  // reproduces exactly, so the response (method "settled") is byte-equal
+  // to the walk path's.
+  if (const TaxonomySnapshot* snap = view.snapshot.get();
+      snap != nullptr && snap->placed(sup) && snap->placed(sub)) {
+    bool probed = false;
+    const bool value = snap->subsumes(sup, sub, &probed);
+    snapshotAnswers_.fetch_add(1, std::memory_order_relaxed);
+    (probed ? bitsetProbes_ : intervalHits_)
+        .fetch_add(1, std::memory_order_relaxed);
+    return verdictResponse(req, "subs", value, "settled");
+  }
+  walkAnswers_.fetch_add(1, std::memory_order_relaxed);
 
   // Rung 1: already settled in the shared store — memory-speed answer.
   PairVerdict v = classifier.queryPair(sup, sub);
@@ -138,6 +168,13 @@ std::string QueryEngine::answerSat(
   if (c == kInvalidConcept)
     return errorResponse(req, "unknown-concept", req.conceptName);
 
+  if (const TaxonomySnapshot* snap = view.snapshot.get();
+      snap != nullptr && snap->placed(c)) {
+    snapshotAnswers_.fetch_add(1, std::memory_order_relaxed);
+    return verdictResponse(req, "sat", snap->satisfiable(c), "settled");
+  }
+  walkAnswers_.fetch_add(1, std::memory_order_relaxed);
+
   SatVerdict v = classifier.querySat(c);
   if (v == SatVerdict::kUnknown && !classifier.finished()) {
     const auto now = std::chrono::steady_clock::now();
@@ -166,6 +203,24 @@ std::string QueryEngine::answerDescendants(
   const ConceptId c = tbox.findConcept(req.conceptName);
   if (c == kInvalidConcept)
     return errorResponse(req, "unknown-concept", req.conceptName);
+
+  // Snapshot path: the subsumee array was escaped, sorted and serialized
+  // at compile time — the answer is field writes plus one raw copy.
+  if (const TaxonomySnapshot* snap = view.snapshot.get();
+      snap != nullptr && snap->placed(c)) {
+    snapshotAnswers_.fetch_add(1, std::memory_order_relaxed);
+    JsonWriter w;
+    if (req.hasId) w.field("id", req.id);
+    w.field("ok", true);
+    w.field("op", "descendants");
+    w.field("concept", req.conceptName);
+    w.field("count",
+            static_cast<std::uint64_t>(snap->descendantCount(c)));
+    w.raw("concepts", snap->descendantsJson(c));
+    w.field("complete", snap->complete());
+    return std::move(w).str();
+  }
+  walkAnswers_.fetch_add(1, std::memory_order_relaxed);
 
   // Needs the finished taxonomy — a mid-run subsumee list would silently
   // omit pairs that have not settled yet. Wait out the budget, then tell
@@ -228,6 +283,45 @@ std::string QueryEngine::answerDescendants(
   w.raw("concepts", array);
   // A degraded (unresolved-pairs) run may be missing edges; say so.
   w.field("complete", r->complete());
+  return std::move(w).str();
+}
+
+std::string QueryEngine::answerBatch(
+    const Request& req, const EngineView& view,
+    std::chrono::steady_clock::time_point deadline) {
+  // All elements answer against the ONE view the batch pinned at entry —
+  // a generation swap mid-batch can never mix ontologies across elements.
+  // Elements share the batch deadline unless they carry their own.
+  batchLines_.fetch_add(1, std::memory_order_relaxed);
+  batchedQueries_.fetch_add(req.batchCount, std::memory_order_relaxed);
+  std::string results;
+  results.push_back('[');
+  for (std::uint32_t i = 0; i < req.batchCount; ++i) {
+    const Request& e = req.batch[i];
+    const auto edl = e.deadlineMs != 0 ? deadlineFor(e) : deadline;
+    if (i != 0) results.push_back(',');
+    switch (e.op) {
+      case RequestOp::kSubs:
+        results += answerSubs(e, view, edl);
+        break;
+      case RequestOp::kSat:
+        results += answerSat(e, view, edl);
+        break;
+      case RequestOp::kDescendants:
+        results += answerDescendants(e, view, edl);
+        break;
+      default:  // parser only admits the three read ops
+        results += errorResponse(e, "internal", "unroutable op");
+    }
+  }
+  results.push_back(']');
+
+  JsonWriter w;
+  if (req.hasId) w.field("id", req.id);
+  w.field("ok", true);
+  w.field("op", "batch");
+  w.field("count", static_cast<std::uint64_t>(req.batchCount));
+  w.raw("results", results);
   return std::move(w).str();
 }
 

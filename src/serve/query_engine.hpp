@@ -28,6 +28,7 @@
 // in-flight query drops it.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -37,6 +38,7 @@
 #include "core/parallel_classifier.hpp"
 #include "owl/tbox.hpp"
 #include "serve/protocol.hpp"
+#include "taxonomy/snapshot.hpp"
 
 namespace owlcl {
 
@@ -58,7 +60,24 @@ struct EngineView {
   ReasonerPlugin* fallback = nullptr;
   const ClassificationResult* result = nullptr;
   std::uint64_t deltaEpoch = 0;
+  /// Compiled read-optimized index over this generation's finished
+  /// taxonomy (DESIGN.md §16); null until the run completes, on degraded
+  /// runs, or with --query-snapshot=off. When present, subs/sat/
+  /// descendants answer from it at memory speed instead of walking.
+  std::shared_ptr<const TaxonomySnapshot> snapshot;
   std::shared_ptr<const void> owner;
+};
+
+/// Read-path counters (answers by path, interval-hit vs bitset-probe
+/// split, batch amortization), surfaced through --stats and the
+/// BENCH_serve.json snapshot block.
+struct QueryEngineStats {
+  std::uint64_t snapshotAnswers = 0;  ///< answered from the compiled index
+  std::uint64_t walkAnswers = 0;      ///< answered through the legacy ladder
+  std::uint64_t intervalHits = 0;     ///< subs decided by the interval check
+  std::uint64_t bitsetProbes = 0;     ///< subs needing the extra-ancestor probe
+  std::uint64_t batchLines = 0;       ///< batch requests answered
+  std::uint64_t batchedQueries = 0;   ///< elements inside those batches
 };
 
 class QueryEngine {
@@ -70,9 +89,11 @@ class QueryEngine {
               ReasonerPlugin& fallback, QueryEngineConfig config);
 
   /// Publishes the finished run's result (taxonomy for descendants) into
-  /// the CURRENT view. Called once by the server when the classification
-  /// thread exits.
-  void setResult(const ClassificationResult* result);
+  /// the CURRENT view, along with its compiled query snapshot (null for
+  /// degraded runs or snapshot-off serving). Called once by the server
+  /// when the classification thread exits.
+  void setResult(const ClassificationResult* result,
+                 std::shared_ptr<const TaxonomySnapshot> snapshot = nullptr);
 
   /// Swaps in a new generation's view (after a committed delta). Queries
   /// already past their snapshot finish against the old generation.
@@ -81,9 +102,12 @@ class QueryEngine {
   /// The view new queries would answer against right now.
   std::shared_ptr<const EngineView> currentView() const;
 
-  /// Answers one subs/sat/descendants request (status is handled by the
-  /// server, which owns the counters). Never throws.
+  /// Answers one subs/sat/descendants/batch request (status is handled by
+  /// the server, which owns the counters). Never throws.
   std::string answer(const Request& req);
+
+  /// Read-path counters since construction (monotone; relaxed reads).
+  QueryEngineStats stats() const;
 
  private:
   std::chrono::steady_clock::time_point deadlineFor(const Request& req) const;
@@ -93,6 +117,8 @@ class QueryEngine {
                         std::chrono::steady_clock::time_point deadline);
   std::string answerDescendants(const Request& req, const EngineView& view,
                                 std::chrono::steady_clock::time_point deadline);
+  std::string answerBatch(const Request& req, const EngineView& view,
+                          std::chrono::steady_clock::time_point deadline);
   /// Remaining budget from now to `deadline` in ns (0 if past).
   static std::uint64_t remainingNs(
       std::chrono::steady_clock::time_point deadline);
@@ -100,6 +126,14 @@ class QueryEngine {
   QueryEngineConfig config_;
   mutable std::mutex viewMu_;
   std::shared_ptr<const EngineView> view_;
+  // Counters are per-engine atomics (not per-snapshot) so the immutable
+  // snapshot stays genuinely read-only and shareable across generations.
+  std::atomic<std::uint64_t> snapshotAnswers_{0};
+  std::atomic<std::uint64_t> walkAnswers_{0};
+  std::atomic<std::uint64_t> intervalHits_{0};
+  std::atomic<std::uint64_t> bitsetProbes_{0};
+  std::atomic<std::uint64_t> batchLines_{0};
+  std::atomic<std::uint64_t> batchedQueries_{0};
 };
 
 }  // namespace owlcl

@@ -19,6 +19,14 @@
 
 namespace owlcl {
 
+namespace {
+
+/// After a failed parse the Request holds unspecified partial state;
+/// errorResponse only reads the id echo, so neutralize just that.
+void resetForErrorEcho(Request& req) { req.hasId = false; }
+
+}  // namespace
+
 Server::Server(const TBox& tbox, ParallelClassifier& classifier,
                ReasonerPlugin& fallback, ServerConfig config)
     : tbox_(tbox),
@@ -37,23 +45,37 @@ void Server::start(std::function<ClassificationResult()> classify) {
   classifyThread_ = std::thread([this, classify = std::move(classify)] {
     result_ = classify();
     resultReady_.store(true, std::memory_order_release);
-    engine_.setResult(&result_);
+    // Compile the generation-0 query snapshot on this thread, before the
+    // result is published — never on a query worker. Degraded runs
+    // (paused/cancelled/unresolved pairs) get no snapshot: their answers
+    // must keep flowing through the ladder's direct-call rung.
+    std::shared_ptr<const TaxonomySnapshot> snap;
+    if (config_.querySnapshots && result_.complete() && !result_.paused &&
+        !result_.cancelled)
+      snap = TaxonomySnapshot::build(result_.taxonomy, tbox_,
+                                     result_.complete(), /*generation=*/0);
+    engine_.setResult(&result_, snap);
     // Unblock delta commits: they require generation 0's finished result.
     if (delta_ != nullptr)
-      delta_->publishInitialResult(std::shared_ptr<const ClassificationResult>(
-          &result_, [](const ClassificationResult*) {}));
+      delta_->publishInitialResult(
+          std::shared_ptr<const ClassificationResult>(
+              &result_, [](const ClassificationResult*) {}),
+          std::move(snap));
   });
 }
 
 bool Server::trySubmit(std::string line,
                        std::function<void(std::string)> deliver) {
   // Parse up front: tryPush consumes the line either way, and the shed
-  // response should echo the request id so clients can correlate.
-  Request req;
+  // response should echo the request id so clients can correlate. This is
+  // a per-caller-thread hot path (socket readers, bench drivers), so the
+  // parse reuses thread-local scratch instead of allocating.
+  static thread_local RequestParser parser;
+  static thread_local Request req;
   std::string why;
-  const bool parsed = parseRequest(line, &req, &why);
+  const bool parsed = parser.parse(line, &req, &why);
   if (queue_.tryPush(Job{std::move(line), deliver})) return true;
-  if (!parsed) req = Request{};
+  if (!parsed) resetForErrorEcho(req);
   deliver(errorResponse(req, "overloaded"));
   return false;
 }
@@ -79,33 +101,36 @@ void Server::drain() {
 }
 
 void Server::workerLoop() {
+  // Per-worker parse scratch: after warm-up every line parses with zero
+  // heap allocations (the protocol test pins this property down).
+  RequestParser parser;
+  Request req;
   Job job;
   while (queue_.pop(&job)) {
     std::string response;
     try {
-      response = processLine(job.line);
+      response = processLine(job.line, parser, req);
     } catch (const std::exception& e) {
       // Containment: a query must never take the server down. Parse again
       // defensively for the id echo (the line already parsed once or the
       // throw came from deeper down).
-      Request req;
       std::string why;
-      if (!parseRequest(job.line, &req, &why)) req = Request{};
+      if (!parser.parse(job.line, &req, &why)) resetForErrorEcho(req);
       response = errorResponse(req, "internal", e.what());
     } catch (...) {
-      Request req;
-      response = errorResponse(req, "internal");
+      Request blank;
+      response = errorResponse(blank, "internal");
     }
     deliverResponse(job, std::move(response));
   }
 }
 
-std::string Server::processLine(const std::string& line) {
+std::string Server::processLine(const std::string& line, RequestParser& parser,
+                                Request& req) {
   if (line.size() > config_.maxLineBytes)
     return parseErrorResponse("line too long");
-  Request req;
   std::string why;
-  if (!parseRequest(line, &req, &why)) return parseErrorResponse(why);
+  if (!parser.parse(line, &req, &why)) return parseErrorResponse(why);
   if (req.op == RequestOp::kStatus) return statusLine(req);
   switch (req.op) {
     case RequestOp::kBeginDelta:
@@ -180,6 +205,7 @@ void Server::publishGeneration() {
   view.fallback = own->plugin.get();
   view.result = own->result.get();
   view.deltaEpoch = own->deltaEpoch;
+  view.snapshot = own->snapshot;  // compiled by commitTxn, off the query path
   view.owner = std::move(own);
   engine_.publishView(std::move(view));
 }
@@ -267,6 +293,8 @@ void Server::runBatch(std::istream& in, std::ostream& out) {
   std::uint64_t next = 0;
   std::uint64_t submitted = 0;
 
+  RequestParser probeParser;
+  Request probe;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -274,10 +302,9 @@ void Server::runBatch(std::istream& in, std::ostream& out) {
     // workers a later batch line could overtake them (commit racing past
     // its own begin). Barrier on them — everything before the verb
     // finishes first, and the verb finishes before the next line goes in.
-    Request probe;
     std::string probeErr;
     const bool barrier =
-        parseRequest(line, &probe, &probeErr) &&
+        probeParser.parse(line, &probe, &probeErr) &&
         (probe.op == RequestOp::kBeginDelta ||
          probe.op == RequestOp::kAddAxiom ||
          probe.op == RequestOp::kRetractAxiom ||
@@ -291,11 +318,10 @@ void Server::runBatch(std::istream& in, std::ostream& out) {
           cv.notify_all();
         });
     if (!accepted) {
-      Request req;
       std::string why;
-      if (!parseRequest(line, &req, &why)) req = Request{};
+      if (!probeParser.parse(line, &probe, &why)) resetForErrorEcho(probe);
       std::lock_guard<std::mutex> lock(mu);
-      ready.emplace(seq, errorResponse(req, "shutdown"));
+      ready.emplace(seq, errorResponse(probe, "shutdown"));
     }
     // Opportunistic in-order flush keeps the reorder buffer small.
     std::unique_lock<std::mutex> lock(mu);

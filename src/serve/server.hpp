@@ -50,6 +50,10 @@ struct ServerConfig {
   /// Hard cap on one request line; longer input is answered with a parse
   /// error and discarded — never buffered unboundedly.
   std::size_t maxLineBytes = 64 * 1024;
+  /// Compile a read-optimized TaxonomySnapshot after classification and
+  /// after every delta commit (DESIGN.md §16). Off = answer every query
+  /// through the legacy ladder (the --query-snapshot=off ablation path).
+  bool querySnapshots = true;
   QueryEngineConfig engine;
   ServeFaultPlan faults;
 };
@@ -103,6 +107,15 @@ class Server {
   std::uint64_t shedCount() const { return queue_.shed(); }
   std::size_t queueDepth() const { return queue_.depth(); }
 
+  /// Read-path counters (snapshot vs walk answers, interval/bitset split,
+  /// batch amortization) for --stats and bench reporting.
+  QueryEngineStats engineStats() const { return engine_.stats(); }
+  /// The view queries answer against right now (carries the current
+  /// generation's snapshot and its BuildStats, if one was compiled).
+  std::shared_ptr<const EngineView> engineView() const {
+    return engine_.currentView();
+  }
+
   /// Serves newline-delimited requests from `in`, writing in-order
   /// responses to `out`. Returns after the last response is written
   /// (does NOT drain — callers decide when to shut down).
@@ -122,7 +135,10 @@ class Server {
 
   void workerLoop();
   /// Parses and answers one line; never throws (the untrusted surface).
-  std::string processLine(const std::string& line);
+  /// `parser`/`req` are the calling worker's reusable scratch — a warmed
+  /// worker parses without heap allocation.
+  std::string processLine(const std::string& line, RequestParser& parser,
+                          Request& req);
   std::string statusLine(const Request& req) const;
   /// Handles the five delta transaction verbs (runs on a query worker; a
   /// commit blocks that worker for the cone rerun while the remaining

@@ -1,0 +1,226 @@
+#include "taxonomy/snapshot.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "owl/tbox.hpp"
+#include "parallel/bit_kernels.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace owlcl {
+
+namespace {
+
+using Word = BitKernels::Word;
+
+constexpr std::size_t wordsFor(std::size_t bits) { return (bits + 63) / 64; }
+
+/// One N×W bitset matrix of plain words (build-time scratch; no atomics —
+/// the compile runs single-threaded off the query path).
+struct WordMatrix {
+  std::vector<Word> words;
+  std::size_t stride = 0;
+  WordMatrix(std::size_t rows, std::size_t w) : words(rows * w, 0), stride(w) {}
+  Word* row(std::size_t r) { return words.data() + r * stride; }
+  void setBit(std::size_t r, std::size_t bit) {
+    words[r * stride + (bit >> 6)] |= Word{1} << (bit & 63);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const TaxonomySnapshot> TaxonomySnapshot::build(
+    const Taxonomy& tax, const TBox& tbox, bool complete,
+    std::uint64_t generation, const BitKernels* kernels) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (kernels == nullptr) kernels = &activeBitKernels();
+
+  const std::size_t n = tax.nodeCount();
+  const std::size_t w = wordsFor(n);
+  OWLCL_ASSERT(n >= 2);  // ⊤ and ⊥ always exist
+
+  auto snap = std::shared_ptr<TaxonomySnapshot>(new TaxonomySnapshot());
+  snap->complete_ = complete;
+  snap->nodeOf_.resize(tax.conceptCount());
+  for (ConceptId c = 0; c < tax.conceptCount(); ++c)
+    snap->nodeOf_[c] = tax.nodeOf(c);
+
+  // --- topological node order (Kahn over the parent lists) -------------------
+  // finalize() guarantees every node but ⊤ has at least one parent and all
+  // nodes are reachable from ⊤, so the queue drains every node.
+  std::vector<Taxonomy::NodeId> topo;
+  topo.reserve(n);
+  {
+    std::vector<std::uint32_t> indeg(n);
+    for (std::size_t v = 0; v < n; ++v)
+      indeg[v] = static_cast<std::uint32_t>(tax.node(v).parents.size());
+    std::vector<Taxonomy::NodeId> queue;
+    for (std::size_t v = 0; v < n; ++v)
+      if (indeg[v] == 0) queue.push_back(static_cast<Taxonomy::NodeId>(v));
+    while (!queue.empty()) {
+      const Taxonomy::NodeId v = queue.back();
+      queue.pop_back();
+      topo.push_back(v);
+      for (const Taxonomy::NodeId ch : tax.node(v).children)
+        if (--indeg[ch] == 0) queue.push_back(ch);
+    }
+    OWLCL_ASSERT(topo.size() == n);  // finalized taxonomies are acyclic
+  }
+
+  // --- spanning tree + pre/post interval labels ------------------------------
+  // Tree parent = first direct subsumer (adjacency is sorted, so this is
+  // deterministic). Any choice works: every parent strictly precedes its
+  // child in topo order, so the parent pointers form a tree rooted at ⊤.
+  std::vector<Taxonomy::NodeId> treeParent(n, Taxonomy::kNoNode);
+  std::vector<std::vector<Taxonomy::NodeId>> treeChildren(n);
+  std::size_t edgeTotal = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& parents = tax.node(v).parents;
+    edgeTotal += parents.size();
+    if (!parents.empty()) {
+      treeParent[v] = parents[0];
+      treeChildren[parents[0]].push_back(static_cast<Taxonomy::NodeId>(v));
+    }
+  }
+  snap->pre_.assign(n, 0);
+  snap->post_.assign(n, 0);
+  {
+    std::uint32_t counter = 0;
+    // Iterative DFS; second visit of a frame closes the interval.
+    std::vector<std::pair<Taxonomy::NodeId, bool>> stack;
+    stack.emplace_back(Taxonomy::kTopNode, false);
+    while (!stack.empty()) {
+      auto [v, closing] = stack.back();
+      stack.pop_back();
+      if (closing) {
+        snap->post_[v] = counter;
+        continue;
+      }
+      snap->pre_[v] = counter++;
+      stack.emplace_back(v, true);
+      for (const Taxonomy::NodeId ch : treeChildren[v])
+        stack.emplace_back(ch, false);
+    }
+  }
+
+  // --- ancestor closure + compressed extra-ancestor pool ---------------------
+  // anc[v] = ∪_p (anc[p] ∪ {p}) in topo order; the word-parallel unions run
+  // through the BitKernels backend. extra[v] = anc[v] \ treeAnc[v] keeps only
+  // the non-tree part, stored as its nonzero word span in a shared pool.
+  {
+    WordMatrix anc(n, w), treeAnc(n, w);
+    std::vector<Word> scratch(w);
+    for (const Taxonomy::NodeId v : topo) {
+      for (const Taxonomy::NodeId p : tax.node(v).parents) {
+        kernels->orInto(anc.row(v), anc.row(p), w);
+        anc.setBit(v, p);
+      }
+      if (treeParent[v] != Taxonomy::kNoNode) {
+        kernels->orInto(treeAnc.row(v), treeAnc.row(treeParent[v]), w);
+        treeAnc.setBit(v, treeParent[v]);
+      }
+    }
+    snap->extra_.assign(n, ExtraRef{});
+    for (std::size_t v = 0; v < n; ++v) {
+      kernels->andNotInto(scratch.data(), anc.row(v), treeAnc.row(v), w);
+      std::size_t first = w, last = 0;
+      for (std::size_t i = 0; i < w; ++i) {
+        if (scratch[i] != 0) {
+          if (first == w) first = i;
+          last = i;
+        }
+      }
+      if (first == w) continue;  // tree covers all of v's ancestry
+      ExtraRef& e = snap->extra_[v];
+      e.offset = static_cast<std::uint32_t>(snap->extraWords_.size());
+      e.firstWord = static_cast<std::uint32_t>(first);
+      e.wordCount = static_cast<std::uint32_t>(last - first + 1);
+      snap->extraWords_.insert(snap->extraWords_.end(), scratch.begin() + first,
+                               scratch.begin() + last + 1);
+    }
+  }
+
+  // --- contiguous descendant ranges + precompiled JSON arrays ----------------
+  // descN[v] = ∪_ch (descN[ch] ∪ {ch}) in reverse topo order: the strict
+  // node-descendants of v (v's own class excluded, ⊥ included — matching the
+  // walk path's answer exactly).
+  {
+    WordMatrix descN(n, w);
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const Taxonomy::NodeId v = *it;
+      for (const Taxonomy::NodeId ch : tax.node(v).children) {
+        kernels->orInto(descN.row(v), descN.row(ch), w);
+        descN.setBit(v, ch);
+      }
+    }
+    // Byte-wise name rank: sorting ids by rank reproduces the walk path's
+    // std::sort over the name strings (names are unique per TBox).
+    std::vector<ConceptId> byName(tax.conceptCount());
+    std::iota(byName.begin(), byName.end(), ConceptId{0});
+    std::sort(byName.begin(), byName.end(), [&](ConceptId a, ConceptId b) {
+      return tbox.conceptName(a) < tbox.conceptName(b);
+    });
+    std::vector<std::uint32_t> rank(tax.conceptCount());
+    for (std::size_t i = 0; i < byName.size(); ++i)
+      rank[byName[i]] = static_cast<std::uint32_t>(i);
+
+    snap->desc_.assign(n, DescRef{});
+    snap->descJson_.assign(n, std::string());
+    std::vector<ConceptId> ids;
+    for (std::size_t v = 0; v < n; ++v) {
+      ids.clear();
+      const Word* row = descN.row(v);
+      for (std::size_t i = 0; i < w; ++i) {
+        Word word = row[i];
+        while (word != 0) {
+          const auto d = static_cast<Taxonomy::NodeId>(
+              (i << 6) + static_cast<std::size_t>(__builtin_ctzll(word)));
+          word &= word - 1;
+          for (const ConceptId m : tax.node(d).members) ids.push_back(m);
+        }
+      }
+      std::sort(ids.begin(), ids.end(),
+                [&](ConceptId a, ConceptId b) { return rank[a] < rank[b]; });
+      DescRef& d = snap->desc_[v];
+      d.offset = static_cast<std::uint32_t>(snap->descIdPool_.size());
+      d.count = static_cast<std::uint32_t>(ids.size());
+      snap->descIdPool_.insert(snap->descIdPool_.end(), ids.begin(), ids.end());
+      std::string& json = snap->descJson_[v];
+      json.push_back('[');
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i != 0) json.push_back(',');
+        json.push_back('"');
+        jsonEscapeInto(tbox.conceptName(ids[i]), json);
+        json.push_back('"');
+      }
+      json.push_back(']');
+    }
+  }
+
+  // --- stats ------------------------------------------------------------------
+  BuildStats& st = snap->stats_;
+  st.generation = generation;
+  st.nodes = n;
+  st.concepts = tax.conceptCount();
+  st.treeEdges = n - 1;
+  st.nonTreeEdges = edgeTotal - st.treeEdges;
+  st.extraWords = snap->extraWords_.size();
+  st.descendantIds = snap->descIdPool_.size();
+  std::size_t bytes = snap->nodeOf_.size() * sizeof(Taxonomy::NodeId) +
+                      (snap->pre_.size() + snap->post_.size()) * sizeof(std::uint32_t) +
+                      snap->extra_.size() * sizeof(ExtraRef) +
+                      snap->extraWords_.size() * sizeof(Word) +
+                      snap->desc_.size() * sizeof(DescRef) +
+                      snap->descIdPool_.size() * sizeof(ConceptId);
+  for (const std::string& j : snap->descJson_) bytes += j.size();
+  st.compiledBytes = bytes;
+  st.buildNs = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return snap;
+}
+
+}  // namespace owlcl

@@ -16,6 +16,15 @@ std::vector<std::string_view> split(std::string_view s, char sep);
 bool startsWith(std::string_view s, std::string_view prefix);
 bool endsWith(std::string_view s, std::string_view suffix);
 
+/// JSON string escaping (quotes, backslashes, control characters; invalid
+/// UTF-8 bytes pass through untouched — emitted text mirrors the names the
+/// ontology declared). Shared by the serve protocol responses and the
+/// compiled taxonomy-snapshot descendant arrays.
+std::string jsonEscape(std::string_view s);
+/// Appends the escaped form to `out` (the allocation-free variant the
+/// snapshot compiler and batch answer builder use).
+void jsonEscapeInto(std::string_view s, std::string& out);
+
 /// printf-style formatting into a std::string (GCC 12 lacks full std::format).
 std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

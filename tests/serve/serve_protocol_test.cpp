@@ -3,12 +3,35 @@
 // truncates, and splices valid requests: parseRequest must reject or
 // accept every input without throwing, crashing, or reading out of
 // bounds (the CI serve job repeats this from outside the process).
+//
+// Also holds the hot-path allocation budget: a warmed RequestParser must
+// reparse any request shape — including batches — without touching the
+// heap. Global operator new below counts per-thread allocations so the
+// budget is asserted exactly, not inferred from a profiler.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <random>
 #include <string>
 
 #include "serve/protocol.hpp"
+
+// Per-thread allocation counter (thread_local so background threads from
+// other tests in this binary can never perturb the budget assertion).
+static thread_local std::uint64_t g_threadAllocs = 0;
+
+void* operator new(std::size_t size) {
+  ++g_threadAllocs;
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace owlcl {
 namespace {
@@ -99,6 +122,103 @@ TEST(ServeProtocolTest, MissingOpIsRejected) {
   parseFail(R"({"sub":"B","sup":"A"})");
 }
 
+TEST(ServeProtocolTest, ParsesBatchRequests) {
+  const Request r = parseOk(
+      R"({"op":"batch","queries":[{"op":"subs","sub":"B","sup":"A"},)"
+      R"({"op":"sat","concept":"C","deadline_ms":9}],"id":3})");
+  EXPECT_EQ(r.op, RequestOp::kBatch);
+  ASSERT_EQ(r.batchCount, 2u);
+  EXPECT_EQ(r.batch[0].op, RequestOp::kSubs);
+  EXPECT_EQ(r.batch[0].sub, "B");
+  EXPECT_EQ(r.batch[0].sup, "A");
+  EXPECT_EQ(r.batch[1].op, RequestOp::kSat);
+  EXPECT_EQ(r.batch[1].conceptName, "C");
+  EXPECT_EQ(r.batch[1].deadlineMs, 9u);
+  EXPECT_TRUE(r.hasId);
+  EXPECT_EQ(r.id, 3u);
+}
+
+TEST(ServeProtocolTest, BatchRejectsBadShapes) {
+  parseFail(R"({"op":"batch"})");               // no queries
+  parseFail(R"({"op":"batch","queries":[]})");  // empty queries
+  parseFail(  // nested batch
+      R"({"op":"batch","queries":[{"op":"batch","queries":[]}]})");
+  parseFail(  // elements are read ops only
+      R"({"op":"batch","queries":[{"op":"status"}]})");
+  parseFail(  // element field validation still applies
+      R"({"op":"batch","queries":[{"op":"subs","sub":"B"}]})");
+  parseFail(  // queries on a non-batch op
+      R"({"op":"subs","sub":"B","sup":"A","queries":[{"op":"sat","concept":"C"}]})");
+  parseFail(R"({"op":"batch","queries":{}})");   // not an array
+  parseFail(R"({"op":"batch","queries":[3]})");  // element not an object
+  parseFail(R"({"op":"batch","queries":[{"op":"sat","concept":"C"}])");  // truncated
+}
+
+TEST(ServeProtocolTest, BatchTooLargeIsRejected) {
+  std::string line = R"({"op":"batch","queries":[)";
+  for (std::size_t i = 0; i <= kMaxBatchElements; ++i) {
+    if (i != 0) line.push_back(',');
+    line += R"({"op":"sat","concept":"C"})";
+  }
+  line += "]}";
+  const std::string why = parseFail(line);
+  EXPECT_NE(why.find("too large"), std::string::npos) << why;
+}
+
+TEST(ServeProtocolTest, BatchScratchIsReusedAcrossParses) {
+  RequestParser parser;
+  Request req;
+  std::string why;
+  ASSERT_TRUE(parser.parse(
+      R"({"op":"batch","queries":[{"op":"sat","concept":"C1"},{"op":"sat","concept":"C2"}]})",
+      &req, &why))
+      << why;
+  ASSERT_EQ(req.batchCount, 2u);
+  ASSERT_TRUE(parser.parse(
+      R"({"op":"batch","queries":[{"op":"descendants","concept":"D"}]})",
+      &req, &why))
+      << why;
+  EXPECT_EQ(req.batchCount, 1u);
+  EXPECT_EQ(req.batch[0].op, RequestOp::kDescendants);
+  EXPECT_EQ(req.batch[0].conceptName, "D");
+  // A plain op after a batch resets the visible element count.
+  ASSERT_TRUE(parser.parse(R"({"op":"sat","concept":"E"})", &req, &why)) << why;
+  EXPECT_EQ(req.op, RequestOp::kSat);
+  EXPECT_EQ(req.batchCount, 0u);
+}
+
+// The serving hot path promises zero heap traffic per request parse once
+// a worker's scratch is warm (DESIGN.md §16): string fields reuse their
+// capacity and the batch element pool grows but never shrinks.
+TEST(ServeProtocolTest, WarmParserReparsesWithoutHeapAllocation) {
+  RequestParser parser;
+  Request req;
+  std::string why;
+  const std::string lines[] = {
+      R"({"op":"subs","sub":"http://example.org/onto#SubConcept",)"
+      R"("sup":"http://example.org/onto#SuperConcept","id":7,"deadline_ms":250})",
+      R"({"op":"sat","concept":"http://example.org/onto#AConceptName"})",
+      R"({"op":"descendants","concept":"http://example.org/onto#Root","id":9})",
+      R"({"op":"batch","queries":[{"op":"subs","sub":"B","sup":"A"},)"
+      R"({"op":"sat","concept":"C"},{"op":"descendants","concept":"D"}],"id":4})",
+  };
+  // Warm-up: first parses grow the scratch strings and the batch pool.
+  for (int i = 0; i < 3; ++i)
+    for (const std::string& line : lines)
+      ASSERT_TRUE(parser.parse(line, &req, &why)) << line << " — " << why;
+
+  const std::uint64_t before = g_threadAllocs;
+  bool allOk = true;
+  for (int i = 0; i < 100; ++i)
+    for (const std::string& line : lines)
+      allOk = parser.parse(line, &req, &why) && allOk;
+  const std::uint64_t allocs = g_threadAllocs - before;
+
+  EXPECT_TRUE(allOk);
+  EXPECT_EQ(allocs, 0u)
+      << "a warmed parser must reparse every request shape allocation-free";
+}
+
 // Deterministic fuzz: random mutations of valid requests plus pure
 // garbage. The only requirement is "no crash, no throw"; acceptance
 // additionally implies the struct came back fully formed.
@@ -108,6 +228,8 @@ TEST(ServeProtocolTest, FuzzedInputNeverCrashes) {
       R"({"op":"sat","concept":"http://x#Cé","id":1})",
       R"({"op":"descendants","concept":"C"})",
       R"({"op":"status","id":18446744073709551615})",
+      R"({"op":"batch","queries":[{"op":"subs","sub":"B","sup":"A"},)"
+      R"({"op":"descendants","concept":"C"}],"id":2})",
   };
   std::mt19937_64 rng(42);
   for (int iter = 0; iter < 20000; ++iter) {

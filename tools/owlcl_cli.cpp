@@ -83,6 +83,13 @@
 //                        explicit {"error":"overloaded"} responses
 //   --query-threads=N    query worker pool size (default 2)
 //   --queue-cap=N        admission queue bound (default 128)
+//   --query-snapshot=off|on  compile each finished generation's taxonomy
+//                        into an immutable read-optimized index (interval
+//                        labels + extra-ancestor bitsets + precompiled
+//                        descendant arrays, DESIGN.md §16); queries then
+//                        answer from it at memory speed. Default on; off
+//                        is the walk-path ablation. With --stats the serve
+//                        exit report includes snapshot build/hit counters.
 //   --serve-deadline-ms=N      default per-query deadline (default 1000)
 //   --serve-max-deadline-ms=N  clamp on client deadline_ms (default 60000)
 //   --max-line-bytes=N   request line cap (default 65536)
@@ -90,7 +97,10 @@
 //                          query-fault-every=N slow-client-ms=N
 //                          crash-after-queries=N
 //
-// serve also accepts delta transaction verbs over the same protocol
+// serve also accepts a batched read op — {"op":"batch","queries":[...]}
+// with subs/sat/descendants elements — answered against ONE pinned
+// generation with one amortized parse/dispatch, and delta transaction
+// verbs over the same protocol
 // (begin-delta / add-axiom / retract-axiom / commit / abort): a commit
 // reclassifies the affected cone on one query worker while the remaining
 // workers keep answering from the last committed generation, then swaps
@@ -239,6 +249,7 @@ struct Options {
   std::size_t serveDeadlineMs = 1000;
   std::size_t serveMaxDeadlineMs = 60'000;
   std::size_t maxLineBytes = 64 * 1024;
+  bool querySnapshot = true;
   ServeFaultPlan serveFaults;
 };
 
@@ -496,6 +507,16 @@ Options parseOptions(int argc, char** argv, int first) {
       if (o.maxLineBytes == 0) usage();
     } else if (const char* v22 = value("--inject-serve-faults=")) {
       o.serveFaults = parseServeFaultSpec(v22);
+    } else if (const char* v23 = value("--query-snapshot=")) {
+      const std::string s = v23;
+      if (s == "on")
+        o.querySnapshot = true;
+      else if (s == "off")
+        o.querySnapshot = false;
+      else {
+        std::fprintf(stderr, "unknown --query-snapshot: %s\n", s.c_str());
+        usage();
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       usage();
@@ -1089,6 +1110,7 @@ int cmdServe(const std::string& path, const Options& o) {
   sc.maxLineBytes = o.maxLineBytes;
   sc.engine.defaultDeadlineMs = o.serveDeadlineMs;
   sc.engine.maxDeadlineMs = o.serveMaxDeadlineMs;
+  sc.querySnapshots = o.querySnapshot;
   sc.faults = o.serveFaults;
   Server server(tbox, classifier, *chain->backend, sc);
 
@@ -1098,6 +1120,7 @@ int cmdServe(const std::string& path, const Options& o) {
   // thread once the background run finishes.
   DeltaReclassifier delta(exec, makeChainFactory(o, &exec.cancellation()),
                           config);
+  delta.setBuildSnapshots(o.querySnapshot);
   delta.adoptInitial(
       std::shared_ptr<const TBox>(&tbox, [](const TBox*) {}),
       std::shared_ptr<ReasonerPlugin>(plugin, [](ReasonerPlugin*) {}),
@@ -1208,6 +1231,36 @@ int cmdServe(const std::string& path, const Options& o) {
                static_cast<unsigned long long>(server.served()),
                static_cast<unsigned long long>(server.shedCount()), state,
                classifier.currentEpoch(), classifier.remainingPossible());
+
+  if (o.stats) {
+    const QueryEngineStats qs = server.engineStats();
+    std::fprintf(stderr,
+                 "serve stats: snapshot_answers=%llu walk_answers=%llu "
+                 "interval_hits=%llu bitset_probes=%llu batch_lines=%llu "
+                 "batched_queries=%llu\n",
+                 static_cast<unsigned long long>(qs.snapshotAnswers),
+                 static_cast<unsigned long long>(qs.walkAnswers),
+                 static_cast<unsigned long long>(qs.intervalHits),
+                 static_cast<unsigned long long>(qs.bitsetProbes),
+                 static_cast<unsigned long long>(qs.batchLines),
+                 static_cast<unsigned long long>(qs.batchedQueries));
+    const auto view = server.engineView();
+    if (view->snapshot != nullptr) {
+      const TaxonomySnapshot::BuildStats& bs = view->snapshot->stats();
+      std::fprintf(
+          stderr,
+          "snapshot stats: generation=%llu build_ms=%.3f compiled_bytes=%zu "
+          "nodes=%zu concepts=%zu tree_edges=%zu non_tree_edges=%zu "
+          "extra_words=%zu descendant_ids=%zu\n",
+          static_cast<unsigned long long>(bs.generation),
+          static_cast<double>(bs.buildNs) / 1e6, bs.compiledBytes, bs.nodes,
+          bs.concepts, bs.treeEdges, bs.nonTreeEdges, bs.extraWords,
+          bs.descendantIds);
+    } else {
+      std::fprintf(stderr, "snapshot stats: none (off, degraded, or not yet "
+                           "built)\n");
+    }
+  }
   return status;
 }
 
